@@ -1,0 +1,57 @@
+"""E2 — the §2.1 error-message experiment, as a benchmark: failing
+verifications diagnose quickly and precisely (syntax-directed search means
+a failure pinpoints its location instead of exhausting a search space)."""
+
+import pytest
+
+from repro.frontend import verify_source
+from repro.report import casestudies_dir
+
+ALLOC = (casestudies_dir() / "alloc.c").read_text()
+
+MUTANTS = {
+    "spec_off_by_one": ("{n <= a} @ optional", "{n < a} @ optional"),
+    "missing_guard": ("if (sz > d->len) return NULL;", ""),
+    "forgot_update": ("d->len -= sz;", ""),
+}
+
+
+@pytest.mark.parametrize("name", list(MUTANTS))
+def test_failing_verification_is_fast(benchmark, name):
+    old, new = MUTANTS[name]
+    src = ALLOC.replace(old, new)
+    outcome = benchmark(lambda: verify_source(src))
+    assert not outcome.ok
+
+
+def test_print_error_message(benchmark, capsys):
+    old, new = MUTANTS["spec_off_by_one"]
+    benchmark.pedantic(lambda: None, rounds=1)
+    outcome = verify_source(ALLOC.replace(old, new))
+    msg = outcome.report()
+    assert "Cannot prove side condition" in msg
+    assert "return statement" in msg
+    assert "if branch: else" in msg
+    with capsys.disabled():
+        print()
+        print("The §2.1 experiment (spec says n < a instead of n ≤ a):")
+        for line in msg.splitlines():
+            print("  " + line)
+
+
+def test_failure_not_slower_than_success(benchmark):
+    """A failing run costs about the same as a successful one — there is
+    no search-space blowup on failure (no backtracking)."""
+    benchmark.pedantic(lambda: None, rounds=1)
+    import time
+    t0 = time.perf_counter()
+    ok_out = verify_source(ALLOC)
+    ok_time = time.perf_counter() - t0
+    assert ok_out.ok
+    old, new = MUTANTS["spec_off_by_one"]
+    src = ALLOC.replace(old, new)
+    t0 = time.perf_counter()
+    verify_source(src)
+    fail_time = time.perf_counter() - t0
+    # Within an order of magnitude — catching pathological blowups.
+    assert fail_time < ok_time * 10 + 0.5

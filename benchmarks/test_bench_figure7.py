@@ -1,0 +1,72 @@
+"""E5 — Figure 7: the paper's evaluation table.
+
+Benchmarks verification of every case study and regenerates all columns of
+Figure 7 (Rules, ∃, ⌜φ⌝, Impl, Spec, Annot, Pure, Ovh).  Absolute numbers
+differ from the paper (Python solvers vs Coq), but the asserted *shape*
+matches: everything verifies, automation dominates, only the lemma-backed
+studies carry pure-reasoning overhead, and the annotation overhead stays
+moderate for the simple examples.
+
+Run:  pytest benchmarks/test_bench_figure7.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.frontend import verify_file
+from repro.report import (FIGURE7_STUDIES, EXTRA_STUDIES, casestudies_dir,
+                          figure7_table, format_table, study_report)
+
+ALL = [s for s, _ in FIGURE7_STUDIES + EXTRA_STUDIES]
+
+
+@pytest.mark.parametrize("study", ALL)
+def test_verify_case_study(benchmark, study):
+    path = casestudies_dir() / f"{study}.c"
+    outcome = benchmark(lambda: verify_file(path))
+    assert outcome.ok, outcome.report()
+
+
+def test_print_figure7_table(benchmark, capsys):
+    rows = benchmark(figure7_table)
+    assert all(r.verified for r in rows)
+    by_name = {r.study: r for r in rows}
+
+    # --- the qualitative shape asserted against the paper -----------
+    # (i) Rule applications dominate distinct rules everywhere.
+    for r in rows:
+        assert r.rule_applications >= r.rules_distinct
+
+    # (ii) Only the lemma-backed studies carry Pure overhead; the paper's
+    # heavy rows (hashmap #4, layered BST and binary search) are ours too.
+    assert by_name["hashmap"].pure_lines > 0
+    assert by_name["binary_search"].pure_lines > 0
+    assert by_name["bst_layered"].pure_lines > 0
+    assert by_name["alloc"].pure_lines == 0
+    assert by_name["spinlock"].pure_lines == 0
+
+    # (iii) The hashmap is the most overhead-heavy study (paper: 2.7).
+    assert by_name["hashmap"].overhead == max(r.overhead for r in rows)
+
+    # (iv) The layered BST carries more manual machinery than the direct
+    # one (paper §7 #3), with comparable annotations.
+    assert by_name["bst_layered"].pure_lines > by_name["bst_direct"].pure_lines
+    assert by_name["bst_layered"].overhead > by_name["bst_direct"].overhead
+
+    # (v) Simple examples stay well under the paper's 0.7 overhead bound.
+    for study in ("alloc", "queue", "linked_list", "spinlock", "barrier",
+                  "page_alloc", "threadsafe_alloc", "mpool"):
+        assert by_name[study].overhead < 0.7, study
+
+    # (vi) The paper's wand studies use the wand machinery; the
+    # concurrency studies use the atomic boolean.
+    assert "wand" in by_name["linked_list"].types_used
+    assert "wand" in by_name["free_list"].types_used
+    assert "atomic bool" in by_name["spinlock"].types_used
+    assert "padded" in by_name["page_alloc"].types_used
+    assert "arrays" in by_name["binary_search"].types_used
+    assert "func. ptr." in by_name["binary_search"].types_used
+
+    with capsys.disabled():
+        print()
+        print("Figure 7 (regenerated):")
+        print(format_table(rows))

@@ -1,0 +1,68 @@
+"""Ablation — the pure solver layer (step (C) of Figure 2): cost of the
+default solver vs the named solvers on representative side conditions, and
+of the Fourier–Motzkin integer cuts."""
+
+import pytest
+
+from repro.pure import PureSolver, Sort
+from repro.pure import terms as T
+from repro.pure.linarith import implies_linear
+from repro.pure.sets import multiset_solver
+
+a, b, n = T.var("a"), T.var("b"), T.var("n")
+s, tail = T.var("s", Sort.MSET), T.var("tail", Sort.MSET)
+
+
+def test_linarith_chain(benchmark):
+    vs = [T.var(f"x{i}") for i in range(12)]
+    hyps = [T.le(vs[i], vs[i + 1]) for i in range(11)]
+    goal = T.le(vs[0], vs[11])
+    assert benchmark(lambda: implies_linear(hyps, goal))
+
+
+def test_linarith_integer_cut(benchmark):
+    """The binary-search obligation needing the gcd/floor tightening."""
+    l, h = T.var("l"), T.var("h")
+    d = T.app("div", T.sub(h, l), T.intlit(2))
+    hyps = [T.le(T.intlit(0), l), T.lt(l, h), T.le(h, n),
+            T.le(n, T.intlit(65536))]
+    goal = T.le(T.add(l, d, T.intlit(1)), n)
+    assert benchmark(lambda: implies_linear(hyps, goal))
+
+
+def test_multiset_freelist_condition(benchmark):
+    """The Figure 3 invariant-style condition through multiset_solver."""
+    k = T.var("k")
+    hyps = [T.eq(s, T.munion(T.msingle(k), tail)), T.mall_ge(tail, k),
+            T.le(n, k)]
+    goal = T.mall_ge(T.munion(T.msingle(k), tail), n)
+    assert benchmark(lambda: multiset_solver(hyps, goal))
+
+
+def test_member_case_split(benchmark):
+    """The BST membership obligations (the heavy set_solver pattern)."""
+    k, kr = T.var("k"), T.var("kr")
+    l, r = T.var("l", Sort.MSET), T.var("r", Sort.MSET)
+    hyps = [T.eq(s, T.munion(T.msingle(kr), l, r)),
+            T.mall_le(l, kr), T.mall_ge(r, kr), T.lt(k, kr)]
+    goal = T.eq(T.mmember(k, l), T.mmember(k, s))
+    solver = PureSolver(tactics=["multiset_solver"])
+    result = benchmark(lambda: solver.prove(hyps, goal))
+    from repro.pure.solver import Outcome
+    assert result.outcome is not Outcome.FAILED
+
+
+def test_default_vs_named_accounting(benchmark):
+    """The §7 accounting: the default solver is tried first; a condition
+    needing the multiset theory is counted as manual."""
+    benchmark.pedantic(lambda: None, rounds=1)
+
+    from repro.pure.solver import Outcome
+    solver = PureSolver(tactics=["multiset_solver"])
+    default_condition = T.le(T.sub(a, n), a)
+    # Bound weakening over an opaque multiset needs the mall_ge theory.
+    named_condition = T.mall_ge(T.munion(T.msingle(n), tail), a)
+    r1 = solver.prove([T.le(T.intlit(0), n), T.le(n, a)], default_condition)
+    r2 = solver.prove([T.mall_ge(tail, n), T.le(a, n)], named_condition)
+    assert r1.outcome is Outcome.DEFAULT
+    assert r2.outcome is Outcome.NAMED

@@ -1,0 +1,18 @@
+// Figure 1 of the paper: a simple memory allocator.  The RefinedC type
+// mem_t captures the invariant that `len` is the length of the owned
+// block pointed to by `buffer`.
+
+struct [[rc::refined_by("a: nat")]] mem_t {
+  [[rc::field("a @ int<size_t>")]] size_t len;
+  [[rc::field("&own<uninit<a>>")]] unsigned char* buffer;
+};
+
+[[rc::parameters("a: nat", "n: nat", "p: loc")]]
+[[rc::args("p @ &own<a @ mem_t>", "n @ int<size_t>")]]
+[[rc::returns("{n <= a} @ optional<&own<uninit<n>>, null>")]]
+[[rc::ensures("own p : {n <= a ? a - n : a} @ mem_t")]]
+void* alloc(struct mem_t* d, size_t sz) {
+  if (sz > d->len) return NULL;
+  d->len -= sz;
+  return d->buffer + d->len;
+}

@@ -1,0 +1,22 @@
+// The variant of Figure 1 discussed in Section 6 of the paper (suggested
+// by a PLDI reviewer): allocate from the beginning of the buffer instead
+// of the end.  It verifies against the same specification with no changes
+// to the typing rules: O-ADD-UNINIT covers both ways of splitting the
+// uninitialised block.
+
+struct [[rc::refined_by("a: nat")]] mem_t {
+  [[rc::field("a @ int<size_t>")]] size_t len;
+  [[rc::field("&own<uninit<a>>")]] unsigned char* buffer;
+};
+
+[[rc::parameters("a: nat", "n: nat", "p: loc")]]
+[[rc::args("p @ &own<a @ mem_t>", "n @ int<size_t>")]]
+[[rc::returns("{n <= a} @ optional<&own<uninit<n>>, null>")]]
+[[rc::ensures("own p : {n <= a ? a - n : a} @ mem_t")]]
+void* alloc(struct mem_t* d, size_t sz) {
+  if (sz > d->len) return NULL;
+  d->len -= sz;
+  unsigned char* res = d->buffer;
+  d->buffer += sz;
+  return res;
+}

@@ -1,0 +1,28 @@
+// One-time barrier (Figure 7, class #6).  The flag is an atomic boolean
+// whose true-state holds a *persistent* witness ptok(ready, 0): once the
+// signaller has published it, every waiter that observes true extracts a
+// copy.  Persistence is what lets an atomic load move the resource out of
+// the invariant (cf. Section 6's remark on the atomic Boolean type).
+
+struct [[rc::refined_by()]] barrier {
+  [[rc::field("atomicbool<int; ptok(ready, 0); >")]] _Atomic int flag;
+};
+
+// Publish: requires the (persistent) witness and stores true.
+[[rc::parameters("b: loc")]]
+[[rc::args("b @ &shr<barrier>")]]
+[[rc::requires("ptok(ready, 0)")]]
+void barrier_signal(struct barrier* b) {
+  atomic_store(&b->flag, 1);
+}
+
+// Wait until the flag is observed true; afterwards the caller holds the
+// witness published by the signaller.
+[[rc::parameters("b: loc")]]
+[[rc::args("b @ &shr<barrier>")]]
+[[rc::ensures("ptok(ready, 0)")]]
+void barrier_wait(struct barrier* b) {
+  [[rc::inv_vars()]]
+  while (!atomic_load(&b->flag)) {
+  }
+}

@@ -1,0 +1,54 @@
+// Binary search over a sorted array, called through a first-class
+// function pointer (Figure 7, class #1: "arrays, func. ptr.").
+// The result is specified through the mathematical lower-bound function
+// lb(xs, k); the facts the loop invariant needs about lb are manual
+// lemmas (the paper's 19 lines of pure Coq reasoning for this example).
+
+typedef int64_t (*cmp_fn)(int64_t, int64_t);
+
+// A concrete comparator with a precise refinement type.
+[[rc::parameters("x: int", "y: int")]]
+[[rc::args("x @ int<int64_t>", "y @ int<int64_t>")]]
+[[rc::returns("{x <= y} @ bool<int>")]]
+int64_t cmp_le(int64_t x, int64_t y) {
+  return x <= y;
+}
+
+// Returns lb(xs, key): the least index whose element is >= key (n if
+// there is none).  The comparator is received as a function pointer.
+[[rc::parameters("xs: {list Z}", "n: nat", "k: int", "p: loc")]]
+[[rc::args("p @ &own<xs @ array<int64_t, n>>", "n @ int<size_t>",
+           "k @ int<int64_t>", "fn<cmp_le>")]]
+[[rc::requires("{sorted(xs)}", "{len(xs) = n}", "{n <= 65536}")]]
+[[rc::returns("{lb(xs, k)} @ int<size_t>")]]
+[[rc::ensures("own p : xs @ array<int64_t, n>")]]
+[[rc::lemmas("lb_nonneg", "lb_le_len", "lb_lower", "lb_upper")]]
+size_t binary_search(int64_t* a, size_t n, int64_t key, cmp_fn le) {
+  size_t lo = 0;
+  size_t hi = n;
+  [[rc::exists("l: nat", "h: nat")]]
+  [[rc::inv_vars("lo: l @ int<size_t>", "hi: h @ int<size_t>")]]
+  [[rc::constraints("{l <= h}", "{h <= n}",
+                    "{l <= lb(xs, k)}", "{lb(xs, k) <= h}")]]
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (le(key, a[mid])) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+// A client: search in a stack array... (kept minimal: the paper verified
+// "a client of it"; ours calls binary_search through the pointer).
+[[rc::parameters("xs: {list Z}", "n: nat", "k: int", "p: loc")]]
+[[rc::args("p @ &own<xs @ array<int64_t, n>>", "n @ int<size_t>",
+           "k @ int<int64_t>")]]
+[[rc::requires("{sorted(xs)}", "{len(xs) = n}", "{n <= 65536}")]]
+[[rc::returns("{lb(xs, k)} @ int<size_t>")]]
+[[rc::ensures("own p : xs @ array<int64_t, n>")]]
+size_t find_slot(int64_t* a, size_t n, int64_t key) {
+  return binary_search(a, n, key, cmp_le);
+}

@@ -1,0 +1,61 @@
+// Binary search tree, direct verification (Figure 7, class #3): the C
+// code is verified directly against its specification as a functional
+// (multi)set, without an intermediate layer.  Almost all side conditions
+// go through the (multi)set solver, matching the paper's observation
+// that the direct approach has much lower overhead than the layered one.
+
+typedef struct
+[[rc::refined_by("s: {gmultiset nat}")]]
+[[rc::ptr_type("tree_t: {s != ∅} @ optional<&own<...>, null>")]]
+[[rc::exists("k: nat", "l: {gmultiset nat}", "r: {gmultiset nat}")]]
+[[rc::constraints("{s = {[k]} ⊎ l ⊎ r}",
+                  "{∀ j, j ∈ l → j ≤ k}",
+                  "{∀ j, j ∈ r → k ≤ j}")]]
+tnode {
+  [[rc::field("k @ int<size_t>")]] size_t key;
+  [[rc::field("l @ tree_t")]] struct tnode* left;
+  [[rc::field("r @ tree_t")]] struct tnode* right;
+}* tree_t;
+
+[[rc::parameters("p: loc")]]
+[[rc::args("p @ &own<uninit<8>>")]]
+[[rc::ensures("own p : {∅} @ tree_t")]]
+[[rc::tactics("multiset_solver")]]
+void tree_init(tree_t* t) {
+  *t = NULL;
+}
+
+// Membership test, recursive over the tree structure.
+[[rc::parameters("s: {gmultiset nat}", "x: nat", "p: loc")]]
+[[rc::args("p @ &own<s @ tree_t>", "x @ int<size_t>")]]
+[[rc::returns("{x ∈ s} @ bool<int>")]]
+[[rc::ensures("own p : s @ tree_t")]]
+[[rc::tactics("multiset_solver")]]
+int tree_member(tree_t* t, size_t key) {
+  if (*t == NULL) return 0;
+  if (key == (*t)->key) return 1;
+  if (key < (*t)->key) return tree_member(&(*t)->left, key);
+  return tree_member(&(*t)->right, key);
+}
+
+// Insertion, recursive; a fresh 24-byte node buffer is supplied by the
+// caller (the examples use the allocator of alloc.c, as in the paper).
+[[rc::parameters("s: {gmultiset nat}", "x: nat", "p: loc")]]
+[[rc::args("p @ &own<s @ tree_t>", "&own<uninit<24>>", "x @ int<size_t>")]]
+[[rc::ensures("own p : {{[x]} ⊎ s} @ tree_t")]]
+[[rc::tactics("multiset_solver")]]
+void tree_insert(tree_t* t, void* buf, size_t key) {
+  if (*t == NULL) {
+    tree_t n = buf;
+    n->key = key;
+    n->left = NULL;
+    n->right = NULL;
+    *t = n;
+    return;
+  }
+  if (key <= (*t)->key) {
+    tree_insert(&(*t)->left, buf, key);
+    return;
+  }
+  tree_insert(&(*t)->right, buf, key);
+}

@@ -1,0 +1,56 @@
+// Binary search tree, layered verification (Figure 7, class #3).  The
+// specification goes through an intermediate *functional layer*: the C
+// functions are specified against the abstract operations fmember and
+// finsert of a functional model, and separate manual lemmas (the layer
+// refinement) relate the model to the final multiset specification.
+// Compared with bst_direct.c this needs noticeably more manual pure
+// reasoning — the paper's observation about the layered style (§7 #3).
+
+typedef struct
+[[rc::refined_by("s: {gmultiset nat}")]]
+[[rc::ptr_type("ltree_t: {s != ∅} @ optional<&own<...>, null>")]]
+[[rc::exists("k: nat", "l: {gmultiset nat}", "r: {gmultiset nat}")]]
+[[rc::constraints("{s = {[k]} ⊎ l ⊎ r}",
+                  "{∀ j, j ∈ l → j ≤ k}",
+                  "{∀ j, j ∈ r → k ≤ j}")]]
+ltnode {
+  [[rc::field("k @ int<size_t>")]] size_t key;
+  [[rc::field("l @ ltree_t")]] struct ltnode* left;
+  [[rc::field("r @ ltree_t")]] struct ltnode* right;
+}* ltree_t;
+
+// Specified against the functional layer: the result is the model's
+// fmember, and the layer lemma fmember_def carries it to the multiset.
+[[rc::parameters("s: {gmultiset nat}", "x: nat", "p: loc")]]
+[[rc::args("p @ &own<s @ ltree_t>", "x @ int<size_t>")]]
+[[rc::returns("{fmember(s, x)} @ bool<int>")]]
+[[rc::ensures("own p : s @ ltree_t")]]
+[[rc::tactics("multiset_solver")]]
+[[rc::lemmas("fmember_def", "layer_member_left", "layer_member_right")]]
+int ltree_member(ltree_t* t, size_t key) {
+  if (*t == NULL) return 0;
+  if (key == (*t)->key) return 1;
+  if (key < (*t)->key) return ltree_member(&(*t)->left, key);
+  return ltree_member(&(*t)->right, key);
+}
+
+[[rc::parameters("s: {gmultiset nat}", "x: nat", "p: loc")]]
+[[rc::args("p @ &own<s @ ltree_t>", "&own<uninit<24>>", "x @ int<size_t>")]]
+[[rc::ensures("own p : {finsert(s, x)} @ ltree_t")]]
+[[rc::tactics("multiset_solver")]]
+[[rc::lemmas("finsert_def")]]
+void ltree_insert(ltree_t* t, void* buf, size_t key) {
+  if (*t == NULL) {
+    ltree_t n = buf;
+    n->key = key;
+    n->left = NULL;
+    n->right = NULL;
+    *t = n;
+    return;
+  }
+  if (key <= (*t)->key) {
+    ltree_insert(&(*t)->left, buf, key);
+    return;
+  }
+  ltree_insert(&(*t)->right, buf, key);
+}

@@ -1,0 +1,64 @@
+// Hashmap with linear probing (Figure 7, class #4).  The map is two
+// fixed-capacity arrays (keys and values; key 0 marks an empty slot).
+// "Verifying linear probing is non-trivial since all keys share the same
+// array" (§7): the specification goes through the functional probing
+// model hm_probe/hm_slot, and the facts about it — where probing stops,
+// that it stays in bounds, that an insertion preserves the table
+// invariant — are manual lemmas, the analogue of the paper's 265 lines
+// of pure Coq reasoning for this example.
+
+struct
+[[rc::refined_by("ks: {list Z}", "vs: {list Z}")]]
+[[rc::constraints("{hm_ok(ks)}", "{len(ks) = 16}", "{len(vs) = 16}")]]
+hmap {
+  [[rc::field("ks @ array<size_t, 16>")]] size_t keys[16];
+  [[rc::field("vs @ array<size_t, 16>")]] size_t vals[16];
+};
+
+// Find the slot for a key: probe linearly from its hash bucket.
+[[rc::parameters("ks: {list Z}", "vs: {list Z}", "k: nat", "p: loc")]]
+[[rc::args("p @ &own<(ks, vs) @ hmap>", "k @ int<size_t>")]]
+[[rc::requires("{k != 0}")]]
+[[rc::returns("{hm_slot(ks, k)} @ int<size_t>")]]
+[[rc::ensures("own p : (ks, vs) @ hmap")]]
+[[rc::lemmas("hm_slot_def", "hm_probe_step", "hm_probe_hit",
+             "hm_probe_empty", "hm_slot_bounds_lo", "hm_slot_bounds_hi")]]
+size_t hm_find(struct hmap* h, size_t key) {
+  size_t i = key % 16;
+  [[rc::exists("j: nat")]]
+  [[rc::inv_vars("i: j @ int<size_t>")]]
+  [[rc::constraints("{j < 16}", "{hm_slot(ks, k) = hm_probe(ks, k, j)}")]]
+  while (h->keys[i] != key && h->keys[i] != 0) {
+    i = (i + 1) % 16;
+  }
+  return i;
+}
+
+// Lookup: the value in the probed slot if the key is present, else 0.
+[[rc::parameters("ks: {list Z}", "vs: {list Z}", "k: nat", "p: loc")]]
+[[rc::args("p @ &own<(ks, vs) @ hmap>", "k @ int<size_t>")]]
+[[rc::requires("{k != 0}")]]
+[[rc::returns("{index(ks, hm_slot(ks, k)) = k ? index(vs, hm_slot(ks, k)) : 0} @ int<size_t>")]]
+[[rc::ensures("own p : (ks, vs) @ hmap")]]
+[[rc::lemmas("hm_slot_bounds_lo", "hm_slot_bounds_hi")]]
+size_t hm_get(struct hmap* h, size_t key) {
+  size_t i = hm_find(h, key);
+  if (h->keys[i] == key) {
+    return h->vals[i];
+  }
+  return 0;
+}
+
+// Insertion: write the key into its probe slot and store the value.
+[[rc::parameters("ks: {list Z}", "vs: {list Z}", "k: nat", "v: nat",
+                 "p: loc")]]
+[[rc::args("p @ &own<(ks, vs) @ hmap>", "k @ int<size_t>",
+           "v @ int<size_t>")]]
+[[rc::requires("{k != 0}", "{hm_has_room(ks)}")]]
+[[rc::ensures("own p : ({store(ks, hm_slot(ks, k), k)}, {store(vs, hm_slot(ks, k), v)}) @ hmap")]]
+[[rc::lemmas("hm_store_key_ok", "hm_slot_bounds_lo", "hm_slot_bounds_hi")]]
+void hm_put(struct hmap* h, size_t key, size_t val) {
+  size_t i = hm_find(h, key);
+  h->keys[i] = key;
+  h->vals[i] = val;
+}

@@ -1,0 +1,62 @@
+// Singly linked list (Figure 7, class #1).  The list is refined by the
+// mathematical list of its values; partial data structures during
+// traversal are expressed with the magic-wand type, exactly as in
+// Section 2.2 of the paper.
+
+typedef struct
+[[rc::refined_by("xs: {list Z}")]]
+[[rc::ptr_type("list_t: {xs != []} @ optional<&own<...>, null>")]]
+[[rc::exists("x: int", "tl: {list Z}")]]
+[[rc::constraints("{xs = x :: tl}")]]
+node {
+  [[rc::field("x @ int<int64_t>")]] int64_t value;
+  [[rc::field("tl @ list_t")]] struct node* next;
+}* list_t;
+
+// Push a value, using a caller-provided node buffer (the examples use the
+// allocator of alloc.c for these, as in the paper's case studies).
+[[rc::parameters("xs: {list Z}", "p: loc", "x: int")]]
+[[rc::args("p @ &own<xs @ list_t>", "&own<uninit<16>>", "x @ int<int64_t>")]]
+[[rc::ensures("own p : {x :: xs} @ list_t")]]
+void push(list_t* l, void* buf, int64_t value) {
+  list_t n = buf;
+  n->value = value;
+  n->next = *l;
+  *l = n;
+}
+
+// Pop the head value; the node's memory is handed back to the caller.
+[[rc::parameters("xs: {list Z}", "p: loc")]]
+[[rc::args("p @ &own<xs @ list_t>")]]
+[[rc::requires("{xs != []}")]]
+[[rc::exists("q: loc")]]
+[[rc::returns("{head(xs)} @ int<int64_t>")]]
+[[rc::ensures("own p : {tail(xs)} @ list_t", "own q : uninit<16>")]]
+int64_t pop(list_t* l) {
+  list_t n = *l;
+  int64_t v = n->value;
+  *l = n->next;
+  return v;
+}
+
+// Compute the length with the standard wand-based traversal invariant.
+// The length bound precondition discharges the n+1 overflow check: a C
+// list can never have more nodes than the address space holds anyway.
+[[rc::parameters("xs: {list Z}", "p: loc")]]
+[[rc::args("p @ &own<xs @ list_t>")]]
+[[rc::requires("{len(xs) <= 65536}")]]
+[[rc::returns("{len(xs)} @ int<size_t>")]]
+[[rc::ensures("own p : xs @ list_t")]]
+size_t length(list_t* l) {
+  list_t* cur = l;
+  size_t n = 0;
+  [[rc::exists("cp: loc", "cs: {list Z}")]]
+  [[rc::inv_vars("cur: cp @ &own<cs @ list_t>")]]
+  [[rc::inv_vars("n: {len(xs) - len(cs)} @ int<size_t>")]]
+  [[rc::inv_vars("l: p @ &own<wand<{own cp : cs @ list_t}, xs @ list_t>>")]]
+  while (*cur != NULL) {
+    n += 1;
+    cur = &(*cur)->next;
+  }
+  return n;
+}

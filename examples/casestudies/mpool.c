@@ -1,0 +1,74 @@
+// Memory pool modelled on Hafnium's mpool (Figure 7, class #5).  The pool
+// hands out fixed-size 64-byte entries kept in an intrusive free list of
+// full-entry nodes (rc::size/padded), protected by a spinlock whose
+// atomic boolean owns the pool state while unlocked — combining the
+// techniques of the earlier case studies, as the paper notes for its
+// largest example.  (The paper also had to adapt the original code: its
+// integer-pointer casts are unsupported by Caesium; same here.)
+
+typedef struct
+[[rc::refined_by("n: nat")]]
+[[rc::ptr_type("entries_t: {n != 0} @ optional<&own<...>, null>")]]
+[[rc::size("64")]]
+entry {
+  [[rc::field("{n - 1} @ entries_t")]] struct entry* next;
+}* entries_t;
+
+struct
+[[rc::refined_by()]]
+[[rc::exists("n: nat")]]
+mpool_state {
+  [[rc::field("n @ entries_t")]] struct entry* entries;
+};
+
+struct [[rc::refined_by()]] mpool_lock {
+  [[rc::field("atomicbool<int; ; own MPOOL + 8 : mpool_state>")]] _Atomic int word;
+};
+
+struct mpool {
+  struct mpool_lock lock;
+  struct mpool_state state;
+};
+
+[[rc::global("mpool_lock")]]
+struct mpool MPOOL;
+
+// Allocate one 64-byte entry (NULL when the pool is exhausted).
+[[rc::exists("b: bool")]]
+[[rc::returns("b @ optional<&own<uninit<64>>, null>")]]
+void* mpool_alloc(void) {
+  int expected = 0;
+  [[rc::inv_vars("expected: {0} @ int<int>")]]
+  while (!atomic_compare_exchange_strong(&MPOOL.lock.word, &expected, 1)) {
+    expected = 0;
+  }
+  void* res = NULL;
+  if (MPOOL.state.entries != NULL) {
+    entries_t e = MPOOL.state.entries;
+    MPOOL.state.entries = e->next;
+    res = e;
+  }
+  atomic_store(&MPOOL.lock.word, 0);
+  return res;
+}
+
+// Return one 64-byte entry to the pool.
+[[rc::args("&own<uninit<64>>")]]
+void mpool_free(void* ptr) {
+  entries_t e = ptr;
+  int expected = 0;
+  [[rc::inv_vars("expected: {0} @ int<int>")]]
+  while (!atomic_compare_exchange_strong(&MPOOL.lock.word, &expected, 1)) {
+    expected = 0;
+  }
+  e->next = MPOOL.state.entries;
+  MPOOL.state.entries = e;
+  atomic_store(&MPOOL.lock.word, 0);
+}
+
+// Seed the pool from a fresh 64-byte chunk (a simplified mpool_add_chunk:
+// one entry per call, as the entry carving loop in Hafnium would do).
+[[rc::args("&own<uninit<64>>")]]
+void mpool_add_chunk(void* begin) {
+  mpool_free(begin);
+}

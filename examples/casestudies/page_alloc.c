@@ -1,0 +1,41 @@
+// Page allocator (Figure 7, class #2: "padded").  Free pages form an
+// intrusive list; each node is a full 4096-byte page whose first bytes
+// are overlaid with the link header — expressed with rc::size, which
+// generates the padded<...> type (§2.2 of the paper).
+
+typedef struct
+[[rc::refined_by("n: nat")]]
+[[rc::ptr_type("pages_t: {n != 0} @ optional<&own<...>, null>")]]
+[[rc::size("4096")]]
+page {
+  [[rc::field("{n - 1} @ pages_t")]] struct page* next;
+}* pages_t;
+
+[[rc::parameters("p: loc")]]
+[[rc::args("p @ &own<uninit<8>>")]]
+[[rc::ensures("own p : {0} @ pages_t")]]
+void page_pool_init(pages_t* pool) {
+  *pool = NULL;
+}
+
+// Hand one page to the caller (NULL when the pool is empty).
+[[rc::parameters("n: nat", "p: loc")]]
+[[rc::args("p @ &own<n @ pages_t>")]]
+[[rc::returns("{n != 0} @ optional<&own<uninit<4096>>, null>")]]
+[[rc::ensures("own p : {n != 0 ? n - 1 : 0} @ pages_t")]]
+void* page_alloc(pages_t* pool) {
+  if (*pool == NULL) return NULL;
+  pages_t pg = *pool;
+  *pool = pg->next;
+  return pg;
+}
+
+// Return a page to the pool.
+[[rc::parameters("n: nat", "p: loc")]]
+[[rc::args("p @ &own<n @ pages_t>", "&own<uninit<4096>>")]]
+[[rc::ensures("own p : {n + 1} @ pages_t")]]
+void page_free(pages_t* pool, void* page) {
+  pages_t pg = page;
+  pg->next = *pool;
+  *pool = pg;
+}

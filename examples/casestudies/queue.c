@@ -1,0 +1,57 @@
+// FIFO queue (Figure 7, class #1).  The queue is a linked list refined by
+// the mathematical list of queued values; enqueue appends at the end,
+// which exercises list-segment-style reasoning: the traversed prefix is a
+// magic wand whose conclusion appends the new element.
+
+typedef struct
+[[rc::refined_by("xs: {list Z}")]]
+[[rc::ptr_type("q_t: {xs != []} @ optional<&own<...>, null>")]]
+[[rc::exists("x: int", "tl: {list Z}")]]
+[[rc::constraints("{xs = x :: tl}")]]
+qnode {
+  [[rc::field("x @ int<int64_t>")]] int64_t value;
+  [[rc::field("tl @ q_t")]] struct qnode* next;
+}* q_t;
+
+// Enqueue at the tail: walk to the last next-pointer, then link the new
+// node there.  The invariant says: giving the cell at cp a list equal to
+// cs ++ [x] completes the whole queue to xs ++ [x].
+[[rc::parameters("xs: {list Z}", "p: loc", "x: int")]]
+[[rc::args("p @ &own<xs @ q_t>", "&own<uninit<16>>", "x @ int<int64_t>")]]
+[[rc::ensures("own p : {xs ++ [x]} @ q_t")]]
+void enqueue(q_t* q, void* buf, int64_t value) {
+  q_t* cur = q;
+  [[rc::exists("cp: loc", "cs: {list Z}")]]
+  [[rc::inv_vars("cur: cp @ &own<cs @ q_t>")]]
+  [[rc::inv_vars("q: p @ &own<wand<{own cp : {cs ++ [x]} @ q_t}, {xs ++ [x]} @ q_t>>")]]
+  while (*cur != NULL) {
+    cur = &(*cur)->next;
+  }
+  q_t n = buf;
+  n->value = value;
+  n->next = NULL;
+  *cur = n;
+}
+
+// Dequeue from the head (same shape as the linked list's pop).
+[[rc::parameters("xs: {list Z}", "p: loc")]]
+[[rc::args("p @ &own<xs @ q_t>")]]
+[[rc::requires("{xs != []}")]]
+[[rc::exists("q: loc")]]
+[[rc::returns("{head(xs)} @ int<int64_t>")]]
+[[rc::ensures("own p : {tail(xs)} @ q_t", "own q : uninit<16>")]]
+int64_t dequeue(q_t* q) {
+  q_t n = *q;
+  int64_t v = n->value;
+  *q = n->next;
+  return v;
+}
+
+// Emptiness test: a pure observation on the optional type.
+[[rc::parameters("xs: {list Z}", "p: loc")]]
+[[rc::args("p @ &own<xs @ q_t>")]]
+[[rc::returns("{xs = []} @ bool<int>")]]
+[[rc::ensures("own p : xs @ q_t")]]
+int queue_empty(q_t* q) {
+  return *q == NULL;
+}

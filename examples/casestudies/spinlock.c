@@ -1,0 +1,28 @@
+// Spinlock (Figure 7, class #6).  The lock word is an atomic boolean
+// (Section 6 of the paper): when it is false (unlocked) the invariant
+// owns the lock-protected resource — here the abstract ghost token
+// tok(lockres, 0); acquiring via CAS transfers the token to the caller,
+// releasing stores false and gives it back.  CAS-BOOL (Figure 6) does
+// all the ownership reasoning; no manual Iris proofs appear here.
+
+struct [[rc::refined_by()]] spinlock {
+  [[rc::field("atomicbool<int; ; tok(lockres, 0)>")]] _Atomic int locked;
+};
+
+[[rc::parameters("l: loc")]]
+[[rc::args("l @ &shr<spinlock>")]]
+[[rc::ensures("tok(lockres, 0)")]]
+void spin_lock(struct spinlock* l) {
+  int expected = 0;
+  [[rc::inv_vars("expected: {0} @ int<int>")]]
+  while (!atomic_compare_exchange_strong(&l->locked, &expected, 1)) {
+    expected = 0;
+  }
+}
+
+[[rc::parameters("l: loc")]]
+[[rc::args("l @ &shr<spinlock>")]]
+[[rc::requires("tok(lockres, 0)")]]
+void spin_unlock(struct spinlock* l) {
+  atomic_store(&l->locked, 0);
+}

@@ -1,0 +1,66 @@
+// Thread-safe allocator (Figure 7, class #2).  The allocator state of
+// alloc.c lives in a global variable protected by a spinlock, as
+// described at the end of Section 2.1 of the paper.  The lock's atomic
+// boolean owns the allocator state while the lock is free; CAS-BOOL
+// transfers it to the acquiring thread and the releasing store gives it
+// back.  The state type hides the current number of available bytes
+// behind a type-level existential, so the lock invariant is stable.
+
+struct
+[[rc::refined_by()]]
+[[rc::exists("a: nat")]]
+mem_state {
+  [[rc::field("a @ int<size_t>")]] size_t len;
+  [[rc::field("&own<uninit<a>>")]] unsigned char* buffer;
+};
+
+// Only the lock word is governed by the (shared) global invariant; the
+// protected bytes behind it belong to whoever holds the lock.
+struct [[rc::refined_by()]] ts_lock {
+  [[rc::field("atomicbool<int; ; own POOL + 8 : mem_state>")]] _Atomic int word;
+};
+
+struct ts_alloc {
+  struct ts_lock lock;
+  struct mem_state state;
+};
+
+[[rc::global("ts_lock")]]
+struct ts_alloc POOL;
+
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<size_t>")]]
+[[rc::exists("b: bool")]]
+[[rc::returns("b @ optional<&own<uninit<n>>, null>")]]
+void* ts_allocate(size_t sz) {
+  int expected = 0;
+  [[rc::inv_vars("expected: {0} @ int<int>")]]
+  while (!atomic_compare_exchange_strong(&POOL.lock.word, &expected, 1)) {
+    expected = 0;
+  }
+  // This thread now owns the allocator state at POOL + 8.
+  unsigned char* res = NULL;
+  if (sz <= POOL.state.len) {
+    POOL.state.len -= sz;
+    res = POOL.state.buffer + POOL.state.len;
+  }
+  atomic_store(&POOL.lock.word, 0);
+  return res;
+}
+
+// Return sz bytes at p to the pool (a simplified free: memory handed
+// back becomes the new buffer when the pool is empty).
+[[rc::parameters("n: nat", "q: loc")]]
+[[rc::args("q @ &own<uninit<n>>", "n @ int<size_t>")]]
+void ts_give_back(unsigned char* p, size_t sz) {
+  int expected = 0;
+  [[rc::inv_vars("expected: {0} @ int<int>")]]
+  while (!atomic_compare_exchange_strong(&POOL.lock.word, &expected, 1)) {
+    expected = 0;
+  }
+  if (POOL.state.len == 0) {
+    POOL.state.len = sz;
+    POOL.state.buffer = p;
+  }
+  atomic_store(&POOL.lock.word, 0);
+}

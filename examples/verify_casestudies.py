@@ -1,0 +1,23 @@
+#!/usr/bin/env python3
+"""Verify every case study of the paper's evaluation (Figure 7) and print
+the regenerated table.
+
+Run:  python examples/verify_casestudies.py
+"""
+
+from repro.report import figure7_table, format_table
+
+
+def main() -> None:
+    rows = figure7_table()
+    print(format_table(rows))
+    failed = [r.study for r in rows if not r.verified]
+    print()
+    if failed:
+        print(f"FAILED: {failed}")
+        raise SystemExit(1)
+    print(f"All {len(rows)} case studies verified.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Development driver: hand-built Figure 1 alloc, checked without the C
+front end.  Kept as a debugging aid; the real pipeline goes through
+repro.lang."""
+
+from repro.caesium.layout import IntLayout, PtrLayout, SIZE_T, StructLayout
+from repro.caesium.syntax import (Assign, BinOpE, Block, CondGoto,
+                                  FieldOffset, Function, Goto, NullE,
+                                  Program, Ret, Use, VarAddr)
+from repro.refinedc import (RawFunctionAnnotations, RawStructAnnotations,
+                            SpecContext, TypedProgram, build_function_spec,
+                            check_function, define_struct_type)
+
+SZ = IntLayout(SIZE_T)
+PTR = PtrLayout()
+
+mem_t_layout = StructLayout("mem_t", (("len", SZ), ("buffer", PTR)))
+
+ctx = SpecContext()
+ctx.structs["mem_t"] = mem_t_layout
+define_struct_type(mem_t_layout, RawStructAnnotations(
+    refined_by=["a: nat"],
+    fields={"len": "a @ int<size_t>", "buffer": "&own<uninit<a>>"},
+), ctx)
+
+spec = build_function_spec("alloc", RawFunctionAnnotations(
+    parameters=["a: nat", "n: nat", "p: loc"],
+    args=["p @ &own<a @ mem_t>", "n @ int<size_t>"],
+    returns="{n <= a} @ optional<&own<uninit<n>>, null>",
+    ensures=["own p : {n <= a ? a - n : a} @ mem_t"],
+), ctx)
+
+
+def d():
+    return Use(VarAddr("d"), PTR)
+
+
+def sz():
+    return Use(VarAddr("sz"), SZ)
+
+
+def fld(name, layout):
+    return Use(FieldOffset(d(), mem_t_layout, name), layout)
+
+
+alloc_fn = Function(
+    "alloc",
+    params=[("d", PTR), ("sz", SZ)],
+    ret_layout=PTR,
+    locals=[],
+    blocks={
+        "entry": Block([], CondGoto(BinOpE(">", sz(), fld("len", SZ)),
+                                    "ret_null", "body", line=11)),
+        "ret_null": Block([], Ret(NullE(), line=11)),
+        "body": Block(
+            [Assign(FieldOffset(d(), mem_t_layout, "len"),
+                    BinOpE("-", fld("len", SZ), sz()), SZ, line=12)],
+            Ret(BinOpE("ptr_offset", fld("buffer", PTR), fld("len", SZ)),
+                line=13)),
+    },
+    entry="entry",
+)
+
+program = Program(structs={"mem_t": mem_t_layout},
+                  functions={"alloc": alloc_fn})
+tp = TypedProgram(program=program, ctx=ctx, specs={"alloc": spec})
+
+if __name__ == "__main__":
+    result = check_function(tp, "alloc")
+    print("OK" if result.ok else "FAILED")
+    if not result.ok:
+        print(result.format_error())
+    print("rule applications:", result.stats.rule_applications)
+    print("distinct rules:", len(result.stats.rules_used))
+    print("evars instantiated:", result.stats.evars_instantiated)
+    print("side conditions auto/manual:",
+          result.stats.side_conditions_auto,
+          result.stats.side_conditions_manual)

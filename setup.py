@@ -1,0 +1,6 @@
+"""Shim for environments without the ``wheel`` package (legacy editable
+installs).  All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""RefinedC (PLDI 2021), reproduced in Python.
+
+The public API mirrors the paper's toolchain (Figure 2):
+
+* :func:`repro.verify_source` / :func:`repro.verify_file` — the whole
+  pipeline: annotated C in, verification outcome (with per-function
+  statistics and derivations) out.
+* :mod:`repro.lang` — the front end (C subset + ``[[rc::...]]``
+  annotations → Caesium).
+* :mod:`repro.caesium` — the core language: layouts, byte-level memory
+  with poison/provenance, interpreter, interleaving scheduler with
+  data-race detection.
+* :mod:`repro.lithium` — separation-logic programming: the
+  non-backtracking, goal-directed proof-search engine.
+* :mod:`repro.refinedc` — the refinement/ownership type system and its
+  rule library.
+* :mod:`repro.pure` — refinement terms and the pure side-condition
+  solvers.
+* :mod:`repro.proofs` — the foundational substitute: semantic model,
+  certificate checking, adequacy testing, manual lemma tables.
+* :mod:`repro.report` — the Figure 7 evaluation reporting.
+"""
+
+from .frontend import VerificationOutcome, verify_file, verify_source
+
+__version__ = "0.1.0"
+
+__all__ = ["VerificationOutcome", "verify_file", "verify_source",
+           "__version__"]

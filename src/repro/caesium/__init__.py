@@ -1,0 +1,21 @@
+"""Caesium: the CFG-based core language RefinedC verifies (paper §3).
+
+An executable deep embedding: C-like layouts, a CompCert-style byte-level
+memory model with poison semantics and pointer provenance, an interpreter
+with undefined-behaviour checking, and a randomised thread scheduler with
+dynamic data-race detection.
+"""
+
+from .eval import EvalError, Machine
+from .layout import (ArrayLayout, IntLayout, IntType, Layout, LayoutError,
+                     PtrLayout, StructLayout, INT_TYPES_BY_NAME)
+from .memory import AllocKind, Memory, RaceDetector
+from .values import (NULL, MByte, POISON, Pointer, UndefinedBehavior, VFn,
+                     VInt, VPtr, Value)
+
+__all__ = [
+    "AllocKind", "ArrayLayout", "EvalError", "INT_TYPES_BY_NAME",
+    "IntLayout", "IntType", "Layout", "LayoutError", "MByte", "Machine",
+    "Memory", "NULL", "POISON", "Pointer", "PtrLayout", "RaceDetector",
+    "StructLayout", "UndefinedBehavior", "VFn", "VInt", "VPtr", "Value",
+]

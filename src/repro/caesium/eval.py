@@ -1,0 +1,343 @@
+"""Executable operational semantics for Caesium.
+
+The interpreter is written in a *coroutine* style: every memory access first
+``yield``\\ s a scheduling point, so that the concurrency layer
+(:mod:`repro.caesium.concurrency`) can interleave threads at the granularity
+of individual accesses.  The single-threaded entry point :meth:`Machine.call`
+just drains the generator.
+
+Undefined behaviour — out-of-bounds or misaligned accesses, use of poison,
+signed overflow, division by zero, data races, NULL dereference — raises
+:class:`~repro.caesium.values.UndefinedBehavior`.  A verified RefinedC
+program must never trigger it; the adequacy harness checks exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Iterator, Optional, Sequence
+
+from .layout import (BOOL_T, INT, IntLayout, IntType, Layout, PtrLayout,
+                     StructLayout)
+from .memory import AllocKind, Memory
+from .syntax import (Assign, BinOpE, Block, CallE, CASE, CastE, CondGoto,
+                     Expr, ExprS, FieldOffset, FnPtrE, Function, GlobalAddr,
+                     Goto, IntConst, NullE, Program, Ret, SizeOfE, Stmt,
+                     Switch, Terminator, UnOpE, Use, ValE, VarAddr)
+from .values import (NULL, Pointer, UndefinedBehavior, VFn, VInt, VPtr, Value,
+                     decode_int, decode_ptr, encode_value, value_truthy)
+
+_DEFAULT_FUEL = 1_000_000
+
+
+class EvalError(Exception):
+    """An internal interpreter error (ill-formed program, not UB)."""
+
+
+@dataclass
+class _Frame:
+    func: Function
+    slots: dict[str, Pointer]
+
+
+class Machine:
+    """An executable Caesium machine for one program."""
+
+    def __init__(self, program: Program, memory: Optional[Memory] = None,
+                 fuel: int = _DEFAULT_FUEL) -> None:
+        self.program = program
+        self.memory = memory if memory is not None else Memory()
+        self.fuel = fuel
+        self.globals: dict[str, Pointer] = {}
+        for name, layout in program.globals.items():
+            self.globals[name] = self.memory.allocate(
+                layout.size, AllocKind.GLOBAL)
+
+    # ------------------------------------------------------------
+    def call(self, fname: str, args: Sequence[Value], tid: int = 0) -> Optional[Value]:
+        """Run a function to completion (single-threaded driver)."""
+        gen = self.call_gen(fname, args, tid)
+        try:
+            while True:
+                next(gen)
+        except StopIteration as stop:
+            return stop.value
+
+    def call_gen(self, fname: str, args: Sequence[Value], tid: int = 0,
+                 ) -> Generator[None, None, Optional[Value]]:
+        """Run a function as a coroutine, yielding at each memory access."""
+        func = self.program.functions.get(fname)
+        if func is None:
+            raise EvalError(f"unknown function {fname!r}")
+        if len(args) != len(func.params):
+            raise EvalError(f"{fname}: expected {len(func.params)} args")
+        frame = _Frame(func, {})
+        # Locals are function-scoped allocations (addresses can be taken).
+        for (pname, layout), arg in zip(func.params, args):
+            slot = self.memory.allocate(layout.size, AllocKind.LOCAL)
+            self.memory.store(slot, encode_value(arg), layout.align, tid)
+            frame.slots[pname] = slot
+        for lname, layout in func.locals:
+            frame.slots[lname] = self.memory.allocate(
+                layout.size, AllocKind.LOCAL)
+        try:
+            result = yield from self._run_blocks(frame, tid)
+        finally:
+            for slot in frame.slots.values():
+                if self.memory.is_live(slot):
+                    self.memory.deallocate(slot)
+        return result
+
+    # ------------------------------------------------------------
+    def _run_blocks(self, frame: _Frame, tid: int,
+                    ) -> Generator[None, None, Optional[Value]]:
+        label = frame.func.entry
+        while True:
+            block = frame.func.block(label)
+            for stmt in block.stmts:
+                yield from self._exec_stmt(frame, stmt, tid)
+            term = block.term
+            self.fuel -= 1
+            if self.fuel <= 0:
+                raise EvalError("out of fuel (possible non-termination)")
+            if isinstance(term, Goto):
+                label = term.target
+            elif isinstance(term, CondGoto):
+                v = yield from self._eval(frame, term.cond, tid)
+                label = term.then_target if value_truthy(v) else term.else_target
+            elif isinstance(term, Switch):
+                v = yield from self._eval(frame, term.scrutinee, tid)
+                if not isinstance(v, VInt):
+                    raise UndefinedBehavior("switch on non-integer")
+                label = term.default
+                for case_val, case_label in term.cases:
+                    if case_val == v.value:
+                        label = case_label
+                        break
+            elif isinstance(term, Ret):
+                if term.value is None:
+                    return None
+                return (yield from self._eval(frame, term.value, tid))
+            else:
+                raise EvalError(f"unknown terminator {term!r}")
+
+    def _exec_stmt(self, frame: _Frame, stmt: Stmt, tid: int,
+                   ) -> Generator[None, None, None]:
+        if isinstance(stmt, Assign):
+            loc = yield from self._eval_loc(frame, stmt.lhs, tid)
+            val = yield from self._eval(frame, stmt.rhs, tid)
+            yield
+            self.memory.store(loc, encode_value(val), stmt.layout.align, tid,
+                              atomic=stmt.atomic)
+            return
+        if isinstance(stmt, ExprS):
+            yield from self._eval(frame, stmt.e, tid)
+            return
+        raise EvalError(f"unknown statement {stmt!r}")
+
+    # ------------------------------------------------------------
+    def _eval_loc(self, frame: _Frame, e: Expr, tid: int,
+                  ) -> Generator[None, None, Pointer]:
+        v = yield from self._eval(frame, e, tid)
+        if not isinstance(v, VPtr):
+            raise UndefinedBehavior(f"expected a location, got {v!r}")
+        return v.ptr
+
+    def _eval(self, frame: _Frame, e: Expr, tid: int,
+              ) -> Generator[None, None, Value]:
+        if isinstance(e, ValE):
+            return e.value
+        if isinstance(e, IntConst):
+            if not e.int_type.in_range(e.n):
+                raise UndefinedBehavior(
+                    f"constant {e.n} out of range for {e.int_type.name}")
+            return VInt(e.n, e.int_type)
+        if isinstance(e, NullE):
+            return VPtr(NULL)
+        if isinstance(e, SizeOfE):
+            return VInt(e.layout.size, e.int_type)
+        if isinstance(e, VarAddr):
+            slot = frame.slots.get(e.name)
+            if slot is None:
+                raise EvalError(f"unknown variable {e.name!r}")
+            return VPtr(slot)
+        if isinstance(e, GlobalAddr):
+            g = self.globals.get(e.name)
+            if g is None:
+                raise EvalError(f"unknown global {e.name!r}")
+            return VPtr(g)
+        if isinstance(e, FnPtrE):
+            if e.name not in self.program.functions:
+                raise EvalError(f"unknown function {e.name!r}")
+            return VFn(e.name)
+        if isinstance(e, Use):
+            loc = yield from self._eval_loc(frame, e.e, tid)
+            yield
+            return self._load_typed(loc, e.layout, tid, e.atomic)
+        if isinstance(e, FieldOffset):
+            loc = yield from self._eval_loc(frame, e.e, tid)
+            if loc.is_null:
+                raise UndefinedBehavior("field access through NULL")
+            return VPtr(loc + e.struct.offset_of(e.fld))
+        if isinstance(e, CastE):
+            v = yield from self._eval(frame, e.e, tid)
+            if not isinstance(v, VInt):
+                raise UndefinedBehavior(f"integer cast of non-integer {v!r}")
+            return VInt(e.to.wrap(v.value), e.to)
+        if isinstance(e, UnOpE):
+            v = yield from self._eval(frame, e.e, tid)
+            return self._unop(e.op, v)
+        if isinstance(e, BinOpE):
+            v1 = yield from self._eval(frame, e.e1, tid)
+            v2 = yield from self._eval(frame, e.e2, tid)
+            return self._binop(e.op, v1, v2)
+        if isinstance(e, CallE):
+            fv = yield from self._eval(frame, e.fn, tid)
+            argv = []
+            for a in e.args:
+                argv.append((yield from self._eval(frame, a, tid)))
+            if not isinstance(fv, VFn):
+                raise UndefinedBehavior(f"call of non-function {fv!r}")
+            result = yield from self.call_gen(fv.name, argv, tid)
+            if result is None:
+                # void call in expression position: produce a dummy value;
+                # the front end only allows this under ExprS.
+                return VInt(0, INT)
+            return result
+        if isinstance(e, CASE):
+            atom = yield from self._eval_loc(frame, e.atom, tid)
+            expected = yield from self._eval_loc(frame, e.expected, tid)
+            desired = yield from self._eval(frame, e.desired, tid)
+            yield
+            exp_bytes = self.memory.load(expected, e.layout.size,
+                                         e.layout.align, tid)
+            if any(not isinstance(b, int) for b in exp_bytes):
+                raise UndefinedBehavior("CAS expected operand is poison")
+            success, old = self.memory.compare_exchange(
+                atom, exp_bytes, encode_value(desired), e.layout.align, tid)
+            if not success:
+                self.memory.store(expected, old, e.layout.align, tid)
+            return VInt(1 if success else 0, BOOL_T)
+        raise EvalError(f"unknown expression {e!r}")
+
+    # ------------------------------------------------------------
+    def _load_typed(self, loc: Pointer, layout: Layout, tid: int,
+                    atomic: bool) -> Value:
+        data = self.memory.load(loc, layout.size, layout.align, tid,
+                                atomic=atomic)
+        if isinstance(layout, IntLayout):
+            v = decode_int(data, layout.int_type)
+            if v is None:
+                raise UndefinedBehavior(
+                    f"load of poison at {loc!r} (type {layout.int_type.name})")
+            return v
+        if isinstance(layout, PtrLayout):
+            v = decode_ptr(data)
+            if v is None:
+                raise UndefinedBehavior(f"load of poison pointer at {loc!r}")
+            return v
+        raise EvalError(f"cannot load composite layout {layout!r}")
+
+    @staticmethod
+    def _unop(op: str, v: Value) -> Value:
+        if op == "!":
+            return VInt(0 if value_truthy(v) else 1, INT)
+        if not isinstance(v, VInt):
+            raise UndefinedBehavior(f"unary {op} on non-integer {v!r}")
+        if op == "-":
+            return _arith_result(-v.value, v.int_type)
+        if op == "~":
+            return _arith_result(~v.value, v.int_type)
+        raise EvalError(f"unknown unary op {op!r}")
+
+    @staticmethod
+    def _binop(op: str, v1: Value, v2: Value) -> Value:
+        if op == "ptr_offset":
+            if not isinstance(v1, VPtr) or not isinstance(v2, VInt):
+                raise UndefinedBehavior(f"bad pointer arithmetic {v1!r} {op} {v2!r}")
+            if v1.ptr.is_null and v2.value != 0:
+                raise UndefinedBehavior("arithmetic on NULL pointer")
+            return VPtr(v1.ptr + v2.value)
+        if isinstance(v1, (VPtr, VFn)) or isinstance(v2, (VPtr, VFn)):
+            return _ptr_compare(op, v1, v2)
+        assert isinstance(v1, VInt) and isinstance(v2, VInt)
+        if v1.int_type != v2.int_type:
+            raise EvalError(
+                f"operand type mismatch {v1.int_type} vs {v2.int_type} "
+                "(front end must insert promotions)")
+        a, b, ty = v1.value, v2.value, v1.int_type
+        if op == "+":
+            return _arith_result(a + b, ty)
+        if op == "-":
+            return _arith_result(a - b, ty)
+        if op == "*":
+            return _arith_result(a * b, ty)
+        if op in ("/", "%"):
+            if b == 0:
+                raise UndefinedBehavior("division by zero")
+            q = abs(a) // abs(b)
+            if (a >= 0) != (b > 0):
+                q = -q
+            if ty.signed and not ty.in_range(q):
+                raise UndefinedBehavior("signed division overflow")
+            r = a - b * q
+            return VInt(q if op == "/" else r, ty)
+        if op in ("&", "|", "^", "<<", ">>"):
+            return _bitwise(op, a, b, ty)
+        cmp = {"==": a == b, "!=": a != b, "<": a < b,
+               "<=": a <= b, ">": a > b, ">=": a >= b}.get(op)
+        if cmp is None:
+            raise EvalError(f"unknown binary op {op!r}")
+        return VInt(1 if cmp else 0, INT)
+
+
+def _arith_result(n: int, ty: IntType) -> VInt:
+    if ty.signed:
+        if not ty.in_range(n):
+            raise UndefinedBehavior(f"signed overflow: {n} at {ty.name}")
+        return VInt(n, ty)
+    return VInt(ty.wrap(n), ty)
+
+
+def _bitwise(op: str, a: int, b: int, ty: IntType) -> VInt:
+    if op in ("<<", ">>") and not (0 <= b < ty.bits):
+        raise UndefinedBehavior(f"shift amount {b} out of range")
+    mask = (1 << ty.bits) - 1
+    au = a & mask
+    bu = b & mask
+    if op == "&":
+        r = au & bu
+    elif op == "|":
+        r = au | bu
+    elif op == "^":
+        r = au ^ bu
+    elif op == "<<":
+        r = (au << b) & mask
+    else:
+        r = au >> b  # logical shift on the masked representation
+    return VInt(ty.wrap(r), ty)
+
+
+def _ptr_compare(op: str, v1: Value, v2: Value) -> VInt:
+    def key(v: Value):
+        if isinstance(v, VPtr):
+            return ("p", v.ptr.alloc_id, v.ptr.offset)
+        if isinstance(v, VFn):
+            return ("f", v.name, 0)
+        if isinstance(v, VInt) and v.value == 0:
+            return ("p", 0, 0)  # integer constant 0 compares as NULL
+        raise UndefinedBehavior(f"pointer comparison with {v!r}")
+
+    k1, k2 = key(v1), key(v2)
+    if op == "==":
+        return VInt(1 if k1 == k2 else 0, INT)
+    if op == "!=":
+        return VInt(1 if k1 != k2 else 0, INT)
+    if op in ("<", "<=", ">", ">="):
+        # Relational comparison is only defined within one allocation.
+        if k1[0] != "p" or k2[0] != "p" or k1[1] != k2[1]:
+            raise UndefinedBehavior("relational comparison of unrelated pointers")
+        a, b = k1[2], k2[2]
+        res = {"<": a < b, "<=": a <= b, ">": a > b, ">=": a >= b}[op]
+        return VInt(1 if res else 0, INT)
+    raise EvalError(f"unknown pointer op {op!r}")

@@ -1,0 +1,213 @@
+"""Memory layouts for Caesium (§3 of the paper).
+
+Caesium's memory model is "roughly based on that of CompCert": typed data is
+stored as sequences of bytes, and C types determine *layouts* — size and
+alignment information plus field offsets for structs.  The C type only
+specifies the physical layout (§2.1); all correctness invariants live in the
+RefinedC types.
+
+We model the common LP64 data model (the one used by the paper's case
+studies): 8-byte pointers and ``size_t``, natural alignment for integers,
+struct fields aligned to their natural alignment with tail padding to the
+struct's alignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Optional, Sequence
+
+PTR_SIZE = 8
+PTR_ALIGN = 8
+
+
+class LayoutError(Exception):
+    """Raised for malformed layouts (e.g. unknown field names)."""
+
+
+@dataclass(frozen=True)
+class IntType:
+    """A fixed-size C integer type."""
+
+    name: str
+    size: int         # in bytes
+    signed: bool
+
+    @property
+    def bits(self) -> int:
+        return self.size * 8
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.bits - 1)) if self.signed else 0
+
+    @property
+    def max_value(self) -> int:
+        return (1 << (self.bits - 1)) - 1 if self.signed else (1 << self.bits) - 1
+
+    def in_range(self, n: int) -> bool:
+        return self.min_value <= n <= self.max_value
+
+    def wrap(self, n: int) -> int:
+        """Wrap ``n`` into this type's range (defined for unsigned types;
+        signed wrap-around is UB and handled by the interpreter)."""
+        n &= (1 << self.bits) - 1
+        if self.signed and n > self.max_value:
+            n -= 1 << self.bits
+        return n
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+I8 = IntType("int8_t", 1, True)
+U8 = IntType("uint8_t", 1, False)
+I16 = IntType("int16_t", 2, True)
+U16 = IntType("uint16_t", 2, False)
+I32 = IntType("int32_t", 4, True)
+U32 = IntType("uint32_t", 4, False)
+I64 = IntType("int64_t", 8, True)
+U64 = IntType("uint64_t", 8, False)
+
+SIZE_T = IntType("size_t", 8, False)
+UINTPTR_T = IntType("uintptr_t", 8, False)
+INT = IntType("int", 4, True)
+UINT = IntType("unsigned int", 4, False)
+LONG = IntType("long", 8, True)
+ULONG = IntType("unsigned long", 8, False)
+CHAR = IntType("char", 1, True)
+UCHAR = IntType("unsigned char", 1, False)
+SCHAR = IntType("signed char", 1, True)
+BOOL_T = IntType("_Bool", 1, False)
+SHORT = IntType("short", 2, True)
+USHORT = IntType("unsigned short", 2, False)
+
+INT_TYPES_BY_NAME: dict[str, IntType] = {
+    t.name: t
+    for t in (I8, U8, I16, U16, I32, U32, I64, U64, SIZE_T, UINTPTR_T, INT,
+              UINT, LONG, ULONG, CHAR, UCHAR, SCHAR, BOOL_T, SHORT, USHORT)
+}
+
+
+@dataclass(frozen=True)
+class Layout:
+    """Base class of layouts."""
+
+    @property
+    def size(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def align(self) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class IntLayout(Layout):
+    int_type: IntType
+
+    @property
+    def size(self) -> int:
+        return self.int_type.size
+
+    @property
+    def align(self) -> int:
+        return self.int_type.size
+
+    def __repr__(self) -> str:
+        return f"IntLayout({self.int_type.name})"
+
+
+@dataclass(frozen=True)
+class PtrLayout(Layout):
+    """A pointer layout.  The pointee layout is metadata used by the front
+    end for arithmetic scaling; it does not affect size/alignment."""
+
+    pointee_name: str = "void"
+
+    @property
+    def size(self) -> int:
+        return PTR_SIZE
+
+    @property
+    def align(self) -> int:
+        return PTR_ALIGN
+
+    def __repr__(self) -> str:
+        return f"PtrLayout({self.pointee_name})"
+
+
+def _align_up(n: int, align: int) -> int:
+    return (n + align - 1) // align * align
+
+
+@dataclass(frozen=True)
+class StructLayout(Layout):
+    """A struct layout with naturally aligned fields and tail padding."""
+
+    name: str
+    fields: tuple[tuple[str, Layout], ...]
+    is_union: bool = False
+
+    @cached_property
+    def offsets(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        off = 0
+        for fname, flayout in self.fields:
+            if self.is_union:
+                out[fname] = 0
+            else:
+                off = _align_up(off, flayout.align)
+                out[fname] = off
+                off += flayout.size
+        return out
+
+    @property
+    def align(self) -> int:
+        if not self.fields:
+            return 1
+        return max(f.align for _, f in self.fields)
+
+    @property
+    def size(self) -> int:
+        if not self.fields:
+            return 0
+        if self.is_union:
+            raw = max(f.size for _, f in self.fields)
+        else:
+            last_name, last_layout = self.fields[-1]
+            raw = self.offsets[last_name] + last_layout.size
+        return _align_up(raw, self.align)
+
+    def field_layout(self, fname: str) -> Layout:
+        for name, layout in self.fields:
+            if name == fname:
+                return layout
+        raise LayoutError(f"struct {self.name} has no field {fname!r}")
+
+    def offset_of(self, fname: str) -> int:
+        if fname not in self.offsets:
+            raise LayoutError(f"struct {self.name} has no field {fname!r}")
+        return self.offsets[fname]
+
+    def __repr__(self) -> str:
+        kind = "union" if self.is_union else "struct"
+        return f"{kind} {self.name}"
+
+
+@dataclass(frozen=True)
+class ArrayLayout(Layout):
+    elem: Layout
+    count: int
+
+    @property
+    def size(self) -> int:
+        return self.elem.size * self.count
+
+    @property
+    def align(self) -> int:
+        return self.elem.align
+
+    def __repr__(self) -> str:
+        return f"ArrayLayout({self.elem!r}, {self.count})"

@@ -1,0 +1,248 @@
+"""Abstract syntax of Caesium, the CFG-based core language (§3).
+
+The RefinedC front end elaborates annotated C into this language.  Programs
+are sets of functions; a function body is a control-flow graph of *blocks*,
+each a list of statements ended by a terminator (``goto``/conditional
+goto/``switch``/``return``).  All local variables are function-scoped memory
+slots (their address can be taken), and expression evaluation order is fixed
+left-to-right — both as documented for Caesium in the paper.
+
+Loop invariants (``rc::inv_vars``/``rc::exists``/``rc::constraints``) attach
+to the CFG block that is the loop head; the checker consumes them, the
+interpreter ignores them (RefinedC specs "do not influence the program's
+compilation or its runtime behavior", §2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from .layout import IntType, Layout, StructLayout
+from .values import Value
+
+
+# ---------------------------------------------------------------------
+# Expressions.
+# ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Expr:
+    pass
+
+
+@dataclass(frozen=True)
+class ValE(Expr):
+    """A literal value."""
+
+    value: Value
+
+
+@dataclass(frozen=True)
+class IntConst(Expr):
+    n: int
+    int_type: IntType
+
+
+@dataclass(frozen=True)
+class NullE(Expr):
+    pass
+
+
+@dataclass(frozen=True)
+class SizeOfE(Expr):
+    layout: Layout
+    int_type: IntType
+
+
+@dataclass(frozen=True)
+class VarAddr(Expr):
+    """The address of a local variable / parameter slot."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class GlobalAddr(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class FnPtrE(Expr):
+    """A first-class function pointer."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Use(Expr):
+    """Load a value of the given layout from the location ``e``."""
+
+    e: Expr
+    layout: Layout
+    atomic: bool = False
+
+
+@dataclass(frozen=True)
+class FieldOffset(Expr):
+    """``&(e->field)``: offset a struct pointer to one of its fields."""
+
+    e: Expr
+    struct: StructLayout
+    fld: str
+
+
+@dataclass(frozen=True)
+class BinOpE(Expr):
+    """A binary operation.
+
+    ``op`` is one of ``+ - * / % == != < <= > >=`` on integers of equal
+    type (the front end inserts promotions), ``ptr_offset`` (pointer + byte
+    offset; the front end scales indices by ``sizeof``), or pointer
+    comparisons ``== != < <=``.
+    """
+
+    op: str
+    e1: Expr
+    e2: Expr
+
+
+@dataclass(frozen=True)
+class UnOpE(Expr):
+    """``-``, ``!`` or ``~``."""
+
+    op: str
+    e: Expr
+
+
+@dataclass(frozen=True)
+class CastE(Expr):
+    """Integer conversion (pointer-to-pointer casts are dropped by the
+    front end; integer-pointer casts are unsupported, as in Caesium)."""
+
+    e: Expr
+    to: IntType
+
+
+@dataclass(frozen=True)
+class CallE(Expr):
+    """A function call; ``fn`` may be any expression of function-pointer
+    type (function pointers are first class)."""
+
+    fn: Expr
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class CASE(Expr):
+    """``atomic_compare_exchange_strong``: CAS(l_atom, l_exp, v_des) (§6).
+
+    ``atom`` and ``expected`` evaluate to locations; ``desired`` to a value.
+    On failure the value read is stored to ``expected``.  Returns a boolean
+    (``int``) value.  Sequentially consistent.
+    """
+
+    atom: Expr
+    expected: Expr
+    desired: Expr
+    layout: Layout
+
+
+# ---------------------------------------------------------------------
+# Statements and terminators.
+# ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Stmt:
+    pass
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """Store the value of ``rhs`` (of layout ``layout``) to location ``lhs``."""
+
+    lhs: Expr
+    rhs: Expr
+    layout: Layout
+    atomic: bool = False
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ExprS(Stmt):
+    """Evaluate an expression for its side effects (e.g. a call)."""
+
+    e: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Terminator:
+    pass
+
+
+@dataclass(frozen=True)
+class Goto(Terminator):
+    target: str
+
+
+@dataclass(frozen=True)
+class CondGoto(Terminator):
+    cond: Expr
+    then_target: str
+    else_target: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Switch(Terminator):
+    """Unstructured switch (supports Duff's-device-style code)."""
+
+    scrutinee: Expr
+    cases: tuple[tuple[int, str], ...]
+    default: str
+
+
+@dataclass(frozen=True)
+class Ret(Terminator):
+    value: Optional[Expr]  # None for void returns
+    line: int = 0
+
+
+@dataclass
+class LoopAnnotation:
+    """Loop-invariant annotations parsed from ``rc::exists``,
+    ``rc::inv_vars``, and ``rc::constraints`` (§2.2)."""
+
+    exists: list[tuple[str, str]] = field(default_factory=list)       # (name, sort text)
+    inv_vars: list[tuple[str, str]] = field(default_factory=list)     # (var, type text)
+    constraints: list[str] = field(default_factory=list)
+
+
+@dataclass
+class Block:
+    stmts: list[Stmt]
+    term: Terminator
+    annot: Optional[LoopAnnotation] = None
+
+
+@dataclass
+class Function:
+    name: str
+    params: list[tuple[str, Layout]]
+    ret_layout: Optional[Layout]           # None = void
+    locals: list[tuple[str, Layout]]
+    blocks: dict[str, Block]
+    entry: str
+
+    def block(self, label: str) -> Block:
+        if label not in self.blocks:
+            raise KeyError(f"function {self.name} has no block {label!r}")
+        return self.blocks[label]
+
+
+@dataclass
+class Program:
+    structs: dict[str, StructLayout] = field(default_factory=dict)
+    functions: dict[str, Function] = field(default_factory=dict)
+    globals: dict[str, Layout] = field(default_factory=dict)

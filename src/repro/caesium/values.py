@@ -1,0 +1,204 @@
+"""Runtime values and representation bytes for Caesium.
+
+Caesium uses a low-level, byte-based memory model with *poison* semantics for
+uninitialised data (§3, citing the LLVM poison work [59]): every byte in
+memory is either
+
+* a concrete byte ``0..255``,
+* a *pointer fragment* (byte ``i`` of a pointer value — pointers carry
+  provenance, so their bytes are not plain integers), or
+* **poison** (uninitialised).
+
+Reading poison at an integer/pointer type and then *using* the value is
+undefined behaviour; Caesium supports "access to representation bytes"
+(copying poison around as ``unsigned char`` is fine — using it in arithmetic
+is not).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from .layout import IntType, Layout, PtrLayout, PTR_SIZE
+
+
+class UndefinedBehavior(Exception):
+    """Raised by the Caesium interpreter on any source of UB."""
+
+
+@dataclass(frozen=True)
+class Pointer:
+    """A pointer value: allocation id + byte offset (CompCert-style).
+
+    ``alloc_id`` is the provenance; out-of-bounds access and access to dead
+    allocations are UB.  The null pointer is ``Pointer(0, 0)``.
+    """
+
+    alloc_id: int
+    offset: int
+
+    @property
+    def is_null(self) -> bool:
+        return self.alloc_id == 0 and self.offset == 0
+
+    def __add__(self, n: int) -> "Pointer":
+        return Pointer(self.alloc_id, self.offset + n)
+
+    def __repr__(self) -> str:
+        if self.is_null:
+            return "NULL"
+        return f"&a{self.alloc_id}+{self.offset}"
+
+
+NULL = Pointer(0, 0)
+
+
+@dataclass(frozen=True)
+class VInt:
+    """An integer value with its C type."""
+
+    value: int
+    int_type: IntType
+
+    def __post_init__(self) -> None:
+        if not self.int_type.in_range(self.value):
+            raise UndefinedBehavior(
+                f"integer {self.value} out of range for {self.int_type.name}")
+
+    def __repr__(self) -> str:
+        return f"{self.value}:{self.int_type.name}"
+
+
+@dataclass(frozen=True)
+class VPtr:
+    """A pointer value (optionally with the pointee layout as metadata)."""
+
+    ptr: Pointer
+
+    def __repr__(self) -> str:
+        return repr(self.ptr)
+
+
+@dataclass(frozen=True)
+class VFn:
+    """A first-class function pointer (function designator by name)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"&fn:{self.name}"
+
+
+Value = Union[VInt, VPtr, VFn]
+
+
+# ---------------------------------------------------------------------
+# Representation bytes.
+# ---------------------------------------------------------------------
+
+class _PoisonType:
+    """Singleton class for the poison byte."""
+
+    _instance: Optional["_PoisonType"] = None
+
+    def __new__(cls) -> "_PoisonType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "poison"
+
+
+POISON = _PoisonType()
+
+
+@dataclass(frozen=True)
+class PtrFrag:
+    """Byte ``index`` of the representation of pointer ``ptr``."""
+
+    ptr: Pointer
+    index: int
+
+    def __repr__(self) -> str:
+        return f"ptrfrag({self.ptr!r},{self.index})"
+
+
+@dataclass(frozen=True)
+class FnFrag:
+    """Byte ``index`` of the representation of function pointer ``name``."""
+
+    name: str
+    index: int
+
+
+MByte = Union[int, _PoisonType, PtrFrag, FnFrag]
+
+
+def encode_int(value: int, int_type: IntType) -> list[MByte]:
+    """Little-endian two's-complement encoding."""
+    if not int_type.in_range(value):
+        raise UndefinedBehavior(
+            f"cannot encode {value} at type {int_type.name}")
+    raw = value & ((1 << int_type.bits) - 1)
+    return [(raw >> (8 * i)) & 0xFF for i in range(int_type.size)]
+
+
+def decode_int(data: Sequence[MByte], int_type: IntType) -> Optional[VInt]:
+    """Decode bytes at an integer type; ``None`` means the result is poison
+    (uninitialised or pointer bytes — Caesium has no integer-pointer casts)."""
+    if len(data) != int_type.size:
+        raise ValueError("decode_int: wrong number of bytes")
+    if any(not isinstance(b, int) for b in data):
+        return None
+    raw = 0
+    for i, b in enumerate(data):
+        raw |= b << (8 * i)
+    return VInt(int_type.wrap(raw), int_type)
+
+
+def encode_ptr(ptr: Pointer) -> list[MByte]:
+    if ptr.is_null:
+        return [0] * PTR_SIZE
+    return [PtrFrag(ptr, i) for i in range(PTR_SIZE)]
+
+
+def decode_ptr(data: Sequence[MByte]) -> Optional[Union[VPtr, VFn]]:
+    """Decode bytes at pointer type; ``None`` = poison result."""
+    if len(data) != PTR_SIZE:
+        raise ValueError("decode_ptr: wrong number of bytes")
+    if all(isinstance(b, int) and b == 0 for b in data):
+        return VPtr(NULL)
+    first = data[0]
+    if isinstance(first, PtrFrag):
+        ok = all(isinstance(b, PtrFrag) and b.ptr == first.ptr and b.index == i
+                 for i, b in enumerate(data))
+        return VPtr(first.ptr) if ok else None
+    if isinstance(first, FnFrag):
+        ok = all(isinstance(b, FnFrag) and b.name == first.name and b.index == i
+                 for i, b in enumerate(data))
+        return VFn(first.name) if ok else None
+    return None
+
+
+def encode_value(v: Value, int_type_hint: Optional[IntType] = None) -> list[MByte]:
+    if isinstance(v, VInt):
+        return encode_int(v.value, v.int_type)
+    if isinstance(v, VPtr):
+        return encode_ptr(v.ptr)
+    if isinstance(v, VFn):
+        return [FnFrag(v.name, i) for i in range(PTR_SIZE)]
+    raise TypeError(f"not a value: {v!r}")
+
+
+def value_truthy(v: Value) -> bool:
+    """C truthiness of a value (if conditions, ``!``, ``&&``)."""
+    if isinstance(v, VInt):
+        return v.value != 0
+    if isinstance(v, VPtr):
+        return not v.ptr.is_null
+    if isinstance(v, VFn):
+        return True
+    raise TypeError(f"not a value: {v!r}")

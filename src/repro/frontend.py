@@ -1,0 +1,66 @@
+"""The RefinedC toolchain entry point (Figure 2).
+
+``verify_source``/``verify_file`` run the whole pipeline: (A) the front end
+parses the annotated C and elaborates it to Caesium + specifications, (B)
+Lithium executes the typing rules, (C) pure side conditions are discharged
+by the default solver, the ``rc::tactics`` solvers, and the ``rc::lemmas``
+manual facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from .lang.elaborate import elaborate_source
+from .proofs.manual import LEMMAS_BY_STUDY
+from .pure.solver import Lemma
+from .refinedc.checker import ProgramResult, TypedProgram, check_program
+
+
+@dataclass
+class VerificationOutcome:
+    """Everything the toolchain produces for one translation unit."""
+
+    typed_program: TypedProgram
+    result: ProgramResult
+    study: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.result.ok
+
+    def report(self) -> str:
+        lines = []
+        for name, fr in self.result.functions.items():
+            status = "verified" if fr.ok else "FAILED"
+            lines.append(f"{name}: {status} "
+                         f"({fr.stats.rule_applications} rule applications, "
+                         f"{fr.stats.side_conditions_auto} side conditions "
+                         f"auto, {fr.stats.side_conditions_manual} manual)")
+            if not fr.ok:
+                lines.append(fr.format_error())
+        return "\n".join(lines)
+
+
+def verify_source(source: str,
+                  lemmas: Optional[dict[str, Lemma]] = None,
+                  study: str = "") -> VerificationOutcome:
+    """Verify annotated C source text."""
+    tp = elaborate_source(source, lemmas)
+    result = check_program(tp)
+    return VerificationOutcome(tp, result, study)
+
+
+def verify_file(path: Union[str, Path],
+                lemmas: Optional[dict[str, Lemma]] = None
+                ) -> VerificationOutcome:
+    """Verify an annotated C file.  Manual lemma tables registered for the
+    file's stem (see :mod:`repro.proofs.manual`) are picked up
+    automatically — the analogue of the companion Coq proof files."""
+    path = Path(path)
+    study = path.stem
+    if lemmas is None:
+        lemmas = LEMMAS_BY_STUDY.get(study)
+    return verify_source(path.read_text(), lemmas, study)

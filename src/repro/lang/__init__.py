@@ -1,0 +1,9 @@
+"""The RefinedC front end (Figure 2, step (A)): lexing/parsing annotated C
+and elaborating it into Caesium + RefinedC specifications."""
+
+from .elaborate import ElaborationError, UnitElaborator, elaborate_source
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError, Parser, parse
+
+__all__ = ["ElaborationError", "LexError", "ParseError", "Parser", "Token",
+           "UnitElaborator", "elaborate_source", "parse", "tokenize"]

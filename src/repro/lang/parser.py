@@ -1,0 +1,625 @@
+"""Recursive-descent parser for the annotated C subset (front end step (A)
+of Figure 2, playing the role of Cerberus's C parser).
+
+Supported forms (everything the case studies of §7 need):
+
+* ``struct``/``union`` definitions with ``[[rc::...]]`` attributes on the
+  struct and ``[[rc::field(...)]]`` on each field, including the
+  ``typedef struct [[...]] name {...} alias;`` and ``...}* alias;``
+  (pointer-typedef) forms of Figures 1 and 3;
+* function definitions/declarations with attribute specs;
+* ``typedef <ret> (*<name>)(<params>);`` function-pointer typedefs;
+* statements: declarations with initialisers, (compound) assignment,
+  ``if``/``else``, ``while`` (with loop-invariant attributes), ``for``
+  (desugared to ``while``), ``return``, ``break``, ``continue``, calls;
+* expressions: the usual C operators, ``->``/``.``/``[]``, casts,
+  ``sizeof``, ``NULL``, address-of and dereference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..caesium.layout import INT_TYPES_BY_NAME, IntType
+from .cst import (AttrSet, Binary, BoolLit, Call, CastExpr, CFnPtr, CInt,
+                  CPtr, CStruct, CType, CVoid, Expr, FuncDef, GlobalDecl,
+                  Ident, Index, LoopAnnots, Member, NullLit, Num, SAssign,
+                  SBreak, SContinue, SDecl, SExpr, SIf, SizeofType, SReturn,
+                  StructDecl, SWhile, Stmt, TranslationUnit, Unary)
+from .lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    pass
+
+
+_INT_KEYWORDS = {
+    "size_t": "size_t", "uintptr_t": "uintptr_t",
+    "uint8_t": "uint8_t", "uint16_t": "uint16_t", "uint32_t": "uint32_t",
+    "uint64_t": "uint64_t", "int8_t": "int8_t", "int16_t": "int16_t",
+    "int32_t": "int32_t", "int64_t": "int64_t", "_Bool": "_Bool",
+    "bool": "_Bool",
+}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        # typedef name -> CType
+        self.typedefs: dict[str, CType] = {}
+        self.struct_names: set[str] = set()
+
+    # ------------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def expect(self, text: str) -> Token:
+        tok = self.next()
+        if tok.text != text:
+            raise ParseError(
+                f"line {tok.line}: expected {text!r}, got {tok.text!r}")
+        return tok
+
+    def at(self, text: str) -> bool:
+        return self.peek().text == text
+
+    def accept(self, text: str) -> bool:
+        if self.at(text):
+            self.next()
+            return True
+        return False
+
+    def error(self, msg: str) -> None:
+        raise ParseError(f"line {self.peek().line}: {msg}")
+
+    # ------------------------------------------------------------
+    # Top level.
+    # ------------------------------------------------------------
+    def parse_unit(self) -> TranslationUnit:
+        unit = TranslationUnit()
+        while self.peek().kind != "eof":
+            attrs = self._collect_attrs()
+            if self.at("typedef"):
+                self._parse_typedef(unit, attrs)
+            elif self.at("struct") or self.at("union"):
+                self._parse_struct_or_decl(unit, attrs)
+            else:
+                self._parse_function_or_global(unit, attrs)
+        return unit
+
+    def _collect_attrs(self) -> AttrSet:
+        attrs = AttrSet()
+        while self.peek().kind == "attr":
+            tok = self.next()
+            attrs.items.append((tok.attr_name, tok.attr_args))
+        return attrs
+
+    # ------------------------------------------------------------
+    def _parse_typedef(self, unit: TranslationUnit, attrs: AttrSet) -> None:
+        self.expect("typedef")
+        if self.at("struct") or self.at("union"):
+            decl = self._parse_struct_body(attrs)
+            stars = 0
+            while self.accept("*"):
+                stars += 1
+            alias = self.next()
+            if alias.kind != "ident":
+                self.error("expected typedef alias name")
+            self.expect(";")
+            if stars == 0:
+                decl.typedef_alias = alias.text
+                self.typedefs[alias.text] = CStruct(decl.name, decl.is_union)
+            elif stars == 1:
+                decl.typedef_ptr_alias = alias.text
+                self.typedefs[alias.text] = CPtr(
+                    CStruct(decl.name, decl.is_union))
+            else:
+                self.error("multi-level pointer typedefs are unsupported")
+            unit.structs.append(decl)
+            return
+        # typedef <ret> (*<name>)(<params>);  — function pointer typedef
+        ret = self._parse_type()
+        if self.accept("("):
+            self.expect("*")
+            name = self.next()
+            if name.kind != "ident":
+                self.error("expected function-pointer typedef name")
+            self.expect(")")
+            self.expect("(")
+            params: list[CType] = []
+            if not self.at(")"):
+                while True:
+                    ptype = self._parse_type()
+                    if self.peek().kind == "ident":
+                        self.next()  # optional parameter name
+                    params.append(ptype)
+                    if not self.accept(","):
+                        break
+            self.expect(")")
+            self.expect(";")
+            self.typedefs[name.text] = CFnPtr(name.text, ret, tuple(params))
+            return
+        # plain typedef <type> <name>;
+        name = self.next()
+        if name.kind != "ident":
+            self.error("expected typedef name")
+        self.expect(";")
+        self.typedefs[name.text] = ret
+
+    def _parse_struct_or_decl(self, unit: TranslationUnit,
+                              attrs: AttrSet) -> None:
+        # Either a struct definition or a global of struct type.
+        save = self.pos
+        kw = self.next().text
+        name_tok = self.peek()
+        if name_tok.kind in ("ident", "attr") and \
+                (self.peek(1).text == "{" or name_tok.kind == "attr"
+                 or self.peek().text == "{"):
+            self.pos = save
+            decl = self._parse_struct_body(attrs)
+            if self.peek().kind == "ident":
+                # struct definition + global variable in one declaration
+                gname = self.next().text
+                self.expect(";")
+                unit.structs.append(decl)
+                unit.globals.append(GlobalDecl(gname, CStruct(decl.name),
+                                               attrs, line=decl.line))
+                return
+            self.expect(";")
+            unit.structs.append(decl)
+            return
+        self.pos = save
+        self._parse_function_or_global(unit, attrs)
+
+    def _parse_struct_body(self, attrs: AttrSet) -> StructDecl:
+        kw = self.next().text  # struct | union
+        is_union = kw == "union"
+        # Attributes may appear between the keyword and the tag (Figure 1).
+        more = self._collect_attrs()
+        attrs.items.extend(more.items)
+        name = ""
+        if self.peek().kind == "ident":
+            name = self.next().text
+        more = self._collect_attrs()
+        attrs.items.extend(more.items)
+        line = self.peek().line
+        self.expect("{")
+        if not name:
+            name = f"anon_struct_{line}"
+        self.struct_names.add(name)
+        fields: list[tuple[CType, str, bool]] = []
+        field_attrs: dict[str, str] = {}
+        while not self.at("}"):
+            fattrs = self._collect_attrs()
+            atomic = self.accept("_Atomic")
+            ftype = self._parse_type()
+            atomic = self.accept("_Atomic") or atomic
+            fname = self.next()
+            if fname.kind != "ident":
+                self.error("expected field name")
+            if self.accept("["):
+                count_tok = self.next()
+                if count_tok.kind != "number":
+                    self.error("array fields need a constant size")
+                self.expect("]")
+                from .cst import CArray
+                ftype = CArray(ftype, int(count_tok.text.rstrip("uUlL"), 0))
+            self.expect(";")
+            fields.append((ftype, fname.text, atomic))
+            fa = fattrs.first("field")
+            if fa is not None:
+                field_attrs[fname.text] = fa
+        self.expect("}")
+        return StructDecl(name, fields, attrs, field_attrs, is_union,
+                          line=line)
+
+    def _parse_function_or_global(self, unit: TranslationUnit,
+                                  attrs: AttrSet) -> None:
+        while self.peek().text in ("static", "inline", "extern", "const"):
+            self.next()
+        ctype = self._parse_type()
+        name = self.next()
+        if name.kind != "ident":
+            self.error(f"expected declarator name, got {name.text!r}")
+        if self.at("("):
+            self._parse_function(unit, attrs, ctype, name.text, name.line)
+            return
+        self.expect(";")
+        unit.globals.append(GlobalDecl(name.text, ctype, attrs,
+                                       line=name.line))
+
+    def _parse_function(self, unit: TranslationUnit, attrs: AttrSet,
+                        ret: CType, name: str, line: int) -> None:
+        self.expect("(")
+        params: list[tuple[CType, str]] = []
+        if not self.at(")"):
+            if self.at("void") and self.peek(1).text == ")":
+                self.next()
+            else:
+                while True:
+                    ptype = self._parse_type()
+                    pname = self.next()
+                    if pname.kind != "ident":
+                        self.error("expected parameter name")
+                    params.append((ptype, pname.text))
+                    if not self.accept(","):
+                        break
+        self.expect(")")
+        if self.accept(";"):
+            unit.functions.append(FuncDef(name, ret, params, None, attrs,
+                                          line=line))
+            return
+        body = self._parse_block()
+        unit.functions.append(FuncDef(name, ret, params, body, attrs,
+                                      line=line))
+
+    # ------------------------------------------------------------
+    # Types.
+    # ------------------------------------------------------------
+    def _at_type(self) -> bool:
+        t = self.peek()
+        if t.kind != "ident":
+            return False
+        return (t.text in _INT_KEYWORDS or t.text in
+                ("void", "int", "char", "short", "long", "unsigned",
+                 "signed", "struct", "union", "const", "_Atomic")
+                or t.text in self.typedefs)
+
+    def _parse_type(self) -> CType:
+        self.accept("const")
+        self.accept("_Atomic")
+        tok = self.next()
+        base: CType
+        if tok.text in _INT_KEYWORDS:
+            base = CInt(INT_TYPES_BY_NAME[_INT_KEYWORDS[tok.text]])
+        elif tok.text == "void":
+            base = CVoid()
+        elif tok.text in ("struct", "union"):
+            tag = self.next()
+            if tag.kind != "ident":
+                self.error("expected struct tag")
+            base = CStruct(tag.text, tok.text == "union")
+        elif tok.text in ("unsigned", "signed", "int", "char", "short",
+                          "long"):
+            base = self._parse_plain_int(tok.text)
+        elif tok.text in self.typedefs:
+            base = self.typedefs[tok.text]
+        else:
+            raise ParseError(f"line {tok.line}: unknown type {tok.text!r}")
+        self.accept("const")
+        while self.accept("*"):
+            base = CPtr(base)
+            self.accept("const")
+        return base
+
+    def _parse_plain_int(self, first: str) -> CType:
+        words = [first]
+        while self.peek().text in ("unsigned", "signed", "int", "char",
+                                   "short", "long"):
+            words.append(self.next().text)
+        signed = "unsigned" not in words
+        if "char" in words:
+            name = "char" if signed and "signed" not in words else (
+                "signed char" if signed else "unsigned char")
+        elif "short" in words:
+            name = "short" if signed else "unsigned short"
+        elif words.count("long") >= 1:
+            name = "long" if signed else "unsigned long"
+        else:
+            name = "int" if signed else "unsigned int"
+        return CInt(INT_TYPES_BY_NAME[name])
+
+    # ------------------------------------------------------------
+    # Statements.
+    # ------------------------------------------------------------
+    def _parse_block(self) -> list[Stmt]:
+        self.expect("{")
+        stmts: list[Stmt] = []
+        while not self.at("}"):
+            stmts.append(self._parse_stmt())
+        self.expect("}")
+        return stmts
+
+    def _parse_stmt(self) -> Stmt:
+        # Loop annotations precede while/for statements.
+        if self.peek().kind == "attr":
+            annots = LoopAnnots()
+            while self.peek().kind == "attr":
+                tok = self.next()
+                if tok.attr_name == "exists":
+                    annots.exists.extend(tok.attr_args)
+                elif tok.attr_name == "inv_vars":
+                    annots.inv_vars.extend(tok.attr_args)
+                elif tok.attr_name == "constraints":
+                    annots.constraints.extend(tok.attr_args)
+                else:
+                    raise ParseError(
+                        f"line {tok.line}: unexpected statement attribute "
+                        f"rc::{tok.attr_name}")
+            stmt = self._parse_stmt()
+            if isinstance(stmt, SWhile):
+                stmt.annots = annots
+                return stmt
+            raise ParseError("loop annotations must precede a loop")
+        line = self.peek().line
+        if self.at("{"):
+            inner = self._parse_block()
+            blk = SIf(line=line)
+            blk.cond = BoolLit(True)
+            blk.then = inner
+            blk.els = []
+            return blk
+        if self.accept("if"):
+            self.expect("(")
+            cond = self._parse_expr()
+            self.expect(")")
+            then = self._parse_stmt_or_block()
+            els: list[Stmt] = []
+            if self.accept("else"):
+                els = self._parse_stmt_or_block()
+            s = SIf(line=line)
+            s.cond, s.then, s.els = cond, then, els
+            return s
+        if self.accept("while"):
+            self.expect("(")
+            cond = self._parse_expr()
+            self.expect(")")
+            body = self._parse_stmt_or_block()
+            s = SWhile(line=line)
+            s.cond, s.body = cond, body
+            return s
+        if self.accept("for"):
+            return self._parse_for(line)
+        if self.accept("switch"):
+            return self._parse_switch(line)
+        if self.accept("return"):
+            e = None if self.at(";") else self._parse_expr()
+            self.expect(";")
+            s = SReturn(line=line)
+            s.e = e
+            return s
+        if self.accept("break"):
+            self.expect(";")
+            return SBreak(line=line)
+        if self.accept("continue"):
+            self.expect(";")
+            return SContinue(line=line)
+        if self._at_type():
+            ctype = self._parse_type()
+            name = self.next()
+            if name.kind != "ident":
+                self.error("expected variable name")
+            init = None
+            if self.accept("="):
+                init = self._parse_expr()
+            self.expect(";")
+            s = SDecl(line=line)
+            s.ctype, s.name, s.init = ctype, name.text, init
+            return s
+        # Expression or assignment statement.
+        e = self._parse_expr()
+        tok = self.peek()
+        if tok.text in ("=", "+=", "-=", "*=", "/=", "%="):
+            self.next()
+            rhs = self._parse_expr()
+            self.expect(";")
+            s = SAssign(line=line)
+            s.lhs, s.op, s.rhs = e, tok.text, rhs
+            return s
+        if tok.text in ("++", "--"):
+            self.next()
+            self.expect(";")
+            s = SAssign(line=line)
+            s.lhs, s.op, s.rhs = e, "+=" if tok.text == "++" else "-=", Num(1)
+            return s
+        self.expect(";")
+        s = SExpr(line=line)
+        s.e = e
+        return s
+
+    def _parse_stmt_or_block(self) -> list[Stmt]:
+        if self.at("{"):
+            return self._parse_block()
+        return [self._parse_stmt()]
+
+    def _parse_switch(self, line: int) -> Stmt:
+        """Parse a switch statement.  Fallthrough between cases is kept
+        (Caesium supports unstructured switches, §3 of the paper)."""
+        self.expect("(")
+        scrutinee = self._parse_expr()
+        self.expect(")")
+        self.expect("{")
+        cases: list = []
+        default = None
+        while not self.at("}"):
+            if self.accept("case"):
+                values = []
+                tok = self.next()
+                if tok.kind != "number":
+                    self.error("case labels must be integer literals")
+                values.append(int(tok.text.rstrip("uUlL"), 0))
+                self.expect(":")
+                while self.accept("case"):
+                    tok = self.next()
+                    values.append(int(tok.text.rstrip("uUlL"), 0))
+                    self.expect(":")
+                body: list[Stmt] = []
+                while not (self.at("case") or self.at("default")
+                           or self.at("}")):
+                    body.append(self._parse_stmt())
+                cases.append((values, body))
+            elif self.accept("default"):
+                self.expect(":")
+                body = []
+                while not (self.at("case") or self.at("default")
+                           or self.at("}")):
+                    body.append(self._parse_stmt())
+                default = body
+            else:
+                self.error("expected case/default in switch")
+        self.expect("}")
+        from .cst import SSwitch
+        sw = SSwitch(line=line)
+        sw.scrutinee, sw.cases, sw.default = scrutinee, cases, default
+        return sw
+
+    def _parse_for(self, line: int) -> Stmt:
+        """Desugar ``for(init; cond; step) body`` into init + while."""
+        self.expect("(")
+        init: Optional[Stmt] = None
+        if not self.at(";"):
+            if self._at_type():
+                ctype = self._parse_type()
+                name = self.next().text
+                self.expect("=")
+                init_e = self._parse_expr()
+                init = SDecl(line=line)
+                init.ctype, init.name, init.init = ctype, name, init_e
+            else:
+                lhs = self._parse_expr()
+                op = self.next().text
+                rhs = self._parse_expr()
+                init = SAssign(line=line)
+                init.lhs, init.op, init.rhs = lhs, op, rhs
+        self.expect(";")
+        cond: Expr = BoolLit(True)
+        if not self.at(";"):
+            cond = self._parse_expr()
+        self.expect(";")
+        step: Optional[Stmt] = None
+        if not self.at(")"):
+            lhs = self._parse_expr()
+            tok = self.peek()
+            if tok.text in ("=", "+=", "-=", "*=", "/=", "%="):
+                self.next()
+                rhs = self._parse_expr()
+            elif tok.text in ("++", "--"):
+                self.next()
+                rhs = Num(1)
+                tok = Token("punct", "+=" if tok.text == "++" else "-=",
+                            tok.line)
+            else:
+                self.error("unsupported for-step")
+            step = SAssign(line=line)
+            step.lhs, step.op, step.rhs = lhs, tok.text, rhs
+        self.expect(")")
+        body = self._parse_stmt_or_block()
+        if step is not None:
+            body = body + [step]
+        loop = SWhile(line=line)
+        loop.cond, loop.body = cond, body
+        # Wrap: the init runs once before the loop.  Represent as a block
+        # via a trivially-true SIf (the elaborator flattens it).
+        wrapper = SIf(line=line)
+        wrapper.cond = BoolLit(True)
+        wrapper.then = ([init] if init is not None else []) + [loop]
+        wrapper.els = []
+        return wrapper
+
+    # ------------------------------------------------------------
+    # Expressions (precedence climbing).
+    # ------------------------------------------------------------
+    _BINARY_LEVELS = [
+        ["||"], ["&&"], ["|"], ["^"], ["&"], ["==", "!="],
+        ["<", "<=", ">", ">="], ["<<", ">>"], ["+", "-"], ["*", "/", "%"],
+    ]
+
+    def _parse_expr(self) -> Expr:
+        return self._parse_binary(0)
+
+    def _parse_binary(self, level: int) -> Expr:
+        if level >= len(self._BINARY_LEVELS):
+            return self._parse_unary()
+        ops = self._BINARY_LEVELS[level]
+        lhs = self._parse_binary(level + 1)
+        while self.peek().text in ops and self.peek().kind == "punct":
+            op = self.next().text
+            rhs = self._parse_binary(level + 1)
+            lhs = Binary(op, lhs, rhs)
+        return lhs
+
+    def _parse_unary(self) -> Expr:
+        tok = self.peek()
+        if tok.text in ("-", "!", "~", "*", "&") and tok.kind == "punct":
+            self.next()
+            return Unary(tok.text, self._parse_unary())
+        if tok.text == "(" and self._is_cast():
+            self.next()
+            ctype = self._parse_type()
+            self.expect(")")
+            return CastExpr(ctype, self._parse_unary())
+        return self._parse_postfix()
+
+    def _is_cast(self) -> bool:
+        save = self.pos
+        try:
+            self.next()  # "("
+            if not self._at_type():
+                return False
+            self._parse_type()
+            return self.at(")")
+        except ParseError:
+            return False
+        finally:
+            self.pos = save
+
+    def _parse_postfix(self) -> Expr:
+        e = self._parse_primary()
+        while True:
+            if self.accept("->"):
+                name = self.next().text
+                e = Member(e, name, arrow=True)
+            elif self.peek().text == "." and self.peek().kind == "punct":
+                self.next()
+                name = self.next().text
+                e = Member(e, name, arrow=False)
+            elif self.accept("["):
+                i = self._parse_expr()
+                self.expect("]")
+                e = Index(e, i)
+            elif self.at("(") and isinstance(e, (Ident, Member, Unary,
+                                                 Index)):
+                self.next()
+                args: list[Expr] = []
+                if not self.at(")"):
+                    while True:
+                        args.append(self._parse_expr())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                e = Call(e, tuple(args))
+            else:
+                return e
+
+    def _parse_primary(self) -> Expr:
+        tok = self.next()
+        if tok.kind == "number":
+            return Num(int(tok.text.rstrip("uUlL"), 0))
+        if tok.text == "NULL":
+            return NullLit()
+        if tok.text in ("true", "false"):
+            return BoolLit(tok.text == "true")
+        if tok.text == "sizeof":
+            self.expect("(")
+            ctype = self._parse_type()
+            self.expect(")")
+            return SizeofType(ctype)
+        if tok.text == "(":
+            e = self._parse_expr()
+            self.expect(")")
+            return e
+        if tok.kind == "ident":
+            return Ident(tok.text)
+        raise ParseError(f"line {tok.line}: unexpected token {tok.text!r}")
+
+
+def parse(source: str) -> TranslationUnit:
+    """Parse an annotated C source file."""
+    return Parser(tokenize(source)).parse_unit()

@@ -1,0 +1,24 @@
+"""Lithium: separation logic programming with goal-directed,
+non-backtracking proof search (paper §5).
+
+The RefinedC type system is expressed as an open set of rules over this
+engine; the engine itself knows nothing about C or types — it interprets
+goals, manages the Γ/Δ contexts and sealed evars, and dispatches basic
+goals to registered rules.
+"""
+
+from .context import ContextError, Delta, Gamma
+from .derivation import DerivationBuilder, DNode
+from .goals import (Atom, BasicGoal, GBasic, GConj, GExists, GForall, Goal,
+                    GSep, GTrue, GWand, HAtom, HExists, HPure, HSep,
+                    LeftGoal, conj, hseps, seps, wands)
+from .rules import Rule, RuleError, RuleRegistry
+from .search import SearchState, Stats, VerificationError
+
+__all__ = [
+    "Atom", "BasicGoal", "ContextError", "DNode", "Delta",
+    "DerivationBuilder", "GBasic", "GConj", "GExists", "GForall", "Gamma",
+    "Goal", "GSep", "GTrue", "GWand", "HAtom", "HExists", "HPure", "HSep",
+    "LeftGoal", "Rule", "RuleError", "RuleRegistry", "SearchState", "Stats",
+    "VerificationError", "conj", "hseps", "seps", "wands",
+]

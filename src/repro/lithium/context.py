@@ -1,0 +1,84 @@
+"""Lithium proof contexts: the unrestricted context Γ and the resource
+context Δ (§5).
+
+Γ holds universally quantified variables and pure facts — duplicable.
+Δ holds atoms — non-duplicable, used at most once.  By construction Δ never
+contains two typing assumptions for the same location/value subject, which
+is what makes atom lookup (case 6d) deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..pure.terms import Subst, Term, Var
+from .goals import Atom
+
+
+class ContextError(Exception):
+    """Raised on context-discipline violations (e.g. duplicate subjects)."""
+
+
+@dataclass
+class Gamma:
+    """The unrestricted context: parameters and pure facts."""
+
+    variables: list[Var] = field(default_factory=list)
+    facts: list[Term] = field(default_factory=list)
+
+    def copy(self) -> "Gamma":
+        return Gamma(list(self.variables), list(self.facts))
+
+    def add_var(self, v: Var) -> None:
+        self.variables.append(v)
+
+    def add_fact(self, phi: Term) -> None:
+        if phi not in self.facts:
+            self.facts.append(phi)
+
+    def resolved_facts(self, subst: Subst) -> list[Term]:
+        return [subst.resolve(f) for f in self.facts]
+
+
+@dataclass
+class Delta:
+    """The resource context: a list of atoms, each usable at most once."""
+
+    atoms: list[Atom] = field(default_factory=list)
+
+    def copy(self) -> "Delta":
+        return Delta(list(self.atoms))
+
+    def add(self, a: Atom, subst: Subst) -> None:
+        """Add an atom.  Two typing atoms for the same subject would make
+        lookup ambiguous — the RefinedC discipline prevents this, so we
+        check it.  Persistent atoms are deduplicated instead (they are
+        duplicable, so a second copy is simply dropped)."""
+        subj = subst.resolve(a.subject)
+        for existing in self.atoms:
+            if subst.resolve(existing.subject) == subj and not subj.has_evars():
+                if a.persistent and existing.persistent:
+                    return  # duplicable: keep the one we have
+                raise ContextError(
+                    f"duplicate resource for subject {subj!r}: "
+                    f"{existing!r} and {a!r}")
+        self.atoms.append(a)
+
+    def find_related(self, subject: Term, subst: Subst) -> Optional[Atom]:
+        """Find the unique atom whose subject matches ``subject``
+        syntactically (after evar resolution)."""
+        subject = subst.resolve(subject)
+        for a in self.atoms:
+            if subst.resolve(a.subject) == subject:
+                return a
+        return None
+
+    def remove(self, a: Atom) -> None:
+        self.atoms.remove(a)
+
+    def __iter__(self):
+        return iter(self.atoms)
+
+    def __len__(self) -> int:
+        return len(self.atoms)

@@ -1,0 +1,69 @@
+"""Derivation trees: the proof objects produced by Lithium search.
+
+In the paper, Lithium runs inside Coq and the "proof object" is a genuine
+Coq term checked by the Coq kernel.  Our foundational substitute (see
+DESIGN.md) is an explicit *derivation tree*: every step of proof search is
+recorded — which rule was applied to which judgment, which context atom was
+consumed for which goal atom, which side condition was discharged by which
+solver under which hypotheses, which evar was instantiated with what.
+
+The independent checker in :mod:`repro.proofs.certcheck` re-validates a
+derivation without trusting the search engine, which keeps the engine out
+of the TCB exactly as in the paper ("the Lithium interpreter ... need not
+be trusted since it generates proofs", §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+
+@dataclass
+class DNode:
+    """A node of the derivation tree."""
+
+    kind: str                      # e.g. "rule", "side_condition", "atom_match"
+    label: str = ""
+    detail: dict[str, Any] = field(default_factory=dict)
+    children: list["DNode"] = field(default_factory=list)
+
+    def walk(self) -> Iterator["DNode"]:
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+    def count(self, kind: str) -> int:
+        return sum(1 for n in self.walk() if n.kind == kind)
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        head = f"{pad}{self.kind}" + (f": {self.label}" if self.label else "")
+        lines = [head]
+        for c in self.children:
+            lines.append(c.pretty(indent + 1))
+        return "\n".join(lines)
+
+
+class DerivationBuilder:
+    """Builds the derivation tree as search progresses (no backtracking, so
+    the tree only ever grows)."""
+
+    def __init__(self) -> None:
+        self.root = DNode("proof")
+        self._stack: list[DNode] = [self.root]
+
+    def leaf(self, kind: str, label: str = "", **detail: Any) -> DNode:
+        node = DNode(kind, label, detail)
+        self._stack[-1].children.append(node)
+        return node
+
+    def push(self, kind: str, label: str = "", **detail: Any) -> DNode:
+        node = self.leaf(kind, label, **detail)
+        self._stack.append(node)
+        return node
+
+    def pop(self) -> None:
+        if len(self._stack) == 1:
+            raise RuntimeError("derivation stack underflow")
+        self._stack.pop()

@@ -1,0 +1,215 @@
+"""Lithium goal syntax (§5 of the paper).
+
+A Lithium judgment has the form ``Γ; Δ ⊩ G`` where::
+
+    Atom       A ::= ℓ ◁ₗ τ | v ◁ᵥ τ | ...
+    Basic goal F ::= ⊢stmt s | A₁ <: A₂ {G} | ...
+    Goal       G ::= True | F | H ∗ G | H −∗ G | G₁ ∧ G₂ | ∀x. G | ∃x. G
+    Left-goal  H ::= ⌜φ⌝ | A | H ∗ H | ∃x. H
+
+The crucial restriction — left-goals ``H`` exclude ``∧``, ``∀`` and ``−∗`` —
+is what eliminates backtracking: a left-goal can always be reduced in place
+to atoms and pure facts (see :mod:`repro.lithium.search`).
+
+Binders (∀/∃) are in higher-order abstract syntax: the body is a Python
+function from a term to a goal, which makes fresh-variable introduction and
+evar creation direct.
+
+Basic goals ``F`` are *abstract* here: the RefinedC layer defines concrete
+judgments (⊢stmt, ⊢expr, ⊢binop, subsumption, ...) as subclasses of
+:class:`BasicGoal` and registers typing rules for them.  This is exactly the
+paper's architecture: Lithium has "no built-in knowledge about atoms and
+atomic formulas" (§8) and relies on registered rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Union
+
+from ..pure.terms import Sort, Subst, Term, TRUE
+
+
+class Atom:
+    """An atom ``A``: a non-duplicable resource assertion.
+
+    Subclasses must provide:
+
+    * ``subject`` — the location/value term the atom is *about*.  Case (6d)
+      of proof search matches a goal atom against a context atom with the
+      same subject ("Atoms A and A' are related if they both assign types
+      to the same value or location").
+    * ``resolve(subst)`` — apply an evar substitution.
+    """
+
+    @property
+    def subject(self) -> Term:
+        raise NotImplementedError
+
+    @property
+    def persistent(self) -> bool:
+        """Persistent (duplicable) atoms — e.g. shared/invariant-governed
+        resources like the spinlock's atomic boolean — are not consumed when
+        matched and may be introduced repeatedly."""
+        return False
+
+    def resolve(self, subst: Subst) -> "Atom":
+        raise NotImplementedError
+
+
+class BasicGoal:
+    """A basic goal ``F``: a RefinedC typing or subsumption judgment.
+
+    ``dispatch_key`` determines which typing rules can apply — this encodes
+    the paper's syntax-directedness: "types and code inside F uniquely
+    determine the applicable typing rule".
+    """
+
+    def dispatch_key(self) -> tuple:
+        raise NotImplementedError
+
+    def resolve(self, subst: Subst) -> "BasicGoal":
+        return self
+
+    def describe(self) -> str:
+        return repr(self)
+
+    def location_label(self) -> Optional[str]:
+        """A human-readable program location for error messages; the engine
+        keeps it on the location stack while the premise is checked."""
+        return None
+
+
+# ---------------------------------------------------------------------
+# Goals.
+# ---------------------------------------------------------------------
+
+class Goal:
+    """Base class for goals ``G``."""
+
+
+@dataclass
+class GTrue(Goal):
+    """The trivially provable goal."""
+
+
+@dataclass
+class GBasic(Goal):
+    f: BasicGoal
+
+
+@dataclass
+class GSep(Goal):
+    """``H ∗ G`` — prove/consume ``H``, then continue with ``G``."""
+
+    h: "LeftGoal"
+    g: Goal
+
+
+@dataclass
+class GWand(Goal):
+    """``H −∗ G`` — introduce ``H`` into the context, then prove ``G``."""
+
+    h: "LeftGoal"
+    g: Goal
+
+
+@dataclass
+class GConj(Goal):
+    """``G₁ ∧ G₂ ∧ ...`` — fork: prove every conjunct (same resources)."""
+
+    goals: tuple[Goal, ...]
+    labels: tuple[str, ...] = ()   # optional branch labels for diagnostics
+
+
+@dataclass
+class GForall(Goal):
+    """``∀x. G(x)`` — introduce a fresh universal variable."""
+
+    sort: Sort
+    hint: str
+    body: Callable[[Term], Goal]
+
+
+@dataclass
+class GExists(Goal):
+    """``∃x. G(x)`` — introduce a fresh (sealed) evar."""
+
+    sort: Sort
+    hint: str
+    body: Callable[[Term], Goal]
+
+
+# ---------------------------------------------------------------------
+# Left-goals.
+# ---------------------------------------------------------------------
+
+class LeftGoal:
+    """Base class for left-goals ``H`` (no ∧, ∀, −∗ — by design)."""
+
+
+@dataclass
+class HPure(LeftGoal):
+    """``⌜φ⌝`` — a pure proposition."""
+
+    phi: Term
+    # Free-form description used in error messages, e.g. the source
+    # annotation this condition came from.
+    origin: str = ""
+
+
+@dataclass
+class HAtom(LeftGoal):
+    a: Atom
+
+
+@dataclass
+class HSep(LeftGoal):
+    h1: LeftGoal
+    h2: LeftGoal
+
+
+@dataclass
+class HExists(LeftGoal):
+    sort: Sort
+    hint: str
+    body: Callable[[Term], LeftGoal]
+
+
+# ---------------------------------------------------------------------
+# Convenience builders.
+# ---------------------------------------------------------------------
+
+def seps(hs: Sequence[LeftGoal], g: Goal) -> Goal:
+    """``h₁ ∗ h₂ ∗ ... ∗ g``."""
+    out = g
+    for h in reversed(list(hs)):
+        out = GSep(h, out)
+    return out
+
+
+def wands(hs: Sequence[LeftGoal], g: Goal) -> Goal:
+    """``h₁ −∗ h₂ −∗ ... −∗ g``."""
+    out = g
+    for h in reversed(list(hs)):
+        out = GWand(h, out)
+    return out
+
+
+def hseps(hs: Sequence[LeftGoal]) -> LeftGoal:
+    hs = list(hs)
+    if not hs:
+        return HPure(TRUE)
+    out = hs[-1]
+    for h in reversed(hs[:-1]):
+        out = HSep(h, out)
+    return out
+
+
+def conj(*goals: Goal, labels: Sequence[str] = ()) -> Goal:
+    flat = [g for g in goals if not isinstance(g, GTrue)]
+    if not flat:
+        return GTrue()
+    if len(flat) == 1:
+        return flat[0]
+    return GConj(tuple(flat), tuple(labels))

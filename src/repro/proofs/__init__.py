@@ -1,0 +1,15 @@
+"""The foundational-verification substitute (see DESIGN.md): an executable
+semantic model of the RefinedC types, an independent checker for the
+derivations Lithium produces, randomised adequacy testing of verified
+programs, and the manual-lemma tables accompanying the case studies."""
+
+from .adequacy import ALL_SCENARIOS, AdequacyViolation
+from .certcheck import CertificateReport, check_derivation
+from .manual import LEMMAS_BY_STUDY, pure_line_count
+from .semantics import (CheckFailure, SemanticBuilder, SemanticChecker,
+                        SemanticsError)
+
+__all__ = ["ALL_SCENARIOS", "AdequacyViolation", "CertificateReport",
+           "CheckFailure", "LEMMAS_BY_STUDY", "SemanticBuilder",
+           "SemanticChecker", "SemanticsError", "check_derivation",
+           "pure_line_count"]

@@ -1,0 +1,227 @@
+"""Manual pure proofs accompanying the case studies.
+
+The paper's "Pure" column in Figure 7 counts "lines of pure Coq reasoning,
+including definitions and lemma statements" — the mathematical facts the
+default solver cannot derive, proved by hand in Coq.  Our executable
+analogue states each such fact as a :class:`~repro.pure.solver.Lemma`
+(checked against ground instances by the adequacy tests in
+``tests/proofs``), referenced from the C sources via ``rc::lemmas``.
+"""
+
+from __future__ import annotations
+
+from ..pure.solver import Lemma
+from ..pure.terms import (Sort, Term, and_, app, eq, fn_app, ge, gt, intlit,
+                          le, lt, ne, var)
+
+XS = var("XS", Sort.LIST)
+K = var("K")
+I = var("I")
+J = var("J")
+V = var("V")
+N = var("N")
+
+
+def lb(xs: Term, k: Term) -> Term:
+    """``lb(xs, k)``: the least index i with k ≤ xs[i] (len(xs) if none) —
+    the abstract result of lower-bound binary search."""
+    return fn_app("lb", [xs, k], Sort.INT)
+
+
+def _sorted(xs: Term) -> Term:
+    return app("sorted", xs)
+
+
+# ---------------------------------------------------------------------
+# Binary search (Figure 7 #1, "Binary search": 19 lines of pure reasoning
+# in the paper).  The facts about lb that the loop invariant needs.
+# ---------------------------------------------------------------------
+
+LB_NONNEG = Lemma(
+    "lb_nonneg", (XS, K), (),
+    le(intlit(0), lb(XS, K)),
+)
+
+LB_LE_LEN = Lemma(
+    "lb_le_len", (XS, K), (),
+    le(lb(XS, K), app("len", XS)),
+)
+
+LB_LOWER = Lemma(
+    # If xs[i] < k in a sorted list, the lower bound is beyond i.
+    "lb_lower", (XS, K, I),
+    (_sorted(XS), le(intlit(0), I), lt(I, app("len", XS)),
+     lt(app("index", XS, I), K)),
+    lt(I, lb(XS, K)),
+)
+
+LB_UPPER = Lemma(
+    # If k ≤ xs[i] in a sorted list, the lower bound is at most i.
+    "lb_upper", (XS, K, I),
+    (_sorted(XS), le(intlit(0), I), lt(I, app("len", XS)),
+     le(K, app("index", XS, I))),
+    le(lb(XS, K), I),
+)
+
+BINARY_SEARCH_LEMMAS = {l.name: l for l in
+                        (LB_NONNEG, LB_LE_LEN, LB_LOWER, LB_UPPER)}
+
+
+# ---------------------------------------------------------------------
+# Linear-probing hashmap (Figure 7 #4: 265 lines of pure reasoning in the
+# paper).  ``slot(ks, k)`` abstracts the result of the probe sequence for
+# key k in the key array ks: the index where k lives or would be inserted.
+# The lemmas state the properties of the probing function that the paper
+# proves by hand in Coq about its functional model.
+# ---------------------------------------------------------------------
+
+KS = var("KS", Sort.LIST)
+
+
+def hm_slot(ks: Term, k: Term) -> Term:
+    return fn_app("hm_slot", [ks, k], Sort.INT)
+
+
+def hm_ok(ks: Term) -> Term:
+    """The hashmap invariant on the key array: 0 marks an empty slot, the
+    nonzero keys are distinct and *probe-reachable* (every stored key is
+    found by its own probe sequence — the linear-probing invariant), and
+    at least one slot is free (probing terminates)."""
+    return fn_app("hm_ok", [ks], Sort.BOOL)
+
+
+def hm_has_room(ks: Term) -> Term:
+    """At least two free slots: inserting a fresh key keeps hm_ok."""
+    return fn_app("hm_has_room", [ks], Sort.BOOL)
+
+
+def hm_probe(ks: Term, k: Term, j: Term) -> Term:
+    """``hm_probe(ks, k, j)``: the index found by linear probing for key k
+    starting from slot j (the step-indexed functional probing model the
+    paper states its invariant with)."""
+    return fn_app("hm_probe", [ks, k, j], Sort.INT)
+
+
+HM_SLOT_DEF = Lemma(
+    # The slot of k is found by probing from its hash bucket (k mod 16).
+    "hm_slot_def", (KS, K), (hm_ok(KS), ne(K, intlit(0))),
+    eq(hm_slot(KS, K), hm_probe(KS, K, app("mod", K, intlit(16)))),
+)
+
+HM_PROBE_STEP = Lemma(
+    # Probing walks past occupied slots holding other keys.
+    "hm_probe_step", (KS, K, J),
+    (hm_ok(KS), le(intlit(0), J), lt(J, intlit(16)),
+     ne(app("index", KS, J), K), ne(app("index", KS, J), intlit(0))),
+    eq(hm_probe(KS, K, J),
+       hm_probe(KS, K, app("mod", app("add", J, intlit(1)), intlit(16)))),
+)
+
+HM_PROBE_HIT = Lemma(
+    # Probing stops at the key itself.
+    "hm_probe_hit", (KS, K, J),
+    (le(intlit(0), J), lt(J, intlit(16)), eq(app("index", KS, J), K)),
+    eq(hm_probe(KS, K, J), J),
+)
+
+HM_PROBE_EMPTY = Lemma(
+    # Probing stops at an empty slot.
+    "hm_probe_empty", (KS, K, J),
+    (le(intlit(0), J), lt(J, intlit(16)),
+     eq(app("index", KS, J), intlit(0))),
+    eq(hm_probe(KS, K, J), J),
+)
+
+HM_SLOT_BOUNDS_LO = Lemma(
+    "hm_slot_bounds_lo", (KS, K), (hm_ok(KS),),
+    le(intlit(0), hm_slot(KS, K)),
+)
+
+HM_SLOT_BOUNDS_HI = Lemma(
+    "hm_slot_bounds_hi", (KS, K), (hm_ok(KS),),
+    lt(hm_slot(KS, K), intlit(16)),
+)
+
+HM_STORE_KEY_OK = Lemma(
+    # Writing the probed key into its slot preserves the invariant — the
+    # slot holds either k already (no change) or the empty marker (a fresh
+    # insertion, which needs room so a free slot remains).
+    "hm_store_key_ok", (KS, K),
+    (hm_ok(KS), hm_has_room(KS), ne(K, intlit(0))),
+    hm_ok(app("store", KS, hm_slot(KS, K), K)),
+)
+
+HASHMAP_LEMMAS = {l.name: l for l in
+                  (HM_SLOT_DEF, HM_PROBE_STEP, HM_PROBE_HIT, HM_PROBE_EMPTY,
+                   HM_SLOT_BOUNDS_LO, HM_SLOT_BOUNDS_HI, HM_STORE_KEY_OK)}
+
+
+# ---------------------------------------------------------------------
+# Binary search tree, layered variant (Figure 7 #3): the intermediate
+# functional layer is the abstract predicate ``bst(...)`` with its algebra.
+# ---------------------------------------------------------------------
+
+S1 = var("S1", Sort.MSET)
+S2 = var("S2", Sort.MSET)
+S = var("S", Sort.MSET)
+
+
+def fmember(s: Term, x: Term) -> Term:
+    """Layer-1 membership: the functional model's member operation."""
+    return fn_app("fmember", [s, x], Sort.BOOL)
+
+
+def finsert(s: Term, x: Term) -> Term:
+    """Layer-1 insertion: the functional model's insert operation."""
+    return fn_app("finsert", [s, x], Sort.MSET)
+
+
+FMEMBER_DEF = Lemma(
+    # The functional layer's member agrees with multiset membership (the
+    # "refinement between layers" proved manually in the layered style).
+    "fmember_def", (S, K), (),
+    eq(fmember(S, K), app("mmember", K, S)),
+)
+
+FINSERT_DEF = Lemma(
+    "finsert_def", (S, K), (),
+    eq(finsert(S, K), app("munion", app("msingle", K), S)),
+)
+
+LAYER_MEMBER_LEFT = Lemma(
+    "layer_member_left", (K, N, S1, S2),
+    (app("mall_le", S1, N), app("mall_ge", S2, N), lt(K, N)),
+    eq(app("mmember", K, app("munion", app("msingle", N), S1, S2)),
+       app("mmember", K, S1)),
+)
+
+LAYER_MEMBER_RIGHT = Lemma(
+    "layer_member_right", (K, N, S1, S2),
+    (app("mall_le", S1, N), app("mall_ge", S2, N), lt(N, K)),
+    eq(app("mmember", K, app("munion", app("msingle", N), S1, S2)),
+       app("mmember", K, S2)),
+)
+
+BST_LAYERED_LEMMAS = {l.name: l for l in
+                      (FMEMBER_DEF, FINSERT_DEF, LAYER_MEMBER_LEFT,
+                       LAYER_MEMBER_RIGHT)}
+
+
+# ---------------------------------------------------------------------
+# Registry: case-study file stem -> lemma table.
+# ---------------------------------------------------------------------
+
+LEMMAS_BY_STUDY: dict[str, dict[str, Lemma]] = {
+    "binary_search": BINARY_SEARCH_LEMMAS,
+    "hashmap": HASHMAP_LEMMAS,
+    "bst_layered": BST_LAYERED_LEMMAS,
+}
+
+
+def pure_line_count(study: str) -> int:
+    """The "Pure" column analogue: lines of manual mathematical reasoning
+    (lemma statements) associated with a case study."""
+    table = LEMMAS_BY_STUDY.get(study, {})
+    # Each lemma statement counts its hypotheses + conclusion lines, the
+    # way the paper counts definition/lemma lines.
+    return sum(2 + len(l.hyps) for l in table.values())

@@ -1,0 +1,398 @@
+"""Executable semantic model of RefinedC types.
+
+In the paper every type is interpreted as an Iris separation-logic
+predicate, and the typing rules are lemmas about that model.  Our
+executable analogue interprets a type as a predicate over
+
+* a concrete Caesium :class:`~repro.caesium.memory.Memory`,
+* a location (or value),
+* a ground environment for the refinement variables, and
+* an ownership *footprint* — the set of bytes the type claims.
+
+Separation is checked for real: a footprint byte may be claimed only once
+(the semantic content of the ∗ connective), and ``&own`` recursively claims
+its target.  The adequacy harness (:mod:`repro.proofs.adequacy`) uses this
+model in both directions: *building* memories that satisfy argument types,
+and *checking* that results satisfy return/ensures types after running the
+interpreter — the executable counterpart of the Coq soundness statement.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+from ..caesium.layout import PtrLayout, PTR_SIZE
+from ..caesium.memory import AllocKind, Memory
+from ..caesium.values import (NULL, POISON, Pointer, VFn, VInt, VPtr,
+                              decode_int, decode_ptr, encode_int, encode_ptr)
+from ..pure.eval import EvalError, evaluate
+from ..pure.terms import Sort, Term
+from ..refinedc.spec import ShrPtr
+from ..refinedc.types import (ArrayT, AtomicBoolT, BoolT, ConstrainedT,
+                              ExistsT, FnT, IntT, NamedT, NullT, OptionalT,
+                              OwnPtr, PaddedT, RType, StructT, TypeTable,
+                              UninitT, ValueT, WandT)
+
+GroundEnv = dict[str, Any]
+
+
+class SemanticsError(Exception):
+    """A type cannot be interpreted/built in the given situation."""
+
+
+@dataclass
+class Footprint:
+    """Bytes claimed by a type interpretation; claiming twice = no
+    separation = model violation."""
+
+    claimed: set[tuple[int, int]] = field(default_factory=set)
+
+    def claim(self, ptr: Pointer, size: int) -> bool:
+        span = {(ptr.alloc_id, ptr.offset + i) for i in range(size)}
+        if span & self.claimed:
+            return False
+        self.claimed |= span
+        return True
+
+
+@dataclass
+class CheckFailure(Exception):
+    reason: str
+
+    def __str__(self) -> str:
+        return self.reason
+
+
+# ---------------------------------------------------------------------
+# Checking: does (memory, loc) satisfy a type?
+# ---------------------------------------------------------------------
+
+class SemanticChecker:
+    """Checks type membership against a concrete memory."""
+
+    def __init__(self, mem: Memory, types: TypeTable,
+                 env: Optional[GroundEnv] = None) -> None:
+        self.mem = mem
+        self.types = types
+        self.env: GroundEnv = dict(env or {})
+        self.footprint = Footprint()
+
+    # -- helpers ---------------------------------------------------
+    def _eval(self, t: Term):
+        try:
+            return evaluate(t, self.env)
+        except EvalError as exc:
+            raise SemanticsError(f"cannot evaluate {t!r}: {exc}") from exc
+
+    def _as_pointer(self, v) -> Pointer:
+        if isinstance(v, Pointer):
+            return v
+        if isinstance(v, tuple) and len(v) == 2:
+            return Pointer(*v)
+        raise SemanticsError(f"not a pointer value: {v!r}")
+
+    # -- the model -------------------------------------------------
+    def check_loc(self, loc: Pointer, ty: RType) -> None:
+        """Check ``loc ◁ₗ τ``; raises CheckFailure on violation."""
+        ty = self._peel(ty)
+        if isinstance(ty, IntT):
+            size = ty.itype.size
+            if not self.footprint.claim(loc, size):
+                raise CheckFailure(f"double ownership of {loc!r}")
+            data = self.mem.load(loc, size)
+            v = decode_int(data, ty.itype)
+            if v is None:
+                raise CheckFailure(f"{loc!r}: expected an initialised "
+                                   f"{ty.itype.name}, found poison")
+            if ty.refinement is not None:
+                want = self._eval(ty.refinement)
+                if v.value != want:
+                    raise CheckFailure(
+                        f"{loc!r}: value {v.value} does not match "
+                        f"refinement {want}")
+            return
+        if isinstance(ty, BoolT):
+            size = ty.itype.size
+            if not self.footprint.claim(loc, size):
+                raise CheckFailure(f"double ownership of {loc!r}")
+            v = decode_int(self.mem.load(loc, size), ty.itype)
+            if v is None:
+                raise CheckFailure(f"{loc!r}: boolean is poison")
+            if ty.phi is not None:
+                if bool(v.value) != bool(self._eval(ty.phi)):
+                    raise CheckFailure(f"{loc!r}: boolean {v.value} does "
+                                       f"not reflect its proposition")
+            return
+        if isinstance(ty, UninitT):
+            size = self._eval(ty.size)
+            if not self.footprint.claim(loc, size):
+                raise CheckFailure(f"double ownership of {loc!r}")
+            # Any bytes qualify — uninit means "arbitrary".
+            self.mem.load(loc, size)  # bounds/liveness check
+            return
+        if isinstance(ty, (NullT, OwnPtr, OptionalT, FnT)) or \
+                isinstance(ty, ShrPtr):
+            if not self.footprint.claim(loc, PTR_SIZE):
+                raise CheckFailure(f"double ownership of {loc!r}")
+            v = decode_ptr(self.mem.load(loc, PTR_SIZE))
+            if v is None:
+                raise CheckFailure(f"{loc!r}: pointer is poison")
+            self.check_val(v, ty)
+            return
+        if isinstance(ty, ValueT):
+            # The singleton: the location holds exactly the tracked value.
+            raise SemanticsError("value types are checker-internal")
+        if isinstance(ty, StructT):
+            for fname, flayout in ty.layout.fields:
+                off = ty.layout.offset_of(fname)
+                self.check_loc(loc + off, ty.field_type(fname))
+            return
+        if isinstance(ty, PaddedT):
+            inner_size = self._eval(ty.inner.layout_size())
+            total = self._eval(ty.size)
+            self.check_loc(loc, ty.inner)
+            if not self.footprint.claim(loc + inner_size,
+                                        total - inner_size):
+                raise CheckFailure(f"double ownership of padding at {loc!r}")
+            return
+        if isinstance(ty, ArrayT):
+            xs = self._eval(ty.xs)
+            n = self._eval(ty.length)
+            if len(xs) != n:
+                raise CheckFailure("array refinement length mismatch")
+            size = ty.itype.size
+            for i, x in enumerate(xs):
+                self.check_loc(loc + i * size, IntT(ty.itype))
+                v = decode_int(self.mem.load(loc + i * size, size), ty.itype)
+                if v is None or v.value != x:
+                    raise CheckFailure(f"array cell {i} mismatch")
+            return
+        if isinstance(ty, AtomicBoolT):
+            if not self.footprint.claim(loc, ty.itype.size):
+                raise CheckFailure(f"double ownership of {loc!r}")
+            v = decode_int(self.mem.load(loc, ty.itype.size), ty.itype)
+            if v is None:
+                raise CheckFailure("atomic boolean is poison")
+            return
+        raise SemanticsError(f"no location model for {ty!r}")
+
+    def check_val(self, v, ty: RType) -> None:
+        """Check ``v ◁ᵥ τ``."""
+        ty = self._peel(ty)
+        if isinstance(ty, NullT):
+            if not (isinstance(v, VPtr) and v.ptr.is_null):
+                raise CheckFailure(f"{v!r} is not NULL")
+            return
+        if isinstance(ty, IntT):
+            if not isinstance(v, VInt):
+                raise CheckFailure(f"{v!r} is not an integer")
+            if ty.refinement is not None and \
+                    v.value != self._eval(ty.refinement):
+                raise CheckFailure(f"integer {v.value} does not match "
+                                   f"refinement")
+            return
+        if isinstance(ty, BoolT):
+            if not isinstance(v, VInt):
+                raise CheckFailure(f"{v!r} is not a boolean")
+            if ty.phi is not None and bool(v.value) != bool(self._eval(ty.phi)):
+                raise CheckFailure("boolean does not reflect its "
+                                   "proposition")
+            return
+        if isinstance(ty, OwnPtr) or isinstance(ty, ShrPtr):
+            if not isinstance(v, VPtr) or v.ptr.is_null:
+                raise CheckFailure(f"{v!r} is not a valid pointer")
+            if ty.loc is not None:
+                want = self._as_pointer(self._eval(ty.loc))
+                if v.ptr != want:
+                    raise CheckFailure(f"pointer {v.ptr!r} is not the "
+                                       f"required location {want!r}")
+            self.check_loc(v.ptr, ty.inner)
+            return
+        if isinstance(ty, OptionalT):
+            if bool(self._eval(ty.phi)):
+                self.check_val(v, ty.then_type)
+            else:
+                self.check_val(v, ty.else_type)
+            return
+        if isinstance(ty, FnT):
+            if not isinstance(v, VFn):
+                raise CheckFailure(f"{v!r} is not a function pointer")
+            return
+        raise SemanticsError(f"no value model for {ty!r}")
+
+    def _peel(self, ty: RType) -> RType:
+        """Unfold named types and resolve constrained/existential wrappers
+        (existentials are checked by *search* over the stored data — for
+        the model this means finding a witness; we use the stored bytes to
+        guide it, which suffices for the first-order types in use)."""
+        guard = 0
+        while guard < 64:
+            guard += 1
+            if isinstance(ty, NamedT):
+                args = [self._eval(a) for a in ty.args]
+                td = self.types.lookup(ty.name)
+                # Bind the definition's parameters by value via a fresh
+                # environment extension using the HOAS body.
+                from ..pure.terms import Var, var
+                params = [var(f"·{ty.name}{i}", s)
+                          for i, s in enumerate(td.param_sorts)]
+                for p, a in zip(params, args):
+                    self.env[p.name] = a
+                ty = td.body(*params)
+                continue
+            if isinstance(ty, ConstrainedT):
+                if not bool(self._eval(ty.phi)):
+                    raise CheckFailure(f"constraint {ty.phi!r} violated")
+                ty = ty.inner
+                continue
+            if isinstance(ty, ExistsT):
+                ty = self._instantiate_exists(ty)
+                continue
+            return ty
+        raise SemanticsError("type unfolding did not terminate")
+
+    # Existential witnesses are provided externally per check via hooks.
+    def _instantiate_exists(self, ty: ExistsT) -> RType:
+        witness = self.env.get(f"∃{ty.hint}")
+        if witness is None:
+            raise SemanticsError(
+                f"no witness provided for existential {ty.hint!r} "
+                f"(set env['∃{ty.hint}'])")
+        from ..pure.terms import var
+        v = var(f"·{ty.hint}{id(ty)}", ty.sort)
+        self.env[v.name] = witness
+        return ty.body(v)
+
+
+# ---------------------------------------------------------------------
+# Building: construct a memory state satisfying a type.
+# ---------------------------------------------------------------------
+
+class SemanticBuilder:
+    """Builds concrete memory satisfying ``ℓ ◁ₗ τ`` — used to realise
+    function preconditions for the adequacy tests."""
+
+    def __init__(self, mem: Memory, types: TypeTable,
+                 env: Optional[GroundEnv] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        self.mem = mem
+        self.types = types
+        self.env: GroundEnv = dict(env or {})
+        self.rng = rng or random.Random(0)
+
+    def _eval(self, t: Term):
+        return evaluate(t, self.env)
+
+    def build_val(self, ty: RType):
+        """Produce a value of the given type (allocating as needed)."""
+        ty = self._peel(ty)
+        if isinstance(ty, IntT):
+            if ty.refinement is not None:
+                return VInt(self._eval(ty.refinement), ty.itype)
+            return VInt(self.rng.randint(max(ty.itype.min_value, -100),
+                                         min(ty.itype.max_value, 100)),
+                        ty.itype)
+        if isinstance(ty, BoolT):
+            val = 1 if (ty.phi is not None and bool(self._eval(ty.phi))) \
+                else 0
+            return VInt(val, ty.itype)
+        if isinstance(ty, NullT):
+            return VPtr(NULL)
+        if isinstance(ty, OwnPtr):
+            size = self._size_of(ty.inner)
+            ptr = self.mem.allocate(size)
+            if ty.loc is not None:
+                # The location refinement names this fresh pointer.
+                self._bind_loc(ty.loc, ptr)
+            self.build_loc(ptr, ty.inner)
+            return VPtr(ptr)
+        if isinstance(ty, OptionalT):
+            if bool(self._eval(ty.phi)):
+                return self.build_val(ty.then_type)
+            return self.build_val(ty.else_type)
+        if isinstance(ty, FnT):
+            return VFn(ty.spec.name)
+        raise SemanticsError(f"cannot build a value of {ty!r}")
+
+    def build_loc(self, loc: Pointer, ty: RType) -> None:
+        ty = self._peel(ty)
+        if isinstance(ty, (IntT, BoolT, NullT, OwnPtr, OptionalT, FnT)):
+            v = self.build_val(ty)
+            if isinstance(v, VInt):
+                self.mem.store(loc, encode_int(v.value, v.int_type))
+            elif isinstance(v, VPtr):
+                self.mem.store(loc, encode_ptr(v.ptr))
+            else:
+                from ..caesium.values import encode_value
+                self.mem.store(loc, encode_value(v))
+            return
+        if isinstance(ty, UninitT):
+            return  # fresh memory is already poison
+        if isinstance(ty, StructT):
+            for fname, _ in ty.layout.fields:
+                self.build_loc(loc + ty.layout.offset_of(fname),
+                               ty.field_type(fname))
+            return
+        if isinstance(ty, PaddedT):
+            self.build_loc(loc, ty.inner)
+            return
+        if isinstance(ty, ArrayT):
+            xs = self._eval(ty.xs)
+            for i, x in enumerate(xs):
+                self.mem.store(loc + i * ty.itype.size,
+                               encode_int(x, ty.itype))
+            return
+        if isinstance(ty, AtomicBoolT):
+            self.mem.store(loc, encode_int(0, ty.itype))
+            return
+        raise SemanticsError(f"cannot build a location of {ty!r}")
+
+    def _size_of(self, ty: RType) -> int:
+        size_t = ty.layout_size()
+        if size_t is None:
+            inner = self._peel(ty)
+            size_t = inner.layout_size()
+        if size_t is None:
+            raise SemanticsError(f"unknown size for {ty!r}")
+        return self._eval(size_t)
+
+    def _bind_loc(self, loc_term: Term, ptr: Pointer) -> None:
+        from ..pure.terms import Var
+        if isinstance(loc_term, Var):
+            self.env[loc_term.name] = (ptr.alloc_id, ptr.offset)
+
+    def _peel(self, ty: RType) -> RType:
+        guard = 0
+        while guard < 64:
+            guard += 1
+            if isinstance(ty, NamedT):
+                td = self.types.lookup(ty.name)
+                from ..pure.terms import var
+                params = [var(f"·{ty.name}{i}", s)
+                          for i, s in enumerate(td.param_sorts)]
+                for p, a in zip(params, ty.args):
+                    self.env[p.name] = self._eval(a)
+                ty = td.body(*params)
+                continue
+            if isinstance(ty, ConstrainedT):
+                if not bool(self._eval(ty.phi)):
+                    raise SemanticsError(
+                        f"cannot realise constraint {ty.phi!r}")
+                ty = ty.inner
+                continue
+            if isinstance(ty, ExistsT):
+                witness = self.env.get(f"∃{ty.hint}")
+                if witness is None:
+                    raise SemanticsError(
+                        f"no witness for existential {ty.hint!r}")
+                from ..pure.terms import var
+                v = var(f"·{ty.hint}{id(ty)}", ty.sort)
+                self.env[v.name] = witness
+                return self._peel_body(ty, v)
+            return ty
+        raise SemanticsError("type unfolding did not terminate")
+
+    def _peel_body(self, ty: ExistsT, v) -> RType:
+        return self._peel(ty.body(v))

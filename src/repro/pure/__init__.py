@@ -1,0 +1,23 @@
+"""Pure (mathematical) reasoning layer: terms, solvers, and the annotation
+expression parser.
+
+This package is the executable analogue of the "pure Coq propositions" side
+of RefinedC (step (C) in Figure 2 of the paper): refinements are terms of
+this language, and side conditions emitted by Lithium are discharged by
+:class:`repro.pure.solver.PureSolver`.
+"""
+
+from .eval import EvalError, evaluate
+from .parser import SpecParseError, parse_sort, parse_term
+from .simplify import simplify, simplify_hyp
+from .solver import Lemma, Outcome, ProveResult, PureSolver
+from .terms import (App, EVar, Lit, Sort, Subst, Term, TermError, Var,
+                    fresh_evar, subst_vars)
+from .unify import unify
+
+__all__ = [
+    "App", "EVar", "EvalError", "Lemma", "Lit", "Outcome", "ProveResult",
+    "PureSolver", "Sort", "SpecParseError", "Subst", "Term", "TermError",
+    "Var", "evaluate", "fresh_evar", "parse_sort", "parse_term", "simplify",
+    "simplify_hyp", "subst_vars", "unify",
+]

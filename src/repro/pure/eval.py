@@ -1,0 +1,141 @@
+"""Ground evaluation of refinement terms.
+
+Used by the adequacy harness (:mod:`repro.proofs.adequacy`) to instantiate
+specifications with concrete mathematical values, and by the property-based
+tests to check that simplification and solving are semantics-preserving.
+
+Value representations:
+
+* ``INT``  -- Python ``int``
+* ``BOOL`` -- Python ``bool``
+* ``LOC``  -- ``(allocation_id: int, offset: int)`` tuples
+* ``MSET`` -- ``collections.Counter`` over ints
+* ``LIST`` -- Python ``tuple`` of ints
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Mapping
+
+from .terms import App, EVar, Lit, Sort, Term, TermError, Var
+
+GroundValue = Any
+
+
+class EvalError(Exception):
+    """Raised when a term cannot be evaluated (unbound variable, div by 0)."""
+
+
+def evaluate(t: Term, env: Mapping[str, GroundValue]) -> GroundValue:
+    """Evaluate ``t`` under ``env`` mapping variable names to ground values."""
+    if isinstance(t, Lit):
+        return t.value
+    if isinstance(t, Var):
+        if t.name not in env:
+            raise EvalError(f"unbound variable {t.name}")
+        return env[t.name]
+    if isinstance(t, EVar):
+        raise EvalError(f"cannot evaluate unresolved evar {t!r}")
+    assert isinstance(t, App)
+    if t.op.startswith("fn:"):
+        fn = env.get(t.op)
+        if fn is None:
+            raise EvalError(f"uninterpreted function {t.op} not in environment")
+        return fn(*(evaluate(a, env) for a in t.args))
+    args = [evaluate(a, env) for a in t.args]
+    return _apply(t.op, args, t)
+
+
+def _apply(op: str, args: list[GroundValue], t: App) -> GroundValue:
+    if op == "add":
+        return sum(args)
+    if op == "mul":
+        out = 1
+        for a in args:
+            out *= a
+        return out
+    if op == "sub":
+        return args[0] - args[1]
+    if op == "neg":
+        return -args[0]
+    if op == "div":
+        if args[1] == 0:
+            raise EvalError("division by zero")
+        q = abs(args[0]) // abs(args[1])
+        return q if (args[0] >= 0) == (args[1] > 0) else -q
+    if op == "mod":
+        if args[1] == 0:
+            raise EvalError("modulo by zero")
+        return args[0] - args[1] * _apply("div", args, t)
+    if op == "min":
+        return min(args)
+    if op == "max":
+        return max(args)
+    if op == "ite":
+        return args[1] if args[0] else args[2]
+    if op == "le":
+        return args[0] <= args[1]
+    if op == "lt":
+        return args[0] < args[1]
+    if op == "eq":
+        return args[0] == args[1]
+    if op == "not":
+        return not args[0]
+    if op == "and":
+        return all(args)
+    if op == "or":
+        return any(args)
+    if op == "implies":
+        return (not args[0]) or args[1]
+    if op == "loc_offset":
+        aid, off = args[0]
+        return (aid, off + args[1])
+    if op == "mempty":
+        return Counter()
+    if op == "msingle":
+        return Counter({args[0]: 1})
+    if op == "munion":
+        out: Counter = Counter()
+        for a in args:
+            out.update(a)
+        return out
+    if op == "msize":
+        return sum(args[0].values())
+    if op == "mmember":
+        return args[1][args[0]] > 0
+    if op == "mall_ge":
+        return all(args[1] <= k for k in args[0].elements())
+    if op == "mall_le":
+        return all(k <= args[1] for k in args[0].elements())
+    if op == "nil":
+        return ()
+    if op == "cons":
+        return (args[0],) + tuple(args[1])
+    if op == "append":
+        return tuple(args[0]) + tuple(args[1])
+    if op == "len":
+        return len(args[0])
+    if op == "head":
+        if not args[0]:
+            raise EvalError("head of empty list")
+        return args[0][0]
+    if op == "tail":
+        if not args[0]:
+            raise EvalError("tail of empty list")
+        return tuple(args[0][1:])
+    if op == "index":
+        if not 0 <= args[1] < len(args[0]):
+            raise EvalError("list index out of range")
+        return args[0][args[1]]
+    if op == "store":
+        if not 0 <= args[1] < len(args[0]):
+            raise EvalError("list store out of range")
+        out = list(args[0])
+        out[args[1]] = args[2]
+        return tuple(out)
+    if op == "list_lit":
+        return tuple(args)
+    if op == "sorted":
+        return all(a <= b for a, b in zip(args[0], args[0][1:]))
+    raise TermError(f"unknown op {op!r} in {t!r}")

@@ -1,0 +1,397 @@
+"""Linear integer arithmetic solver (the core of RefinedC's *default solver*).
+
+The paper's default pure-side-condition solver "currently only targets linear
+arithmetic and Coq lists" (§7).  This module is the linear-arithmetic half: a
+Fourier--Motzkin elimination procedure over the rationals with integer
+tightening (``a < b`` over ints becomes ``a + 1 <= b``), preceded by Gaussian
+elimination of equalities.
+
+Entailment ``hyps |= goal`` is decided by refutation: normalise the
+hypotheses and the negated goal into linear atoms and test unsatisfiability.
+Non-linear subterms (``min``/``max``/``mod``/``msize``/``len``/uninterpreted
+functions/...) are treated as opaque atoms, with sound bounding axioms added
+lazily (e.g. ``0 <= len l``, ``min(a,b) <= a``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Optional
+
+from .terms import App, Lit, Sort, Term, Var, sub
+
+# A linear expression is a mapping from opaque INT atoms to coefficients plus
+# a constant; it denotes  sum(coeff * atom) + const.
+LinMap = dict[Term, Fraction]
+
+
+@dataclass
+class LinExpr:
+    coeffs: LinMap
+    const: Fraction
+
+    def __add__(self, other: "LinExpr") -> "LinExpr":
+        out = dict(self.coeffs)
+        for k, v in other.coeffs.items():
+            out[k] = out.get(k, Fraction(0)) + v
+            if out[k] == 0:
+                del out[k]
+        return LinExpr(out, self.const + other.const)
+
+    def scale(self, f: Fraction) -> "LinExpr":
+        if f == 0:
+            return LinExpr({}, Fraction(0))
+        return LinExpr({k: v * f for k, v in self.coeffs.items()}, self.const * f)
+
+    def __sub__(self, other: "LinExpr") -> "LinExpr":
+        return self + other.scale(Fraction(-1))
+
+    def is_const(self) -> bool:
+        return not self.coeffs
+
+
+# Constraint: LinExpr <= 0 (kind "le") or LinExpr == 0 (kind "eq").
+@dataclass
+class Constraint:
+    expr: LinExpr
+    kind: str  # "le" | "eq"
+
+
+class _NonLinear(Exception):
+    """Internal: raised when a term cannot be linearised further."""
+
+
+def linearise(t: Term, atoms: set[Term]) -> LinExpr:
+    """Turn an INT term into a linear expression, collecting opaque atoms."""
+    if isinstance(t, Lit):
+        return LinExpr({}, Fraction(int(t.value)))
+    if isinstance(t, App):
+        if t.op == "add":
+            out = LinExpr({}, Fraction(0))
+            for a in t.args:
+                out = out + linearise(a, atoms)
+            return out
+        if t.op == "sub":
+            return linearise(t.args[0], atoms) - linearise(t.args[1], atoms)
+        if t.op == "neg":
+            return linearise(t.args[0], atoms).scale(Fraction(-1))
+        if t.op == "mul":
+            const = Fraction(1)
+            non_const: list[Term] = []
+            for a in t.args:
+                if isinstance(a, Lit):
+                    const *= int(a.value)
+                else:
+                    non_const.append(a)
+            if not non_const:
+                return LinExpr({}, const)
+            if len(non_const) == 1:
+                return linearise(non_const[0], atoms).scale(const)
+            # Product of symbolic terms: opaque.
+            atoms.add(t)
+            return LinExpr({t: Fraction(1)}, Fraction(0))
+        if t.op == "ite":
+            atoms.add(t)
+            return LinExpr({t: Fraction(1)}, Fraction(0))
+    # Var, EVar, or opaque App (min/max/div/mod/len/msize/fn:...)
+    atoms.add(t)
+    return LinExpr({t: Fraction(1)}, Fraction(0))
+
+
+def _atom_axioms(atom: Term, atoms: set[Term]) -> list[Constraint]:
+    """Sound bounding facts for an opaque atom (lazy theory axioms)."""
+    out: list[Constraint] = []
+    if not isinstance(atom, App):
+        return out
+    nonneg_ops = {"len", "msize"}
+    if atom.op in nonneg_ops:
+        # 0 <= atom   i.e.  -atom <= 0
+        out.append(Constraint(LinExpr({atom: Fraction(-1)}, Fraction(0)), "le"))
+    if atom.op in ("min", "max"):
+        a = linearise(atom.args[0], atoms)
+        b = linearise(atom.args[1], atoms)
+        me = LinExpr({atom: Fraction(1)}, Fraction(0))
+        if atom.op == "min":
+            out.append(Constraint(me - a, "le"))  # min <= a
+            out.append(Constraint(me - b, "le"))  # min <= b
+        else:
+            out.append(Constraint(a - me, "le"))  # a <= max
+            out.append(Constraint(b - me, "le"))  # b <= max
+    if atom.op == "mod" and isinstance(atom.args[1], Lit) and int(atom.args[1].value) > 0:
+        m = int(atom.args[1].value)
+        me = LinExpr({atom: Fraction(1)}, Fraction(0))
+        out.append(Constraint(me.scale(Fraction(-1)), "le"))           # 0 <= mod
+        out.append(Constraint(me + LinExpr({}, Fraction(1 - m)), "le"))  # mod <= m-1
+    return out
+
+
+def _to_constraints(prop: Term, atoms: set[Term]) -> Optional[list[Constraint]]:
+    """Translate a boolean term into conjunction of linear constraints.
+
+    Returns ``None`` if the proposition is not (a conjunction of) linear
+    atoms -- such hypotheses are simply not visible to this solver.
+    """
+    if isinstance(prop, Lit):
+        if prop.value is True:
+            return []
+        # False hypothesis: encode as 1 <= 0.
+        return [Constraint(LinExpr({}, Fraction(1)), "le")]
+    if isinstance(prop, App):
+        if prop.op == "and":
+            out: list[Constraint] = []
+            for a in prop.args:
+                sub_cs = _to_constraints(a, atoms)
+                if sub_cs is None:
+                    continue  # ignore non-linear conjunct (sound for hyps)
+                out.extend(sub_cs)
+            return out
+        if prop.op == "le":
+            e = linearise(prop.args[0], atoms) - linearise(prop.args[1], atoms)
+            return [Constraint(e, "le")]
+        if prop.op == "lt":
+            e = linearise(prop.args[0], atoms) - linearise(prop.args[1], atoms)
+            return [Constraint(e + LinExpr({}, Fraction(1)), "le")]
+        if prop.op == "eq" and prop.args[0].sort is Sort.INT:
+            e = linearise(prop.args[0], atoms) - linearise(prop.args[1], atoms)
+            return [Constraint(e, "eq")]
+        if prop.op == "not":
+            inner = prop.args[0]
+            if isinstance(inner, App):
+                if inner.op == "le":
+                    return _to_constraints(App("lt", (inner.args[1], inner.args[0]), Sort.BOOL), atoms)
+                if inner.op == "lt":
+                    return _to_constraints(App("le", (inner.args[1], inner.args[0]), Sort.BOOL), atoms)
+                if inner.op == "not":
+                    return _to_constraints(inner.args[0], atoms)
+    return None
+
+
+def _negate_to_constraint_sets(goal: Term, atoms: set[Term]) -> Optional[list[list[Constraint]]]:
+    """Negate ``goal`` into a *disjunction* of constraint conjunctions.
+
+    Refutation must show every disjunct unsat.  ``None`` = not linear.
+    """
+    if isinstance(goal, Lit):
+        if goal.value is True:
+            return []  # ¬True = False: nothing to refute, trivially unsat
+        # Proving False: refute the hypotheses themselves (¬False = True
+        # adds no constraints).
+        return [[]]
+    if isinstance(goal, App):
+        if goal.op == "le":
+            cs = _to_constraints(App("lt", (goal.args[1], goal.args[0]), Sort.BOOL), atoms)
+            return [cs] if cs is not None else None
+        if goal.op == "lt":
+            cs = _to_constraints(App("le", (goal.args[1], goal.args[0]), Sort.BOOL), atoms)
+            return [cs] if cs is not None else None
+        if goal.op == "eq" and goal.args[0].sort is Sort.INT:
+            lt1 = _to_constraints(App("lt", (goal.args[0], goal.args[1]), Sort.BOOL), atoms)
+            lt2 = _to_constraints(App("lt", (goal.args[1], goal.args[0]), Sort.BOOL), atoms)
+            if lt1 is None or lt2 is None:
+                return None
+            return [lt1, lt2]
+        if goal.op == "not":
+            inner = goal.args[0]
+            if isinstance(inner, App) and inner.op in ("le", "lt"):
+                cs = _to_constraints(inner, atoms)
+                return [cs] if cs is not None else None
+            if isinstance(inner, App) and inner.op == "eq" and inner.args[0].sort is Sort.INT:
+                cs = _to_constraints(inner, atoms)
+                return [cs] if cs is not None else None
+    return None
+
+
+def _gauss_eliminate(constraints: list[Constraint]) -> Optional[list[Constraint]]:
+    """Eliminate equalities by substitution; detect trivial contradictions.
+
+    Returns remaining inequality constraints, or ``None`` if an immediate
+    contradiction (e.g. ``2 = 0``) was found.
+    """
+    eqs = [c for c in constraints if c.kind == "eq"]
+    les = [c.expr for c in constraints if c.kind == "le"]
+    while eqs:
+        c = eqs.pop()
+        e = c.expr
+        if e.is_const():
+            if e.const != 0:
+                return None
+            continue
+        # Pick a pivot variable and solve for it:  pivot = rest / -coeff
+        pivot, coeff = next(iter(e.coeffs.items()))
+        rest = LinExpr({k: v for k, v in e.coeffs.items() if k != pivot}, e.const)
+        sol = rest.scale(Fraction(-1) / coeff)
+
+        def substitute(x: LinExpr) -> LinExpr:
+            if pivot not in x.coeffs:
+                return x
+            c0 = x.coeffs[pivot]
+            trimmed = LinExpr({k: v for k, v in x.coeffs.items() if k != pivot}, x.const)
+            return trimmed + sol.scale(c0)
+
+        eqs = [Constraint(substitute(q.expr), "eq") for q in eqs]
+        les = [substitute(x) for x in les]
+    return [Constraint(e, "le") for e in les]
+
+
+_FM_VAR_LIMIT = 24
+_FM_SIZE_LIMIT = 3000
+
+
+def _normalise_int(e: LinExpr) -> LinExpr:
+    """Integer cut: scale ``e ≤ 0`` to integral coefficients, divide by
+    their gcd, and floor the constant.  All atoms denote integers, so this
+    is sound and recovers integer facts FM alone would miss (e.g. that
+    ``8x + 1 ≤ 0`` entails ``x ≤ -1``)."""
+    if not e.coeffs:
+        return e
+    from math import gcd
+    denom_lcm = 1
+    for v in list(e.coeffs.values()) + [e.const]:
+        denom_lcm = denom_lcm * v.denominator // gcd(denom_lcm,
+                                                     v.denominator)
+    scaled = e.scale(Fraction(denom_lcm))
+    g = 0
+    for v in scaled.coeffs.values():
+        g = gcd(g, abs(int(v)))
+    if g <= 1:
+        return scaled
+    coeffs = {k: v / g for k, v in scaled.coeffs.items()}
+    # sum(c_i x_i) ≤ -const  ⇒  sum ≤ floor(-const / g) for integral sums.
+    import math
+    new_const = -Fraction(math.floor(-scaled.const / g))
+    return LinExpr(coeffs, new_const)
+
+
+def _fourier_motzkin(ineqs: list[LinExpr]) -> bool:
+    """Return True iff the system  {e <= 0}  is unsatisfiable over Q.
+
+    Complete over the rationals; with the integer tightening performed during
+    translation this is a sound (if incomplete) integer unsat check.
+    """
+    ineqs = [_normalise_int(e) for e in ineqs]
+    for _round in range(_FM_VAR_LIMIT):
+        consts = [e for e in ineqs if e.is_const()]
+        if any(e.const > 0 for e in consts):
+            return True
+        ineqs = [e for e in ineqs if not e.is_const()]
+        if not ineqs:
+            return False
+        # Choose the variable minimising the pos*neg product (Bland-ish).
+        occurrence: dict[Term, tuple[int, int]] = {}
+        for e in ineqs:
+            for k, v in e.coeffs.items():
+                p, n = occurrence.get(k, (0, 0))
+                occurrence[k] = (p + (v > 0), n + (v < 0))
+        pivot = min(occurrence, key=lambda k: occurrence[k][0] * occurrence[k][1])
+        with_pos = [e for e in ineqs if e.coeffs.get(pivot, Fraction(0)) > 0]
+        with_neg = [e for e in ineqs if e.coeffs.get(pivot, Fraction(0)) < 0]
+        without = [e for e in ineqs if pivot not in e.coeffs]
+        new: list[LinExpr] = list(without)
+        for p in with_pos:
+            for n in with_neg:
+                # p: c_p * x + r_p <= 0  (c_p>0)  =>  x <= -r_p / c_p
+                # n: c_n * x + r_n <= 0  (c_n<0)  =>  x >= -r_n / c_n
+                combined = p.scale(Fraction(-1) / p.coeffs[pivot]) \
+                    - n.scale(Fraction(-1) / n.coeffs[pivot])
+                # combined <= 0 must hold:  lower_bound - upper_bound <= 0
+                new.append(_normalise_int(combined.scale(Fraction(-1))))
+        if len(new) > _FM_SIZE_LIMIT:
+            return False  # give up (incomplete, but sound: "not proved")
+        ineqs = new
+    return False
+
+
+def _div_axioms(hyp_constraints: list[Constraint], atoms: set[Term]
+                ) -> list[Constraint]:
+    """Conditional axioms for truncating division by a positive constant:
+    when ``0 ≤ x`` is entailed (checked with a nested FM query), add
+    ``c*d ≤ x ≤ c*d + c - 1`` for ``d = x / c`` (exact for truncation)."""
+    out: list[Constraint] = []
+
+    def entailed(e: LinExpr) -> bool:
+        """Does hyps entail e <= 0?  (Refute hyps ∧ e >= 1.)"""
+        neg = Constraint(e.scale(Fraction(-1)) + LinExpr({}, Fraction(1)),
+                         "le")
+        system = _gauss_eliminate(hyp_constraints + [neg])
+        return system is None or _fourier_motzkin(
+            [q.expr for q in system])
+
+    for atom in list(atoms):
+        if isinstance(atom, App) and atom.op == "div":
+            x_t, c_t = atom.args
+            x = linearise(x_t, atoms)
+            d = LinExpr({atom: Fraction(1)}, Fraction(0))
+            if isinstance(c_t, Lit) and int(c_t.value) > 0:
+                c = int(c_t.value)
+                if not entailed(x.scale(Fraction(-1))):   # need 0 <= x
+                    continue
+                out.append(Constraint(d.scale(Fraction(c)) - x, "le"))
+                out.append(Constraint(x - d.scale(Fraction(c))
+                                      + LinExpr({}, Fraction(1 - c)), "le"))
+            else:
+                # Symbolic divisor: with 0 <= x and 1 <= c we still know
+                # 0 <= x/c <= x.
+                cexpr = linearise(c_t, atoms)
+                if entailed(x.scale(Fraction(-1))) and \
+                        entailed(LinExpr({}, Fraction(1)) - cexpr):
+                    out.append(Constraint(d.scale(Fraction(-1)), "le"))
+                    out.append(Constraint(d - x, "le"))
+        if isinstance(atom, App) and atom.op in ("min", "max"):
+            a = linearise(atom.args[0], atoms)
+            b = linearise(atom.args[1], atoms)
+            me = LinExpr({atom: Fraction(1)}, Fraction(0))
+            # If the order of the operands is entailed, the min/max is
+            # determined exactly.
+            if entailed(a - b):       # a <= b
+                out.append(Constraint(
+                    (me - (b if atom.op == "max" else a)), "eq"))
+            elif entailed(b - a):     # b <= a
+                out.append(Constraint(
+                    (me - (a if atom.op == "max" else b)), "eq"))
+    return out
+
+
+def implies_linear(hyps: Iterable[Term], goal: Term) -> bool:
+    """Decide whether the linear fragment of ``hyps`` entails ``goal``."""
+    if isinstance(goal, App) and goal.op == "and":
+        hyps = list(hyps)
+        return all(implies_linear(hyps, g) for g in goal.args)
+    if isinstance(goal, App) and goal.op == "implies":
+        return implies_linear(list(hyps) + [goal.args[0]], goal.args[1])
+    # Integer disequality hypotheses require a case split (a ≠ b is a < b
+    # or b < a); split on the first few.
+    hyps = list(hyps)
+    for i, h in enumerate(hyps):
+        if isinstance(h, App) and h.op == "not":
+            inner = h.args[0]
+            if isinstance(inner, App) and inner.op == "eq" \
+                    and inner.args[0].sort is Sort.INT:
+                a, b = inner.args
+                rest = hyps[:i] + hyps[i + 1:]
+                return (implies_linear(rest + [App("lt", (a, b), Sort.BOOL)],
+                                       goal)
+                        and implies_linear(rest + [App("lt", (b, a),
+                                                       Sort.BOOL)], goal))
+    atoms: set[Term] = set()
+    hyp_constraints: list[Constraint] = []
+    for h in hyps:
+        cs = _to_constraints(h, atoms)
+        if cs is not None:
+            hyp_constraints.extend(cs)
+    neg_sets = _negate_to_constraint_sets(goal, atoms)
+    if neg_sets is None:
+        return False
+    # Lazy axioms for every opaque atom seen anywhere.
+    axioms: list[Constraint] = []
+    for a in list(atoms):
+        axioms.extend(_atom_axioms(a, atoms))
+    axioms.extend(_div_axioms(hyp_constraints, atoms))
+    for neg in neg_sets:
+        system = hyp_constraints + axioms + neg
+        remaining = _gauss_eliminate(system)
+        if remaining is None:
+            continue  # equalities already contradictory: this disjunct unsat
+        if not _fourier_motzkin([c.expr for c in remaining]):
+            return False
+    return True

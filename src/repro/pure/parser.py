@@ -1,0 +1,353 @@
+"""Parser for the refinement-term language used inside ``[[rc::...]]``
+annotations.
+
+The paper embeds Coq snippets in curly braces (``{n ≤ a}``, ``{s = {[n]} ⊎
+tail}``, ``{∀ k, k ∈ tail → n ≤ k}``).  We support the same surface syntax
+(including the Unicode operators used in the paper) plus ASCII equivalents:
+
+=============================  =============================
+paper / unicode                ASCII equivalent
+=============================  =============================
+``≤``  ``≥``  ``≠``            ``<=``  ``>=``  ``!=``
+``∧``  ``∨``  ``→``            ``&&``  ``||``  ``->``
+``⊎`` (multiset union)         ``(+)``
+``∅`` (empty multiset)         ``0mset``
+``∈`` (membership)             ``in``
+``∀ k, k ∈ s → n ≤ k``         ``forall k, k in s -> n <= k``
+=============================  =============================
+
+``{[e]}`` is the singleton multiset, ``[]`` the empty list, ``e1 :: e2``
+cons, ``e1 ++ e2`` append.  The universally quantified membership pattern is
+recognised specially and compiled to the ``mall_ge`` operator (general
+binders are out of scope, as for RefinedC's default solver).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Mapping, Optional
+
+from . import terms as T
+from .terms import Sort, Term
+
+
+class SpecParseError(Exception):
+    """Raised on malformed annotation expressions."""
+
+
+_TOKEN_RE = re.compile(r"""
+      (?P<num>\d+)
+    | (?P<msingle_open>\{\[)
+    | (?P<msingle_close>\]\})
+    | (?P<op><=|>=|!=|==|\(\+\)|\+\+|::|&&|\|\||->|[≤≥≠∧∨→⊎∅∈∀?:+\-*/%<>=(),\[\]])
+    | (?P<ident>[A-Za-z_][A-Za-z_0-9']*)
+    | (?P<ws>\s+)
+""", re.VERBOSE)
+
+_SORT_NAMES: dict[str, tuple[Sort, bool]] = {
+    "nat": (Sort.INT, True),
+    "int": (Sort.INT, False),
+    "Z": (Sort.INT, False),
+    "loc": (Sort.LOC, False),
+    "bool": (Sort.BOOL, False),
+    "gmultiset nat": (Sort.MSET, False),
+    "gmultiset Z": (Sort.MSET, False),
+    "mset": (Sort.MSET, False),
+    "list nat": (Sort.LIST, False),
+    "list Z": (Sort.LIST, False),
+    "list": (Sort.LIST, False),
+}
+
+
+def parse_sort(text: str) -> tuple[Sort, bool]:
+    """Parse a sort annotation like ``nat`` or ``{gmultiset nat}``.
+
+    Returns ``(sort, is_nat)`` where ``is_nat`` requests an implicit
+    non-negativity hypothesis.
+    """
+    text = text.strip()
+    if text.startswith("{") and text.endswith("}"):
+        text = text[1:-1].strip()
+    if text not in _SORT_NAMES:
+        raise SpecParseError(f"unknown sort {text!r}")
+    return _SORT_NAMES[text]
+
+
+def tokenize(text: str) -> list[str]:
+    out: list[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise SpecParseError(f"cannot tokenise {text[pos:]!r}")
+        pos = m.end()
+        if m.lastgroup != "ws":
+            out.append(m.group(0))
+    return out
+
+
+_NORMALISE = {
+    "≤": "<=", "≥": ">=", "≠": "!=", "∧": "&&", "∨": "||", "→": "->",
+    "⊎": "(+)", "∈": "in", "∀": "forall", "==": "=",
+}
+
+# Binary operator precedence (looser binds weaker).
+_PRECEDENCE: list[list[str]] = [
+    ["->"],
+    ["||"],
+    ["&&"],
+    ["=", "!=", "<=", "<", ">=", ">", "in"],
+    ["(+)", "++", "::"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+_FUNCTIONS: dict[str, Callable[..., Term]] = {
+    "len": T.length,
+    "length": T.length,
+    "msize": T.msize,
+    "size": T.msize,
+    "min": lambda a, b: T.app("min", a, b),
+    "max": lambda a, b: T.app("max", a, b),
+    "head": lambda l: T.app("head", l),
+    "tail": lambda l: T.app("tail", l),
+    "index": lambda l, i: T.app("index", l, i),
+    "store": lambda l, i, v: T.app("store", l, i, v),
+    "sorted": lambda l: T.app("sorted", l),
+}
+
+
+class _Parser:
+    def __init__(self, tokens: list[str], env: Mapping[str, Term],
+                 constants: Optional[Mapping[str, Term]] = None,
+                 fn_sorts: Optional[Mapping[str, Sort]] = None) -> None:
+        self.tokens = [_NORMALISE.get(t, t) for t in tokens]
+        self.pos = 0
+        self.env = env
+        self.constants = constants or {}
+        self.fn_sorts = fn_sorts or {}
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise SpecParseError("unexpected end of expression")
+        self.pos += 1
+        return tok
+
+    def expect(self, tok: str) -> None:
+        got = self.next()
+        if got != tok:
+            raise SpecParseError(f"expected {tok!r}, got {got!r}")
+
+    # ------------------------------------------------------------
+    def parse(self) -> Term:
+        t = self.parse_ternary()
+        if self.peek() is not None:
+            raise SpecParseError(f"trailing tokens: {self.tokens[self.pos:]!r}")
+        return t
+
+    def parse_ternary(self) -> Term:
+        cond = self.parse_binary(0)
+        if self.peek() == "?":
+            self.next()
+            then = self.parse_ternary()
+            self.expect(":")
+            els = self.parse_ternary()
+            return T.ite(cond, then, els)
+        return cond
+
+    def parse_binary(self, level: int) -> Term:
+        if level >= len(_PRECEDENCE):
+            return self.parse_unary()
+        lhs = self.parse_binary(level + 1)
+        ops = _PRECEDENCE[level]
+        while self.peek() in ops:
+            op = self.next()
+            # ``->``, ``::``, ``++`` and ``(+)`` are right-associative
+            # (matching Coq's notations).
+            right_assoc = op in ("->", "::", "++", "(+)")
+            rhs = self.parse_binary(level if right_assoc else level + 1)
+            lhs = self._apply_binop(op, lhs, rhs)
+        return lhs
+
+    def _apply_binop(self, op: str, a: Term, b: Term) -> Term:
+        try:
+            if op == "->":
+                return T.implies(a, b)
+            if op == "||":
+                return T.or_(a, b)
+            if op == "&&":
+                return T.and_(a, b)
+            if op == "=":
+                return T.eq(a, b)
+            if op == "!=":
+                return T.ne(a, b)
+            if op == "<=":
+                return T.le(a, b)
+            if op == "<":
+                return T.lt(a, b)
+            if op == ">=":
+                return T.ge(a, b)
+            if op == ">":
+                return T.gt(a, b)
+            if op == "in":
+                return T.mmember(a, b)
+            if op == "(+)":
+                return T.munion(a, b)
+            if op == "++":
+                return T.append(a, b)
+            if op == "::":
+                return T.cons(a, b)
+            if op == "+":
+                if a.sort is Sort.LOC:
+                    return T.loc_offset(a, b)
+                return T.add(a, b)
+            if op == "-":
+                return T.sub(a, b)
+            if op == "*":
+                return T.mul(a, b)
+            if op == "/":
+                return T.app("div", a, b)
+            if op == "%":
+                return T.app("mod", a, b)
+        except T.TermError as exc:
+            raise SpecParseError(str(exc)) from exc
+        raise SpecParseError(f"unknown operator {op!r}")
+
+    def parse_unary(self) -> Term:
+        tok = self.peek()
+        if tok == "-":
+            self.next()
+            return T.neg(self.parse_unary())
+        if tok == "forall":
+            return self.parse_forall()
+        return self.parse_primary()
+
+    def parse_forall(self) -> Term:
+        """Recognise ``forall k, k ∈ s -> φ(k)`` and compile to mall_ge."""
+        self.expect("forall")
+        binder = self.next()
+        if not binder.isidentifier():
+            raise SpecParseError(f"bad binder {binder!r}")
+        self.expect(",")
+        k = T.var(binder, Sort.INT)
+        inner_env = dict(self.env)
+        inner_env[binder] = k
+        sub = _Parser(self.tokens[self.pos:], inner_env, self.constants)
+        body = sub.parse_ternary()
+        self.pos += sub.pos
+        # Expected shapes:  mmember(k, s) -> n <= k   (mall_ge)
+        #                or  mmember(k, s) -> k <= n   (mall_le),
+        # with k not free in s or n.
+        if isinstance(body, T.App) and body.op == "implies":
+            prem, concl = body.args
+            if isinstance(prem, T.App) and prem.op == "mmember" \
+                    and prem.args[0] == k \
+                    and k not in prem.args[1].free_vars() \
+                    and isinstance(concl, T.App) and concl.op == "le":
+                lo, hi = concl.args
+                if hi == k and k not in lo.free_vars():
+                    return T.mall_ge(prem.args[1], lo)
+                if lo == k and k not in hi.free_vars():
+                    return T.mall_le(prem.args[1], hi)
+        raise SpecParseError(
+            "only the patterns 'forall k, k ∈ s -> n ≤ k' and "
+            "'forall k, k ∈ s -> k ≤ n' are supported")
+
+    def parse_primary(self) -> Term:
+        tok = self.next()
+        if tok.isdigit():
+            return T.intlit(int(tok))
+        if tok == "(":
+            t = self.parse_ternary()
+            self.expect(")")
+            return t
+        if tok == "{[":
+            t = self.parse_ternary()
+            self.expect("]}")
+            return T.msingle(t)
+        if tok in ("∅", "0mset", "mempty"):
+            return T.mempty()
+        if tok == "[":
+            if self.peek() == "]":
+                self.next()
+                return T.nil()
+            elems = [self.parse_ternary()]
+            while self.peek() == ",":
+                self.next()
+                elems.append(self.parse_ternary())
+            self.expect("]")
+            return T.list_lit(*elems)
+        if tok in ("true", "True"):
+            return T.TRUE
+        if tok in ("false", "False"):
+            return T.FALSE
+        if tok in ("nil", "[]"):
+            return T.nil()
+        if tok.isidentifier():
+            return self.parse_ident(tok)
+        raise SpecParseError(f"unexpected token {tok!r}")
+
+    def parse_ident(self, name: str) -> Term:
+        if self.peek() == "(":
+            self.next()
+            if name == "sizeof":
+                value = self.parse_sizeof_arg()
+                self.expect(")")
+                return value
+            args: list[Term] = []
+            if self.peek() != ")":
+                args.append(self.parse_ternary())
+                while self.peek() == ",":
+                    self.next()
+                    args.append(self.parse_ternary())
+            self.expect(")")
+            fn = _FUNCTIONS.get(name)
+            if fn is not None:
+                try:
+                    return fn(*args)
+                except (TypeError, T.TermError) as exc:
+                    raise SpecParseError(f"{name}: {exc}") from exc
+            return T.fn_app(name, args, self.fn_sorts.get(name, Sort.INT))
+        if name in self.env:
+            return self.env[name]
+        if name in self.constants:
+            return self.constants[name]
+        raise SpecParseError(f"unknown identifier {name!r}")
+
+    def parse_sizeof_arg(self) -> Term:
+        """``sizeof(struct foo)``/``sizeof(struct_foo)`` resolves a layout
+        constant instead of parsing an expression."""
+        parts = []
+        while self.peek() not in (")", None):
+            parts.append(self.next())
+        key = "sizeof(" + " ".join(parts) + ")"
+        key_us = "sizeof(" + "_".join(parts) + ")"
+        for k in (key, key_us):
+            if k in self.constants:
+                return self.constants[k]
+        raise SpecParseError(f"unknown layout constant {key!r}")
+
+
+def parse_term(text: str, env: Mapping[str, Term],
+               constants: Optional[Mapping[str, Term]] = None,
+               fn_sorts: Optional[Mapping[str, Sort]] = None) -> Term:
+    """Parse an annotation expression.
+
+    ``env`` maps in-scope refinement variable names to their terms;
+    ``constants`` maps layout constants like ``sizeof(struct chunk)``;
+    ``fn_sorts`` gives result sorts of uninterpreted spec functions (from
+    the lemma tables; unknown functions default to INT).
+    Curly braces around the whole expression (the paper's Coq escapes) are
+    stripped.
+    """
+    text = text.strip()
+    if text.startswith("{") and text.endswith("}") and not text.startswith("{["):
+        text = text[1:-1]
+    tokens = tokenize(text)
+    if not tokens:
+        raise SpecParseError("empty expression")
+    return _Parser(tokens, env, constants, fn_sorts).parse()

@@ -1,0 +1,311 @@
+"""Normalisation of refinement terms and hypotheses.
+
+Two mechanisms from the paper live here:
+
+1. Term *normalisation* used before solving: distribute ``msize`` over
+   multiset unions, ``len`` over list constructors, decompose structural
+   equalities, etc.  These are equivalences, so they preserve provability
+   (paper §5: "By default, this simplification mechanism applies
+   equivalences and thus preserves provability").
+
+2. Hypothesis *simplification* used by Lithium case (7c) when a pure fact is
+   introduced into the context: e.g. ``xs ++ ys = []`` is split into
+   ``xs = []`` and ``ys = []``, and ``mall_ge({[k]} ⊎ s, n)`` into
+   ``n <= k`` and ``mall_ge(s, n)``.
+
+The rule set is user-extensible (:func:`register_hyp_rule`), mirroring the
+paper's extensible ``autorewrite``/typeclass mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from .terms import (App, Lit, Sort, Term, add, and_, app, eq, intlit, le,
+                    mall_ge, mall_le, msize, not_, sub)
+
+
+def simplify(t: Term) -> Term:
+    """Normalise a term bottom-up.  Idempotent and semantics-preserving."""
+    if not isinstance(t, App):
+        return t
+    args = tuple(simplify(a) for a in t.args)
+    if t.op.startswith("fn:") or t.op == "list_lit":
+        t2: Term = App(t.op, args, t.result_sort)
+    else:
+        t2 = app(t.op, *args, sort=t.result_sort)
+    if not isinstance(t2, App):
+        return t2
+    out = _simplify_node(t2)
+    if out is not t2:
+        return simplify(out)
+    return out
+
+
+def _mset_parts(t: Term) -> Optional[list[Term]]:
+    """Flatten a multiset term into union parts; None if not constructor-led."""
+    if isinstance(t, App):
+        if t.op == "mempty":
+            return []
+        if t.op == "munion":
+            out: list[Term] = []
+            for a in t.args:
+                sub_parts = _mset_parts(a)
+                if sub_parts is None:
+                    out.append(a)
+                else:
+                    out.extend(sub_parts)
+            return out
+        if t.op == "msingle":
+            return [t]
+    return [t] if t.sort is Sort.MSET else None
+
+
+def _list_parts(t: Term) -> list[Term]:
+    """Flatten a list term into append-parts (cons cells kept as parts)."""
+    if isinstance(t, App) and t.op == "append":
+        return _list_parts(t.args[0]) + _list_parts(t.args[1])
+    if isinstance(t, App) and t.op == "nil":
+        return []
+    return [t]
+
+
+def _simplify_node(t: App) -> Term:
+    op, args = t.op, t.args
+    if op == "list_lit":
+        # Canonicalise literal lists to cons chains.
+        out: Term = app("nil")
+        for x in reversed(args):
+            out = app("cons", x, out)
+        return out
+    if op == "msize":
+        inner = args[0]
+        if isinstance(inner, App):
+            if inner.op == "mempty":
+                return intlit(0)
+            if inner.op == "msingle":
+                return intlit(1)
+            if inner.op == "munion":
+                return add(*(msize(a) for a in inner.args))
+    if op == "len":
+        inner = args[0]
+        if isinstance(inner, App):
+            if inner.op == "nil":
+                return intlit(0)
+            if inner.op == "cons":
+                return add(intlit(1), app("len", inner.args[1]))
+            if inner.op == "append":
+                return add(app("len", inner.args[0]), app("len", inner.args[1]))
+            if inner.op == "list_lit":
+                return intlit(len(inner.args))
+    if op == "sub":
+        a, b = args
+        # Cancel an additive component:  (x + b + ...) - b  =  x + ...
+        a_parts = list(a.args) if isinstance(a, App) and a.op == "add" else [a]
+        b_parts = list(b.args) if isinstance(b, App) and b.op == "add" else [b]
+        remaining = list(a_parts)
+        cancelled = True
+        for bp in b_parts:
+            if bp in remaining:
+                remaining.remove(bp)
+            elif isinstance(bp, Lit):
+                lit = next((x for x in remaining if isinstance(x, Lit)), None)
+                if lit is None:
+                    cancelled = False
+                    break
+                remaining.remove(lit)
+                remaining.append(intlit(int(lit.value) - int(bp.value)))
+            else:
+                cancelled = False
+                break
+        if cancelled:
+            if not remaining:
+                return intlit(0)
+            return add(*remaining)
+    if op == "append":
+        a, b = args
+        if isinstance(a, App) and a.op == "nil":
+            return b
+        if isinstance(b, App) and b.op == "nil":
+            return a
+        if isinstance(a, App) and a.op == "cons":
+            return app("cons", a.args[0], app("append", a.args[1], b))
+        if isinstance(a, App) and a.op == "list_lit" and a.args:
+            out = b
+            for x in reversed(a.args):
+                out = app("cons", x, out)
+            return out
+        if isinstance(a, App) and a.op == "append":
+            return app("append", a.args[0], app("append", a.args[1], b))
+    if op == "head" and isinstance(args[0], App) and args[0].op == "cons":
+        return args[0].args[0]
+    if op == "tail" and isinstance(args[0], App) and args[0].op == "cons":
+        return args[0].args[1]
+    if op == "index" and isinstance(args[0], App) and args[0].op == "cons" \
+            and isinstance(args[1], Lit):
+        i = int(args[1].value)
+        if i == 0:
+            return args[0].args[0]
+        return app("index", args[0].args[1], intlit(i - 1))
+    if op == "index" and isinstance(args[0], App) and args[0].op == "store":
+        xs, i, v = args[0].args
+        j = args[1]
+        if i == j:
+            return v
+        if isinstance(i, Lit) and isinstance(j, Lit):
+            return app("index", xs, j)
+    if op == "len" and isinstance(args[0], App) and args[0].op == "store":
+        return app("len", args[0].args[0])
+    if op == "implies" and args[1] == Lit(False):
+        return not_(args[0])
+    if op == "eq":
+        decomposed = _decompose_eq(args[0], args[1])
+        if decomposed is not None:
+            return decomposed
+    if op == "mall_ge":
+        s, n = args
+        if isinstance(s, App):
+            if s.op == "mempty":
+                return Lit(True)
+            if s.op == "msingle":
+                return le(n, s.args[0])
+            if s.op == "munion":
+                return and_(*(mall_ge(a, n) for a in s.args))
+    if op == "mall_le":
+        s, n = args
+        if isinstance(s, App):
+            if s.op == "mempty":
+                return Lit(True)
+            if s.op == "msingle":
+                return le(s.args[0], n)
+            if s.op == "munion":
+                return and_(*(mall_le(a, n) for a in s.args))
+    if op == "mmember":
+        k, s = args
+        if isinstance(s, App):
+            if s.op == "mempty":
+                return Lit(False)
+            if s.op == "msingle":
+                return eq(k, s.args[0])
+            if s.op == "munion":
+                return app("or", *(app("mmember", k, a) for a in s.args))
+    return t
+
+
+def _decompose_eq(a: Term, b: Term) -> Optional[Term]:
+    """Structural decomposition of constructor-led equalities."""
+    if a.sort is Sort.LIST:
+        if isinstance(a, App) and isinstance(b, App):
+            if a.op == "cons" and b.op == "cons":
+                return and_(eq(a.args[0], b.args[0]), eq(a.args[1], b.args[1]))
+            if {a.op, b.op} == {"cons", "nil"}:
+                return Lit(False)
+            if a.op == "nil" and b.op == "nil":
+                return Lit(True)
+            # xs ++ ys = []  <->  xs = [] ∧ ys = []  (an equivalence)
+            for x, y in ((a, b), (b, a)):
+                if y.op == "nil" and x.op == "append":
+                    return and_(eq(x.args[0], app("nil")),
+                                eq(x.args[1], app("nil")))
+                if y.op == "nil" and x.op == "list_lit" and x.args:
+                    return Lit(False)
+                if y.op == "nil" and x.op == "store":
+                    return eq(x.args[0], app("nil"))
+    if a.sort is Sort.MSET:
+        pa, pb = _mset_parts(a), _mset_parts(b)
+        if pa is not None and pb is not None:
+            # Cancel syntactically equal parts from both sides.
+            rb = list(pb)
+            ra: list[Term] = []
+            for x in pa:
+                if x in rb:
+                    rb.remove(x)
+                else:
+                    ra.append(x)
+            if len(ra) != len(pa):  # progress was made
+                return _rebuild_mset_eq(ra, rb)
+            # {[x]} = {[y]}  <->  x = y
+            if len(ra) == 1 and len(rb) == 1 and \
+                    all(isinstance(p, App) and p.op == "msingle" for p in (ra[0], rb[0])):
+                return eq(ra[0].args[0], rb[0].args[0])
+            if not ra and any(isinstance(p, App) and p.op == "msingle" for p in rb):
+                return Lit(False)
+            if not rb and any(isinstance(p, App) and p.op == "msingle" for p in ra):
+                return Lit(False)
+    return None
+
+
+def _rebuild_mset_eq(ra: list[Term], rb: list[Term]) -> Term:
+    def build(parts: list[Term]) -> Term:
+        if not parts:
+            return app("mempty")
+        return app("munion", *parts) if len(parts) > 1 else parts[0]
+    return eq(build(ra), build(rb))
+
+
+# ------------------------------------------------------------------
+# Hypothesis simplification (Lithium case (7c)).
+# ------------------------------------------------------------------
+
+HypRule = Callable[[Term], Optional[list[Term]]]
+_HYP_RULES: list[HypRule] = []
+
+
+def register_hyp_rule(rule: HypRule) -> None:
+    """Register a user-extensible hypothesis simplification rule.
+
+    A rule takes a hypothesis and returns a list of replacement hypotheses,
+    or ``None`` if it does not apply.  Rules should be equivalences unless
+    the user deliberately opts into implications (the paper's escape hatch).
+    """
+    _HYP_RULES.append(rule)
+
+
+def simplify_hyp(phi: Term) -> list[Term]:
+    """Normalise a hypothesis into a list of simpler hypotheses."""
+    phi = simplify(phi)
+    if isinstance(phi, Lit) and phi.value is True:
+        return []
+    if isinstance(phi, App) and phi.op == "and":
+        out: list[Term] = []
+        for a in phi.args:
+            out.extend(simplify_hyp(a))
+        return out
+    for rule in _HYP_RULES:
+        repl = rule(phi)
+        if repl is not None:
+            out = []
+            for r in repl:
+                out.extend(simplify_hyp(r))
+            return out
+    return [phi]
+
+
+def _rule_append_nil(phi: Term) -> Optional[list[Term]]:
+    """``xs ++ ys = []``  ~~>  ``xs = []`` and ``ys = []`` (and symmetric)."""
+    if not (isinstance(phi, App) and phi.op == "eq"):
+        return None
+    a, b = phi.args
+    if a.sort is not Sort.LIST:
+        return None
+    for x, y in ((a, b), (b, a)):
+        if isinstance(y, App) and y.op == "nil" and isinstance(x, App) and x.op == "append":
+            return [eq(x.args[0], app("nil")), eq(x.args[1], app("nil"))]
+    return None
+
+
+def _rule_munion_empty(phi: Term) -> Optional[list[Term]]:
+    """``a ⊎ b = ∅``  ~~>  ``a = ∅`` and ``b = ∅`` (and symmetric)."""
+    if not (isinstance(phi, App) and phi.op == "eq"):
+        return None
+    a, b = phi.args
+    if a.sort is not Sort.MSET:
+        return None
+    for x, y in ((a, b), (b, a)):
+        if isinstance(y, App) and y.op == "mempty" and isinstance(x, App) and x.op == "munion":
+            return [eq(p, app("mempty")) for p in x.args]
+    return None
+
+
+register_hyp_rule(_rule_append_nil)
+register_hyp_rule(_rule_munion_empty)

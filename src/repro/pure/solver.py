@@ -1,0 +1,317 @@
+"""The pure side-condition solver front door (step (C) of Figure 2).
+
+Lithium emits *pure* verification conditions (plain propositions about the
+refinements).  These are discharged by:
+
+1. the **default solver** — simplification + linear arithmetic + lists
+   (mirroring the paper's default solver that "currently only targets linear
+   arithmetic and Coq lists"),
+2. **named solvers** requested via ``rc::tactics`` annotations
+   (``multiset_solver``, ``set_solver``), and
+3. **assumed lemmas** registered by the user (the analogue of manual Coq
+   proofs; these are recorded so the reporting layer can count the "Pure"
+   column of Figure 7).
+
+Mirroring §7's accounting, any side condition not closed by the default
+solver counts as *manually* discharged, even if a named solver then closes
+it fully automatically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from . import linarith
+from .lists import ListSolver
+from .sets import multiset_solver, set_solver
+from .simplify import simplify, simplify_hyp
+from .terms import App, Lit, Sort, Term, Var, subst_vars
+
+
+def _find_ite(t: Term) -> Optional[App]:
+    """Return the first ``ite`` subterm of ``t``, if any."""
+    for s in t.subterms():
+        if isinstance(s, App) and s.op == "ite":
+            return s
+    return None
+
+
+def _replace(t: Term, target: Term, replacement: Term) -> Term:
+    """Replace every occurrence of the subterm ``target`` in ``t``."""
+    if t == target:
+        return replacement
+    if isinstance(t, App):
+        new_args = tuple(_replace(a, target, replacement) for a in t.args)
+        if new_args != t.args:
+            if t.op.startswith("fn:") or t.op == "list_lit":
+                return App(t.op, new_args, t.result_sort)
+            from .terms import app
+            return app(t.op, *new_args, sort=t.result_sort)
+    return t
+
+
+class Outcome(enum.Enum):
+    """How a side condition was discharged."""
+
+    DEFAULT = "default"      # default solver: counted as automatic
+    NAMED = "named"          # rc::tactics solver: counted as manual (§7)
+    LEMMA = "lemma"          # user-assumed lemma: counted as manual
+    FAILED = "failed"
+
+
+@dataclass
+class ProveResult:
+    outcome: Outcome
+    solver: str = "default"
+
+
+@dataclass(frozen=True)
+class Lemma:
+    """A user-provided pure fact, the analogue of a manual Coq proof.
+
+    ``params`` are universally quantified variables; the lemma states
+    ``hyps -> conclusion``.  Lemmas are applied two ways: by unifying the
+    conclusion against the goal (backward), and by *forward chaining* —
+    instantiating the ``triggers`` (by default, the uninterpreted-function
+    and list-access subterms of the lemma) against subterms of the proof
+    context, discharging the hypotheses, and adding the conclusion as an
+    extra fact.
+    """
+
+    name: str
+    params: tuple[Var, ...]
+    hyps: tuple[Term, ...]
+    conclusion: Term
+    triggers: tuple[Term, ...] = ()
+
+    def trigger_patterns(self) -> tuple[Term, ...]:
+        if self.triggers:
+            return self.triggers
+        out = []
+        for t in (self.conclusion,) + self.hyps:
+            for s in t.subterms():
+                if isinstance(s, App) and (s.op.startswith("fn:")
+                                           or s.op in ("index", "sorted")):
+                    if s not in out:
+                        out.append(s)
+        return tuple(out)
+
+
+_NAMED_SOLVERS = {
+    "multiset_solver": multiset_solver,
+    "set_solver": set_solver,
+}
+
+
+class PureSolver:
+    """Solve pure side conditions; records per-proof statistics."""
+
+    def __init__(self, tactics: Sequence[str] = (), lemmas: Sequence[Lemma] = ()) -> None:
+        self.tactics = [t for t in tactics if t]
+        self.lemmas = list(lemmas)
+        unknown = [t for t in self.tactics if t not in _NAMED_SOLVERS]
+        if unknown:
+            raise ValueError(f"unknown solver tactic(s): {unknown}")
+
+    # -----------------------------------------------------------------
+    def prove(self, hyps: Iterable[Term], goal: Term) -> ProveResult:
+        hyps = self._expand_hyps(hyps)
+        goal = simplify(goal)
+        if self._default(hyps, goal):
+            return ProveResult(Outcome.DEFAULT)
+        for name in self.tactics:
+            if _NAMED_SOLVERS[name](hyps, goal):
+                return ProveResult(Outcome.NAMED, name)
+        if self._by_lemma(hyps, goal):
+            return ProveResult(Outcome.LEMMA, "lemma")
+        if self.lemmas and self._forward_lemmas(hyps, goal):
+            return ProveResult(Outcome.LEMMA, "lemma")
+        return ProveResult(Outcome.FAILED)
+
+    # -----------------------------------------------------------------
+    @staticmethod
+    def _expand_hyps(hyps: Iterable[Term]) -> list[Term]:
+        out: list[Term] = []
+        for h in hyps:
+            out.extend(simplify_hyp(h))
+        return out
+
+    def _default(self, hyps: list[Term], goal: Term) -> bool:
+        """The default solver: recursive goal decomposition over
+        simplification + linarith + lists."""
+        goal = simplify(goal)
+        # A hypothesis is literally False, or a pair of contradictory
+        # hypotheses exists: anything follows.
+        if any(isinstance(h, Lit) and h.value is False for h in hyps):
+            return True
+        hypset = set(hyps)
+        if any(isinstance(h, App) and h.op == "not" and h.args[0] in hypset
+               for h in hyps):
+            return True
+        if isinstance(goal, Lit) and goal.value is True:
+            return True
+        if goal in hypset:
+            return True
+        if isinstance(goal, App):
+            if goal.op == "and":
+                return all(self._default(hyps, g) for g in goal.args)
+            if goal.op == "implies":
+                return self._default(hyps + simplify_hyp(goal.args[0]), goal.args[1])
+            if goal.op == "or":
+                if any(self._default(hyps, g) for g in goal.args):
+                    return True
+            if goal.op == "eq" and goal.args[0].sort is Sort.BOOL:
+                a, b = goal.args
+                return (self._default(hyps + simplify_hyp(a), b)
+                        and self._default(hyps + simplify_hyp(b), a))
+            if goal.op == "eq" and goal.args[0].sort is Sort.LIST:
+                return ListSolver(hyps).prove(goal, hyps)
+            if goal.op == "ite":
+                c, t, e = goal.args
+                return (self._default(hyps + simplify_hyp(c), t)
+                        and self._default(hyps + simplify_hyp(simplify(App("not", (c,), Sort.BOOL))), e))
+        if linarith.implies_linear(hyps, goal):
+            return True
+        # Normalise with the list theory (rewriting by list equations in
+        # the hypotheses) and retry — the default solver covers "linear
+        # arithmetic and Coq lists" (§7).
+        ls = ListSolver(hyps)
+        goal2 = ls.normalise(goal)
+        hyps2 = [ls.normalise(h) for h in hyps]
+        if goal2 != goal or hyps2 != hyps:
+            if self._default(hyps2, goal2):
+                return True
+        # Case-split on an integer disequality hypothesis (a ≠ b becomes
+        # a < b ∨ b < a; linarith cannot use disequalities directly).
+        for h in hyps:
+            if isinstance(h, App) and h.op == "not":
+                inner = h.args[0]
+                if isinstance(inner, App) and inner.op == "eq" \
+                        and inner.args[0].sort is Sort.INT:
+                    a, b = inner.args
+                    rest = [x for x in hyps if x != h]
+                    return (self._default(rest + [App("lt", (a, b),
+                                                      Sort.BOOL)], goal)
+                            and self._default(rest + [App("lt", (b, a),
+                                                          Sort.BOOL)], goal))
+        # Case-split on an if-then-else occurring in the goal or hypotheses
+        # (the ensures clause of Figure 1 produces `n ≤ a ? a - n : a`).
+        split = self._split_ite(hyps, goal)
+        if split is not None:
+            return all(self._default(h, g) for h, g in split)
+        # Try contradiction in the hypotheses (e.g. n <= 0 and 1 <= n).
+        return linarith.implies_linear(hyps, Lit(False)) if hyps else False
+
+    def _split_ite(self, hyps: list[Term],
+                   goal: Term) -> Optional[list[tuple[list[Term], Term]]]:
+        """Find an ``ite`` subterm and return the two case-split subproblems,
+        or ``None`` if there is nothing to split on."""
+        ite_term = _find_ite(goal)
+        if ite_term is None:
+            for h in hyps:
+                ite_term = _find_ite(h)
+                if ite_term is not None:
+                    break
+        if ite_term is None:
+            return None
+        cond, then_b, else_b = ite_term.args
+        cases = []
+        for guard, branch in ((cond, then_b),
+                              (simplify(App("not", (cond,), Sort.BOOL)), else_b)):
+            new_hyps = [simplify(_replace(h, ite_term, branch)) for h in hyps]
+            new_goal = simplify(_replace(goal, ite_term, branch))
+            cases.append((new_hyps + simplify_hyp(guard), new_goal))
+        return cases
+
+    # -----------------------------------------------------------------
+    _FORWARD_ATTEMPTS = 64
+
+    def _forward_lemmas(self, hyps: list[Term], goal: Term) -> bool:
+        """Forward chaining: instantiate lemma triggers against subterms of
+        the context/goal, discharge the lemma hypotheses, add the
+        conclusions, and retry the default solver."""
+        from .terms import Subst, fresh_evar
+        from .unify import unify
+        pool: list[Term] = []
+        for t in hyps + [goal]:
+            for s in t.subterms():
+                if isinstance(s, App) and s not in pool:
+                    pool.append(s)
+        derived: list[Term] = []
+        for lemma in self.lemmas:
+            patterns = lemma.trigger_patterns()
+            if not patterns:
+                continue
+            for inst in self._instantiations(lemma, patterns, pool):
+                inst_hyps = [subst_vars(h, inst) for h in lemma.hyps]
+                if any(h.has_evars() for h in inst_hyps):
+                    continue
+                if all(self._default(hyps + derived, h) or
+                       any(_NAMED_SOLVERS[t](hyps + derived, h)
+                           for t in self.tactics)
+                       for h in inst_hyps):
+                    concl = subst_vars(lemma.conclusion, inst)
+                    for part in simplify_hyp(concl):
+                        if part not in derived and part not in hyps:
+                            derived.append(part)
+        if not derived:
+            return False
+        if self._default(hyps + derived, goal):
+            return True
+        return any(_NAMED_SOLVERS[t](hyps + derived, goal)
+                   for t in self.tactics)
+
+    def _instantiations(self, lemma: Lemma, patterns, pool):
+        """Enumerate (boundedly many) full instantiations of the lemma
+        parameters by unifying trigger patterns with pool terms."""
+        from .terms import Subst, fresh_evar
+        from .unify import unify
+
+        def go(idx: int, subst: Subst, evmap, budget: list[int]):
+            if budget[0] <= 0:
+                return
+            if idx == len(patterns):
+                inst = {}
+                complete = True
+                for p, ev in evmap.items():
+                    bound = subst.resolve(ev)
+                    if bound.has_evars():
+                        complete = False
+                        break
+                    inst[p] = bound
+                if complete:
+                    budget[0] -= 1
+                    yield inst
+                return
+            pat = subst_vars(patterns[idx], evmap)
+            for cand in pool:
+                trial = Subst()
+                for eid, t in subst.snapshot().items():
+                    from .terms import EVar
+                    trial.bind_evar(EVar(eid, t.sort), t)
+                if unify(pat, cand, trial):
+                    yield from go(idx + 1, trial, evmap, budget)
+
+        evmap = {p: fresh_evar(p.sort, p.name) for p in lemma.params}
+        budget = [self._FORWARD_ATTEMPTS]
+        yield from go(0, Subst(), evmap, budget)
+
+    def _by_lemma(self, hyps: list[Term], goal: Term) -> bool:
+        from .terms import Subst, fresh_evar
+        from .unify import unify
+        for lemma in self.lemmas:
+            subst = Subst()
+            evars = {p: fresh_evar(p.sort, p.name) for p in lemma.params}
+            concl = subst_vars(lemma.conclusion, evars)
+            if not unify(concl, goal, subst):
+                continue
+            inst_hyps = [subst.resolve(subst_vars(h, evars)) for h in lemma.hyps]
+            if any(h.has_evars() for h in inst_hyps):
+                continue
+            if all(self._default(hyps, h)
+                   or any(_NAMED_SOLVERS[t](hyps, h) for t in self.tactics)
+                   for h in inst_hyps):
+                return True
+        return False

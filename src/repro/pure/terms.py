@@ -1,0 +1,566 @@
+"""Symbolic term language for RefinedC refinements and pure side conditions.
+
+RefinedC refinements range over "arbitrary mathematical domains" (Coq types in
+the paper).  This module provides the executable analogue: a small multi-sorted
+first-order term language with
+
+* mathematical integers (``INT``) -- naturals are integers plus ``0 <= x``
+  hypotheses, as in the paper's use of ``nat``,
+* booleans (``BOOL``) used both as values and as propositions,
+* symbolic memory locations (``LOC``) with byte offsets,
+* multisets of integers (``MSET``) -- the paper's ``gmultiset nat``,
+* lists of integers (``LIST``) -- used for array/functional specs.
+
+Terms are immutable and hash-consed *structurally* (frozen dataclasses), so
+they can be used as dictionary keys by the solvers and by Lithium's context.
+
+Existential metavariables (:class:`EVar`) implement the paper's *evars*
+(Section 5, "Handling of evars"): they are created by the ``∃`` case of the
+Lithium interpreter and instantiated only through a :class:`Subst` store,
+never destructively.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Optional, Sequence, Union
+
+
+class Sort(enum.Enum):
+    """Sorts of the refinement term language."""
+
+    INT = "int"
+    BOOL = "bool"
+    LOC = "loc"
+    MSET = "mset"
+    LIST = "list"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Sort.{self.name}"
+
+
+class TermError(Exception):
+    """Raised on ill-sorted term construction or malformed substitution."""
+
+
+@dataclass(frozen=True)
+class Term:
+    """Base class of all terms.  Instances are immutable."""
+
+    @property
+    def sort(self) -> Sort:
+        raise NotImplementedError
+
+    def subterms(self) -> Iterator["Term"]:
+        """Yield this term and all its subterms, pre-order."""
+        yield self
+
+    def free_vars(self) -> frozenset["Var"]:
+        return frozenset(t for t in self.subterms() if isinstance(t, Var))
+
+    def evars(self) -> frozenset["EVar"]:
+        return frozenset(t for t in self.subterms() if isinstance(t, EVar))
+
+    def has_evars(self) -> bool:
+        return any(isinstance(t, EVar) for t in self.subterms())
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A universally quantified (rigid) variable, e.g. a ``rc::parameters``
+    entry or a loop-invariant ``rc::exists`` binder after introduction."""
+
+    name: str
+    var_sort: Sort
+
+    @property
+    def sort(self) -> Sort:
+        return self.var_sort
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+_EVAR_COUNTER = itertools.count()
+
+
+@dataclass(frozen=True)
+class EVar(Term):
+    """An existential metavariable (paper: *evar*).
+
+    Evars are instantiated via a :class:`Subst`; the ``sealed`` protocol that
+    prevents premature instantiation lives in :mod:`repro.lithium.search`,
+    which tracks the set of currently sealed evar ids.
+    """
+
+    eid: int
+    var_sort: Sort
+    hint: str = ""
+
+    @property
+    def sort(self) -> Sort:
+        return self.var_sort
+
+    def __repr__(self) -> str:
+        suffix = f":{self.hint}" if self.hint else ""
+        return f"?e{self.eid}{suffix}"
+
+
+def fresh_evar(sort: Sort, hint: str = "") -> EVar:
+    """Create a globally fresh evar of the given sort."""
+    return EVar(next(_EVAR_COUNTER), sort, hint)
+
+
+@dataclass(frozen=True)
+class Lit(Term):
+    """An integer or boolean literal."""
+
+    value: Union[int, bool]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, (int, bool)):
+            raise TermError(f"bad literal {self.value!r}")
+
+    @property
+    def sort(self) -> Sort:
+        return Sort.BOOL if isinstance(self.value, bool) else Sort.INT
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+# Operator table: name -> (argument sorts or None for variadic, result sort).
+# ``None`` in an argument position means "same sort as first argument".
+_OPS: dict[str, tuple[Optional[tuple[Optional[Sort], ...]], Sort]] = {
+    # Integer arithmetic.
+    "add": (None, Sort.INT),          # variadic, INT args
+    "mul": (None, Sort.INT),
+    "sub": ((Sort.INT, Sort.INT), Sort.INT),
+    "neg": ((Sort.INT,), Sort.INT),
+    "div": ((Sort.INT, Sort.INT), Sort.INT),
+    "mod": ((Sort.INT, Sort.INT), Sort.INT),
+    "min": ((Sort.INT, Sort.INT), Sort.INT),
+    "max": ((Sort.INT, Sort.INT), Sort.INT),
+    "ite": ((Sort.BOOL, None, None), Sort.INT),  # result sort fixed at build
+    # Comparisons / propositions.
+    "le": ((Sort.INT, Sort.INT), Sort.BOOL),
+    "lt": ((Sort.INT, Sort.INT), Sort.BOOL),
+    "eq": ((None, None), Sort.BOOL),
+    "not": ((Sort.BOOL,), Sort.BOOL),
+    "and": (None, Sort.BOOL),
+    "or": (None, Sort.BOOL),
+    "implies": ((Sort.BOOL, Sort.BOOL), Sort.BOOL),
+    # Locations.
+    "loc_offset": ((Sort.LOC, Sort.INT), Sort.LOC),
+    # Multisets (gmultiset nat).
+    "mempty": ((), Sort.MSET),
+    "msingle": ((Sort.INT,), Sort.MSET),
+    "munion": (None, Sort.MSET),
+    "msize": ((Sort.MSET,), Sort.INT),
+    "mmember": ((Sort.INT, Sort.MSET), Sort.BOOL),
+    "mall_ge": ((Sort.MSET, Sort.INT), Sort.BOOL),  # ∀k∈s. n ≤ k
+    "mall_le": ((Sort.MSET, Sort.INT), Sort.BOOL),  # ∀k∈s. k ≤ n
+    # Lists of integers.
+    "nil": ((), Sort.LIST),
+    "cons": ((Sort.INT, Sort.LIST), Sort.LIST),
+    "append": ((Sort.LIST, Sort.LIST), Sort.LIST),
+    "len": ((Sort.LIST,), Sort.INT),
+    "head": ((Sort.LIST,), Sort.INT),
+    "tail": ((Sort.LIST,), Sort.LIST),
+    "index": ((Sort.LIST, Sort.INT), Sort.INT),
+    "store": ((Sort.LIST, Sort.INT, Sort.INT), Sort.LIST),
+    "list_lit": (None, Sort.LIST),   # literal list of INT terms
+    "sorted": ((Sort.LIST,), Sort.BOOL),
+}
+
+
+@dataclass(frozen=True)
+class App(Term):
+    """An operator or uninterpreted-function application.
+
+    Uninterpreted functions (used e.g. for the hashmap's probing function)
+    have ``op`` of the form ``"fn:<name>"`` and carry their result sort.
+    """
+
+    op: str
+    args: tuple[Term, ...]
+    result_sort: Sort
+
+    @property
+    def sort(self) -> Sort:
+        return self.result_sort
+
+    def subterms(self) -> Iterator[Term]:
+        yield self
+        for a in self.args:
+            yield from a.subterms()
+
+    def __repr__(self) -> str:
+        if not self.args:
+            return self.op
+        return f"{self.op}({', '.join(map(repr, self.args))})"
+
+
+def _check_sorts(op: str, args: Sequence[Term]) -> Sort:
+    if op.startswith("fn:"):
+        raise TermError("use fn_app() for uninterpreted functions")
+    if op not in _OPS:
+        raise TermError(f"unknown operator {op!r}")
+    arg_sorts, result = _OPS[op]
+    if arg_sorts is None:
+        want = {"and": Sort.BOOL, "or": Sort.BOOL, "munion": Sort.MSET,
+                "list_lit": Sort.INT}.get(op, Sort.INT)
+        for a in args:
+            if a.sort is not want:
+                raise TermError(f"{op}: expected {want}, got {a.sort} in {a!r}")
+    else:
+        if len(args) != len(arg_sorts):
+            raise TermError(f"{op}: arity {len(arg_sorts)}, got {len(args)}")
+        for a, want in zip(args, arg_sorts):
+            if want is not None and a.sort is not want:
+                raise TermError(f"{op}: expected {want}, got {a.sort} in {a!r}")
+        if op == "eq" and args[0].sort is not args[1].sort:
+            raise TermError(f"eq: sort mismatch {args[0].sort} vs {args[1].sort}")
+    return result
+
+
+def app(op: str, *args: Term, sort: Optional[Sort] = None) -> Term:
+    """Build an application with light canonicalisation (constant folding,
+    flattening of associative operators, neutral-element removal)."""
+    result = _check_sorts(op, args)
+    if op == "ite":
+        if sort is None:
+            sort = args[1].sort
+        if args[1].sort is not args[2].sort:
+            raise TermError("ite: branch sort mismatch")
+        result = sort
+        cond = args[0]
+        if cond == TRUE:
+            return args[1]
+        if cond == FALSE:
+            return args[2]
+        if args[1] == args[2]:
+            return args[1]
+    if op in ("add", "mul", "and", "or", "munion"):
+        flat: list[Term] = []
+        for a in args:
+            if isinstance(a, App) and a.op == op:
+                flat.extend(a.args)
+            else:
+                flat.append(a)
+        args = tuple(flat)
+        folded = _fold_variadic(op, args)
+        if folded is not None:
+            return folded
+    simple = _fold_fixed(op, args)
+    if simple is not None:
+        return simple
+    return App(op, tuple(args), result)
+
+
+def _fold_variadic(op: str, args: tuple[Term, ...]) -> Optional[Term]:
+    """Constant-fold / simplify variadic operators; return None to keep App."""
+    if op == "add":
+        const = sum(a.value for a in args if isinstance(a, Lit))
+        rest = [a for a in args if not isinstance(a, Lit)]
+        if not rest:
+            return Lit(const)
+        if const:
+            rest.append(Lit(const))
+        if len(rest) == 1:
+            return rest[0]
+        return App("add", tuple(rest), Sort.INT)
+    if op == "mul":
+        const = 1
+        rest = []
+        for a in args:
+            if isinstance(a, Lit):
+                const *= a.value
+            else:
+                rest.append(a)
+        if const == 0 or not rest:
+            return Lit(const if not rest else 0)
+        if const != 1:
+            rest.insert(0, Lit(const))
+        if len(rest) == 1:
+            return rest[0]
+        return App("mul", tuple(rest), Sort.INT)
+    if op in ("and", "or"):
+        unit, absorb = (TRUE, FALSE) if op == "and" else (FALSE, TRUE)
+        out: list[Term] = []
+        for a in args:
+            if a == absorb:
+                return absorb
+            if a != unit and a not in out:
+                out.append(a)
+        if not out:
+            return unit
+        if len(out) == 1:
+            return out[0]
+        return App(op, tuple(out), Sort.BOOL)
+    if op == "munion":
+        out = [a for a in args if not (isinstance(a, App) and a.op == "mempty")]
+        if not out:
+            return App("mempty", (), Sort.MSET)
+        if len(out) == 1:
+            return out[0]
+        return App("munion", tuple(out), Sort.MSET)
+    return None
+
+
+def _fold_fixed(op: str, args: tuple[Term, ...]) -> Optional[Term]:
+    """Constant-fold fixed-arity operators on literal arguments."""
+    vals = [a.value for a in args if isinstance(a, Lit)]
+    if len(vals) == len(args):
+        if op == "sub":
+            return Lit(vals[0] - vals[1])
+        if op == "neg":
+            return Lit(-vals[0])
+        if op == "div" and vals[1] != 0:
+            q = abs(vals[0]) // abs(vals[1])
+            return Lit(q if (vals[0] >= 0) == (vals[1] > 0) else -q)
+        if op == "mod" and vals[1] != 0:
+            return Lit(vals[0] - vals[1] * (vals[0] // vals[1] if (vals[0] >= 0) == (vals[1] > 0) else -(abs(vals[0]) // abs(vals[1]))))
+        if op == "min":
+            return Lit(min(vals))
+        if op == "max":
+            return Lit(max(vals))
+        if op == "le":
+            return Lit(bool(vals[0] <= vals[1]))
+        if op == "lt":
+            return Lit(bool(vals[0] < vals[1]))
+        if op == "eq":
+            return Lit(bool(vals[0] == vals[1]))
+        if op == "not":
+            return Lit(not vals[0])
+        if op == "implies":
+            return Lit((not vals[0]) or vals[1])
+    if op == "sub" and isinstance(args[1], Lit) and args[1].value == 0:
+        return args[0]
+    if op == "not" and isinstance(args[0], App) and args[0].op == "not":
+        return args[0].args[0]
+    if op == "eq" and args[0] == args[1] and not args[0].has_evars():
+        return TRUE
+    if op == "implies" and args[0] == TRUE:
+        return args[1]
+    if op == "implies" and args[1] == TRUE:
+        return TRUE
+    if op == "loc_offset" and isinstance(args[1], Lit) and args[1].value == 0:
+        return args[0]
+    if op == "loc_offset" and isinstance(args[0], App) and args[0].op == "loc_offset":
+        inner_loc, inner_off = args[0].args
+        return app("loc_offset", inner_loc, app("add", inner_off, args[1]))
+    return None
+
+
+def fn_app(name: str, args: Sequence[Term], sort: Sort) -> Term:
+    """Apply an uninterpreted function symbol (e.g. a spec-level Coq function)."""
+    return App(f"fn:{name}", tuple(args), sort)
+
+
+# ------------------------------------------------------------------
+# Convenience constructors (the public vocabulary used everywhere else).
+# ------------------------------------------------------------------
+
+TRUE = Lit(True)
+FALSE = Lit(False)
+ZERO = Lit(0)
+ONE = Lit(1)
+
+
+def intlit(n: int) -> Lit:
+    return Lit(int(n))
+
+
+def var(name: str, sort: Sort = Sort.INT) -> Var:
+    return Var(name, sort)
+
+
+def add(*ts: Term) -> Term:
+    return app("add", *ts)
+
+
+def sub(a: Term, b: Term) -> Term:
+    return app("sub", a, b)
+
+
+def mul(*ts: Term) -> Term:
+    return app("mul", *ts)
+
+
+def neg(a: Term) -> Term:
+    return app("neg", a)
+
+
+def le(a: Term, b: Term) -> Term:
+    return app("le", a, b)
+
+
+def lt(a: Term, b: Term) -> Term:
+    return app("lt", a, b)
+
+
+def ge(a: Term, b: Term) -> Term:
+    return app("le", b, a)
+
+
+def gt(a: Term, b: Term) -> Term:
+    return app("lt", b, a)
+
+
+def eq(a: Term, b: Term) -> Term:
+    return app("eq", a, b)
+
+
+def ne(a: Term, b: Term) -> Term:
+    return app("not", app("eq", a, b))
+
+
+def not_(a: Term) -> Term:
+    return app("not", a)
+
+
+def and_(*ts: Term) -> Term:
+    return app("and", *ts)
+
+
+def or_(*ts: Term) -> Term:
+    return app("or", *ts)
+
+
+def implies(a: Term, b: Term) -> Term:
+    return app("implies", a, b)
+
+
+def ite(c: Term, t: Term, e: Term) -> Term:
+    return app("ite", c, t, e)
+
+
+def loc_offset(l: Term, off: Term) -> Term:
+    return app("loc_offset", l, off)
+
+
+def mempty() -> Term:
+    return app("mempty")
+
+
+def msingle(n: Term) -> Term:
+    return app("msingle", n)
+
+
+def munion(*ts: Term) -> Term:
+    return app("munion", *ts)
+
+
+def msize(s: Term) -> Term:
+    return app("msize", s)
+
+
+def mmember(n: Term, s: Term) -> Term:
+    return app("mmember", n, s)
+
+
+def mall_ge(s: Term, n: Term) -> Term:
+    return app("mall_ge", s, n)
+
+
+def mall_le(s: Term, n: Term) -> Term:
+    return app("mall_le", s, n)
+
+
+def store(l: Term, i: Term, v: Term) -> Term:
+    return app("store", l, i, v)
+
+
+def nil() -> Term:
+    return app("nil")
+
+
+def cons(h: Term, t: Term) -> Term:
+    return app("cons", h, t)
+
+
+def append(a: Term, b: Term) -> Term:
+    return app("append", a, b)
+
+
+def length(l: Term) -> Term:
+    return app("len", l)
+
+
+def list_lit(*ts: Term) -> Term:
+    return App("list_lit", tuple(ts), Sort.LIST)
+
+
+# ------------------------------------------------------------------
+# Substitution.
+# ------------------------------------------------------------------
+
+class Subst:
+    """A persistent-feeling substitution store for evars and variables.
+
+    Evar bindings are added by unification during Lithium proof search and
+    never removed (no backtracking!), so a plain mutable dict suffices.
+    """
+
+    def __init__(self) -> None:
+        self._evar: dict[int, Term] = {}
+
+    def bind_evar(self, ev: EVar, t: Term) -> None:
+        if ev.eid in self._evar:
+            raise TermError(f"evar {ev!r} already bound")
+        t = self.resolve(t)
+        if ev in t.evars():
+            raise TermError(f"occurs check failed binding {ev!r} to {t!r}")
+        if t.sort is not ev.sort:
+            raise TermError(f"sort mismatch binding {ev!r} to {t!r}")
+        self._evar[ev.eid] = t
+
+    def lookup(self, ev: EVar) -> Optional[Term]:
+        return self._evar.get(ev.eid)
+
+    def is_bound(self, ev: EVar) -> bool:
+        return ev.eid in self._evar
+
+    def resolve(self, t: Term) -> Term:
+        """Fully apply the substitution to ``t`` (with re-canonicalisation)."""
+        if isinstance(t, EVar):
+            bound = self._evar.get(t.eid)
+            if bound is None:
+                return t
+            resolved = self.resolve(bound)
+            if resolved is not bound:
+                self._evar[t.eid] = resolved  # path compression
+            return resolved
+        if isinstance(t, App):
+            new_args = tuple(self.resolve(a) for a in t.args)
+            if new_args == t.args:
+                return t
+            if t.op.startswith("fn:") or t.op == "list_lit":
+                return App(t.op, new_args, t.result_sort)
+            return app(t.op, *new_args, sort=t.result_sort)
+        return t
+
+    def snapshot(self) -> dict[int, Term]:
+        """Return a copy of the raw store (used by tests/diagnostics)."""
+        return dict(self._evar)
+
+
+def subst_vars(t: Term, mapping: Mapping[Var, Term]) -> Term:
+    """Capture-avoiding substitution of rigid variables (terms are closed
+    w.r.t. binders, so this is plain structural replacement)."""
+    if isinstance(t, Var):
+        repl = mapping.get(t)
+        if repl is not None and repl.sort is not t.sort:
+            raise TermError(f"sort mismatch substituting {t!r} -> {repl!r}")
+        return repl if repl is not None else t
+    if isinstance(t, App):
+        new_args = tuple(subst_vars(a, mapping) for a in t.args)
+        if new_args == t.args:
+            return t
+        if t.op.startswith("fn:") or t.op == "list_lit":
+            return App(t.op, new_args, t.result_sort)
+        return app(t.op, *new_args, sort=t.result_sort)
+    return t

@@ -1,0 +1,92 @@
+"""Syntactic first-order unification over refinement terms.
+
+This implements the evar-instantiation heuristic of Lithium (paper §5,
+"Handling of evars"): when a pure side condition is an equality, all evars
+are unsealed and the two sides are unified, potentially instantiating evars.
+
+As in the paper, unification is *syntactic* and may instantiate an evar under
+a non-injective symbol (e.g. unifying ``len ?x`` with ``len l`` binds
+``?x := l``); this can in principle turn a provable goal unprovable, which is
+an accepted incompleteness of RefinedC (§5, §9).
+
+Unlike Coq's unification we make one hygiene improvement that does not affect
+the search discipline: candidate bindings are accumulated on a trail and
+committed to the shared :class:`~repro.pure.terms.Subst` only if the whole
+unification succeeds, so a failed attempt leaves no partial instantiation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .terms import App, EVar, Lit, Subst, Term, Var, app
+
+
+def unify(a: Term, b: Term, subst: Subst, frozen: Iterable[int] = ()) -> bool:
+    """Try to unify ``a`` and ``b`` modulo ``subst``.
+
+    ``frozen`` is a set of evar ids that must not be instantiated (Lithium's
+    *sealed* evars).  On success the new bindings are committed to ``subst``
+    and ``True`` is returned; on failure ``subst`` is unchanged.
+    """
+    frozen_set = set(frozen)
+    trail: dict[int, Term] = {}
+
+    def walk(t: Term) -> Term:
+        t = subst.resolve(t)
+        while isinstance(t, EVar) and t.eid in trail:
+            t = trail[t.eid]
+        return t
+
+    def occurs(ev: EVar, t: Term) -> bool:
+        return any(isinstance(s, EVar) and s.eid == ev.eid
+                   for s in walk_deep(t))
+
+    def walk_deep(t: Term):
+        t = walk(t)
+        yield t
+        if isinstance(t, App):
+            for arg in t.args:
+                yield from walk_deep(arg)
+
+    def go(x: Term, y: Term) -> bool:
+        x, y = walk(x), walk(y)
+        if x == y:
+            return True
+        if isinstance(x, EVar) and x.eid not in frozen_set:
+            if x.sort is not y.sort or occurs(x, y):
+                return False
+            trail[x.eid] = y
+            return True
+        if isinstance(y, EVar) and y.eid not in frozen_set:
+            if y.sort is not x.sort or occurs(y, x):
+                return False
+            trail[y.eid] = x
+            return True
+        if isinstance(x, App) and isinstance(y, App):
+            if x.op != y.op or len(x.args) != len(y.args):
+                return False
+            return all(go(xa, ya) for xa, ya in zip(x.args, y.args))
+        return False
+
+    if not go(a, b):
+        return False
+    for eid, t in trail.items():
+        # Resolve through the rest of the trail before committing.
+        resolved = _resolve_trail(t, trail, subst)
+        subst.bind_evar(EVar(eid, resolved.sort), resolved)
+    return True
+
+
+def _resolve_trail(t: Term, trail: dict[int, Term], subst: Subst) -> Term:
+    t = subst.resolve(t)
+    if isinstance(t, EVar) and t.eid in trail:
+        return _resolve_trail(trail[t.eid], trail, subst)
+    if isinstance(t, App):
+        new_args = tuple(_resolve_trail(a, trail, subst) for a in t.args)
+        if new_args == t.args:
+            return t
+        if t.op.startswith("fn:") or t.op == "list_lit":
+            return App(t.op, new_args, t.result_sort)
+        return app(t.op, *new_args, sort=t.result_sort)
+    return t

@@ -1,0 +1,20 @@
+"""The RefinedC typing rules — "an open set of Lithium rules" (§1).
+
+Each submodule registers rules against :data:`REGISTRY`; importing this
+package populates the standard library of rules (the paper's standard
+library "currently contains around 30 types and 200 typing rules").
+"""
+
+from ...lithium.rules import RuleRegistry
+
+REGISTRY = RuleRegistry()
+
+from . import expr    # noqa: E402,F401
+from . import stmt    # noqa: E402,F401
+from . import ops     # noqa: E402,F401
+from . import place   # noqa: E402,F401
+from . import subsume  # noqa: E402,F401
+from . import call    # noqa: E402,F401
+from . import atomic  # noqa: E402,F401
+
+__all__ = ["REGISTRY"]

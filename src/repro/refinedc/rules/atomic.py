@@ -1,0 +1,115 @@
+"""Fine-grained concurrency rules (§6): CAS-BOOL on the atomic boolean
+type, atomic stores (release), and atomic loads.
+
+The ``atomicbool<H⊤, H⊥>`` type "holds the ownership of H⊤ if the Boolean
+is true, and of H⊥ if the Boolean is false"; these rules are the only place
+that ownership crosses threads.  Their soundness burden (invariants + ghost
+state in Iris) is carried by the semantic model and the concurrent adequacy
+tests, mirroring how the paper proves CAS-BOOL "once and for all in Coq".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...caesium.layout import INT
+from ...lithium.goals import (GBasic, GConj, GSep, GTrue, GWand, Goal, HAtom,
+                              HPure)
+from ...pure.terms import Lit, Term, intlit
+from ..judgments import CASJ, HookJ, LocType, ReadAtJ, WriteAtJ
+from ..types import AtomicBoolT, BoolT, IntT, RType
+from . import REGISTRY
+
+
+def _as_bool_literal(ty: RType, state) -> Optional[bool]:
+    """Read a compile-time boolean out of a scalar type refinement."""
+    if isinstance(ty, IntT) and isinstance(ty.refinement, Lit):
+        return ty.refinement.value != 0
+    if isinstance(ty, BoolT) and isinstance(ty.phi, Lit):
+        return bool(ty.phi.value)
+    return None
+
+
+def _hold_atoms(ab: AtomicBoolT, b: bool) -> tuple:
+    return ab.h_true if b else ab.h_false
+
+
+@REGISTRY.rule("CAS-BOOL", ("cas", "atomicbool", "int", "int"))
+def rule_cas_bool(f: CASJ, state) -> Goal:
+    """Figure 6, CAS-BOOL.  The expected and desired operands must be
+    compile-time booleans (b₁, b₂); the two conjuncts cover CAS failure
+    (expected flips to ¬b₁) and success (receive H_{b₁}, provide H_{b₂})."""
+    ab: AtomicBoolT = f.atom_ty
+    b1 = _as_bool_literal(f.exp_ty, state)
+    b2 = _as_bool_literal(f.des_ty, state)
+    if b1 is None or b2 is None:
+        state.fail("CAS on an atomic boolean requires compile-time boolean "
+                   f"operands (got {f.exp_ty!r} and {f.des_ty!r})")
+
+    def fail_branch(st) -> Goal:
+        # The expected location is updated to the value actually read: ¬b₁.
+        atom = st.delta.find_related(f.exp_loc, st.subst)
+        if atom is None:
+            st.fail(f"lost ownership of CAS expected operand {f.exp_loc!r}")
+        st.delta.remove(atom)
+        st.delta.add(LocType(f.exp_loc,
+                             IntT(INT, intlit(0 if b1 else 1))), st.subst)
+        return f.cont(intlit(0), BoolT(INT, Lit(False)))
+
+    # Success: receive the resources held at b₁, provide those for b₂.
+    success: Goal = f.cont(intlit(1), BoolT(INT, Lit(True)))
+    for a in reversed(_hold_atoms(ab, b2)):
+        success = GSep(HAtom(a) if not isinstance(a, Term) else HPure(a),
+                       success)
+    for a in reversed(_hold_atoms(ab, b1)):
+        if isinstance(a, Term):
+            success = GWand(HPure(a), success)
+        else:
+            # Decomposing introduction (structs unfold into field atoms).
+            success = f.sigma.intro_assertion_goal(state, a, success)
+
+    return GConj((
+        GBasic(HookJ("cas-fail", fail_branch)),
+        success,
+    ), ("CAS fails", "CAS succeeds"))
+
+
+@REGISTRY.rule("WRITE-ATOMICBOOL", ("write_at", "atomicbool"))
+def rule_write_atomicbool(f: WriteAtJ, state) -> Goal:
+    """An atomic store to an atomic boolean (e.g. a spinlock release):
+    provide the resources the invariant holds at the stored value.  The
+    location keeps its (persistent) atomicbool type."""
+    if not f.atomic:
+        state.fail("non-atomic store to an atomic boolean")
+    ab: AtomicBoolT = f.old_ty
+    b = _as_bool_literal(f.vty, state)
+    if b is None:
+        state.fail("atomic store to an atomic boolean requires a "
+                   f"compile-time boolean operand (got {f.vty!r})")
+    goal = f.cont
+    for a in reversed(_hold_atoms(ab, b)):
+        goal = GSep(HAtom(a) if not isinstance(a, Term) else HPure(a), goal)
+    return goal
+
+
+@REGISTRY.rule("READ-ATOMICBOOL", ("read_at", "atomicbool"))
+def rule_read_atomicbool(f: ReadAtJ, state) -> Goal:
+    """An atomic load of an atomic boolean.  The invariant is only opened
+    for the duration of the access, so resources can be extracted only if
+    they are *persistent* (the one-time barrier pattern, §7 #6)."""
+    if not f.atomic:
+        state.fail("non-atomic read of an atomic location")
+    ab: AtomicBoolT = f.ty
+
+    def branch(b: bool) -> Goal:
+        goal: Goal = f.cont(intlit(1 if b else 0), BoolT(INT, Lit(b)))
+        for a in reversed(_hold_atoms(ab, b)):
+            if isinstance(a, Term):
+                goal = GWand(HPure(a), goal)
+            elif a.persistent:
+                goal = f.sigma.intro_assertion_goal(state, a, goal)
+            # Non-persistent resources stay inside the invariant.
+        return goal
+
+    return GConj((branch(True), branch(False)),
+                 ("atomic load reads true", "atomic load reads false"))

@@ -1,0 +1,112 @@
+"""Function-call typing (⊢call): instantiate the callee's RefinedC function
+type ``fn(∀x. τ_args; H_pre) → ∃y. τ_ret; H_post`` (§4).
+
+The spec parameters ``x`` become evars; the arguments are checked *before*
+the extra preconditions, "so one need not worry about evars in the
+preconditions if they are determined by the arguments" (§5).  After the
+call, the postcondition existentials ``y`` are fresh universals for the
+caller, the return value is introduced at the return type, and the ensures
+resources enter the context.
+"""
+
+from __future__ import annotations
+
+from ...lithium.goals import (GBasic, GExists, GForall, GSep, GWand, Goal,
+                              HAtom, HPure)
+from ...pure.terms import Sort, Term, Var
+from ..judgments import LocType, SubsumeValJ, TokenAtom, ValType
+from ..ownership import intro_loc_goal, intro_val_goal, range_facts
+from ..substitution import subst_assertion, subst_type
+from ..types import RType
+from . import REGISTRY
+
+
+@REGISTRY.rule("T-CALL-SPEC", ("call",))
+def rule_call(f, state) -> Goal:
+    """Instantiate the callee's function type: spec parameters become
+    evars, arguments are checked before rc::requires (§5), then the
+    postcondition is introduced for the continuation."""
+    spec = f.spec
+    sigma = f.sigma
+    if len(f.args) != len(spec.arg_types):
+        state.fail(f"call to {spec.name}: expected {len(spec.arg_types)} "
+                   f"arguments, got {len(f.args)}")
+
+    def bind_params(idx: int, pmap: dict) -> Goal:
+        if idx < len(spec.params):
+            p = spec.params[idx]
+            return GExists(p.sort, f"{spec.name}.{p.name}",
+                           lambda ev: bind_params(idx + 1, {**pmap, p: ev}))
+        return check_args(pmap)
+
+    def check_args(pmap: dict) -> Goal:
+        goal = check_requires(pmap)
+        # Arguments are checked left-to-right, before rc::requires.
+        for (v, ty), want in reversed(list(zip(f.args, spec.arg_types))):
+            want_i = subst_type(want, pmap)
+            goal = GBasic(SubsumeValJ(sigma, v, ty, want_i, goal))
+        return goal
+
+    def check_requires(pmap: dict) -> Goal:
+        goal = introduce_post(pmap)
+        for a in reversed(spec.requires):
+            a_i = subst_assertion(a, pmap)
+            goal = sigma.consume_assertion_goal(
+                goal_after=goal, assertion=a_i,
+                origin=f"rc::requires of {spec.name}")
+        # The nat-ness facts of the parameters become side conditions the
+        # instantiated arguments must satisfy.
+        for phi in reversed(spec.param_facts):
+            from ...pure.terms import subst_vars
+            goal = GSep(HPure(subst_vars(phi, pmap),
+                              origin=f"parameter domain of {spec.name}"),
+                        goal)
+        return goal
+
+    def introduce_post(pmap: dict) -> Goal:
+        def bind_exists(idx: int, emap: dict) -> Goal:
+            if idx < len(spec.exists):
+                y = spec.exists[idx]
+                return GForall(y.sort, f"{spec.name}.{y.name}",
+                               lambda xv: bind_exists(idx + 1,
+                                                      {**emap, y: xv}))
+            return finish({**pmap, **emap})
+
+        return bind_exists(0, {})
+
+    def finish(fullmap: dict) -> Goal:
+        # Introduce the postcondition resources, then the return value.
+        if spec.returns is None:
+            ret_goal = f.cont(None, None)
+        else:
+            ret_ty = subst_type(spec.returns, fullmap)
+            v_ret = state.fresh_var(Sort.LOC if ret_ty.head in
+                                    ("own", "shr", "null", "optional",
+                                     "named", "value", "fn")
+                                    else Sort.INT, "ret")
+            resolved = _intro_ret_type(ret_ty, v_ret)
+            ret_goal = f.cont(v_ret, resolved)
+            for phi in reversed(range_facts(resolved)):
+                ret_goal = GWand(HPure(phi), ret_goal)
+        goal = ret_goal
+        for a in reversed(spec.ensures):
+            a_i = subst_assertion(a, fullmap)
+            if isinstance(a_i, (LocType, ValType, TokenAtom)):
+                # Decomposing introduction (struct postconditions unfold
+                # into per-field atoms, constraints enter Γ).
+                goal = sigma.intro_assertion_goal(state, a_i, goal)
+            else:
+                goal = GWand(HPure(a_i), goal)
+        return goal
+
+    return bind_params(0, {})
+
+
+def _intro_ret_type(ret_ty: RType, v_ret: Term) -> RType:
+    """Pin the return type's value where the type dictates it."""
+    from ..types import IntT, OwnPtr
+    if isinstance(ret_ty, IntT) and ret_ty.refinement is not None:
+        return ret_ty
+    if isinstance(ret_ty, OwnPtr) and ret_ty.loc is None:
+        return OwnPtr(ret_ty.inner, v_ret)
+    return ret_ty

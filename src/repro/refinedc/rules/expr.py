@@ -1,0 +1,188 @@
+"""Expression typing rules (⊢expr, the T-… rules of Figure 6).
+
+Every rule linearises checking via the continuation: ``⊢expr e {v, τ. G}``
+first types the subexpressions left-to-right (Caesium fixes left-to-right
+evaluation order, §3), then dispatches to the construct-specific judgment
+(⊢binop, ⊢read, ⊢call, …) — the type-based overloading of §6.
+"""
+
+from __future__ import annotations
+
+from ...caesium.layout import PtrLayout
+from ...caesium.syntax import (BinOpE, CallE, CASE, CastE, FieldOffset,
+                               FnPtrE, GlobalAddr, IntConst, NullE, SizeOfE,
+                               UnOpE, Use, ValE, VarAddr)
+from ...caesium.values import VInt, VPtr
+from ...lithium.goals import GBasic, GSep, Goal, HPure
+from ...pure.terms import Sort, Term, and_, fn_app, intlit, le, loc_offset
+from ..judgments import BinOpJ, CallJ, CASJ, ExprJ, ReadJ, ToPlaceJ, UnOpJ
+from ..types import FnT, IntT, NullT, RType, ValueT
+from . import REGISTRY
+
+NULL_LOC = fn_app("null$", [], Sort.LOC)
+"""The symbolic NULL pointer value."""
+
+
+def fnptr_term(name: str) -> Term:
+    """The symbolic value of the function pointer to ``name``."""
+    return fn_app(f"fnptr${name}", [], Sort.LOC)
+
+
+@REGISTRY.rule("T-INT-CONST", ("expr", "IntConst"))
+def rule_int_const(f: ExprJ, state) -> Goal:
+    """An integer literal has the singleton type of its value."""
+    e: IntConst = f.expr
+    v = intlit(e.n)
+    return f.cont(v, IntT(e.int_type, v))
+
+
+@REGISTRY.rule("T-VAL", ("expr", "ValE"))
+def rule_val(f: ExprJ, state) -> Goal:
+    """A pre-evaluated literal value (used by tests and the harness)."""
+    e: ValE = f.expr
+    if isinstance(e.value, VInt):
+        v = intlit(e.value.value)
+        return f.cont(v, IntT(e.value.int_type, v))
+    if isinstance(e.value, VPtr) and e.value.ptr.is_null:
+        return f.cont(NULL_LOC, NullT())
+    state.fail(f"cannot type literal value {e.value!r}")
+
+
+@REGISTRY.rule("T-NULL", ("expr", "NullE"))
+def rule_null(f: ExprJ, state) -> Goal:
+    """``NULL`` has the singleton type null."""
+    return f.cont(NULL_LOC, NullT())
+
+
+@REGISTRY.rule("T-SIZEOF", ("expr", "SizeOfE"))
+def rule_sizeof(f: ExprJ, state) -> Goal:
+    """``sizeof`` is the layout's size, a compile-time singleton."""
+    e: SizeOfE = f.expr
+    v = intlit(e.layout.size)
+    return f.cont(v, IntT(e.int_type, v))
+
+
+@REGISTRY.rule("T-VAR-ADDR", ("expr", "VarAddr"))
+def rule_var_addr(f: ExprJ, state) -> Goal:
+    """``&x`` for a local slot: the slot's symbolic location."""
+    loc = f.sigma.slot(f.expr.name)
+    return f.cont(loc, ValueT(loc, PtrLayout()))
+
+
+@REGISTRY.rule("T-GLOBAL-ADDR", ("expr", "GlobalAddr"))
+def rule_global_addr(f: ExprJ, state) -> Goal:
+    """The address of a global variable (a fixed symbolic location)."""
+    loc = f.sigma.global_loc(f.expr.name)
+    return f.cont(loc, ValueT(loc, PtrLayout()))
+
+
+@REGISTRY.rule("T-FN-PTR", ("expr", "FnPtrE"))
+def rule_fn_ptr(f: ExprJ, state) -> Goal:
+    """Function pointers are first class: the value carries the function's
+    full RefinedC type (§4)."""
+    name = f.expr.name
+    spec = f.sigma.fn_spec(name)
+    if spec is None:
+        state.fail(f"call of function {name!r} without a RefinedC spec")
+    return f.cont(fnptr_term(name), FnT(spec))
+
+
+@REGISTRY.rule("T-USE", ("expr", "Use"))
+def rule_use(f: ExprJ, state) -> Goal:
+    """Loading from a place: type the place, then dispatch ⊢read."""
+    e: Use = f.expr
+    return GBasic(ExprJ(f.sigma, e.e, lambda v, ty: GBasic(ToPlaceJ(
+        f.sigma, v, ty, lambda loc: GBasic(ReadJ(
+            f.sigma, loc, e.layout, e.atomic, f.cont))))))
+
+
+@REGISTRY.rule("T-FIELD", ("expr", "FieldOffset"))
+def rule_field(f: ExprJ, state) -> Goal:
+    """``&(e->f)``: a pointer into the struct; the field's ownership stays
+    in the context, the value is the offset location."""
+    e: FieldOffset = f.expr
+    off = intlit(e.struct.offset_of(e.fld))
+
+    def with_place(loc: Term) -> Goal:
+        floc = loc_offset(loc, off)
+        return f.cont(floc, ValueT(floc, PtrLayout()))
+
+    return GBasic(ExprJ(f.sigma, e.e, lambda v, ty: GBasic(
+        ToPlaceJ(f.sigma, v, ty, with_place))))
+
+
+@REGISTRY.rule("T-CAST", ("expr", "CastE"))
+def rule_cast(f: ExprJ, state) -> Goal:
+    """An integer cast; the value must provably fit the target type (so the
+    mathematical refinement is preserved)."""
+    e: CastE = f.expr
+
+    def after(v: Term, ty: RType) -> Goal:
+        from ..types import BoolT
+        if isinstance(ty, BoolT):
+            # Casting a boolean (0/1) preserves the refinement.
+            return f.cont(v, BoolT(e.to, ty.phi))
+        if not isinstance(ty, IntT):
+            state.fail(f"integer cast applied to {ty!r}")
+        fits = and_(le(intlit(e.to.min_value), v),
+                    le(v, intlit(e.to.max_value)))
+        return GSep(HPure(fits, origin=f"cast to {e.to.name}"),
+                    f.cont(v, IntT(e.to, v)))
+
+    return GBasic(ExprJ(f.sigma, e.e, after))
+
+
+@REGISTRY.rule("T-UNOP", ("expr", "UnOpE"))
+def rule_unop(f: ExprJ, state) -> Goal:
+    """Type the operand, then dispatch ⊢unop on its type."""
+    e: UnOpE = f.expr
+    return GBasic(ExprJ(f.sigma, e.e, lambda v, ty: GBasic(
+        UnOpJ(f.sigma, e.op, v, ty, f.cont))))
+
+
+@REGISTRY.rule("T-BINOP", ("expr", "BinOpE"))
+def rule_binop(f: ExprJ, state) -> Goal:
+    """Figure 6, T-BINOP: type e₁, then e₂, then dispatch ⊢binop."""
+    e: BinOpE = f.expr
+    return GBasic(ExprJ(f.sigma, e.e1, lambda v1, t1: GBasic(
+        ExprJ(f.sigma, e.e2, lambda v2, t2: GBasic(
+            BinOpJ(f.sigma, e.op, v1, t1, v2, t2, f.cont))))))
+
+
+@REGISTRY.rule("T-CALL", ("expr", "CallE"))
+def rule_call(f: ExprJ, state) -> Goal:
+    """Type the callee (a function pointer), then the arguments
+    left-to-right, then dispatch ⊢call against the callee's spec."""
+    e: CallE = f.expr
+
+    def with_fn(vf: Term, tf: RType) -> Goal:
+        if not isinstance(tf, FnT):
+            state.fail(f"call of non-function value {vf!r} : {tf!r}")
+
+        def eval_args(i: int, acc: tuple) -> Goal:
+            if i == len(e.args):
+                return GBasic(CallJ(f.sigma, tf.spec, acc, f.cont))
+            return GBasic(ExprJ(f.sigma, e.args[i],
+                                lambda v, ty: eval_args(i + 1, acc + ((v, ty),))))
+
+        return eval_args(0, ())
+
+    return GBasic(ExprJ(f.sigma, e.fn, with_fn))
+
+
+@REGISTRY.rule("T-CAS", ("expr", "CASE"))
+def rule_cas(f: ExprJ, state) -> Goal:
+    """Type CAS(l_atom, l_exp, v_des): evaluate the three operands, convert
+    the pointers to places, then dispatch ⊢cas on the located types."""
+    e: CASE = f.expr
+    sigma = f.sigma
+
+    def with_atom(v1: Term, t1: RType) -> Goal:
+        return GBasic(ToPlaceJ(sigma, v1, t1, lambda atom_loc: GBasic(
+            ExprJ(sigma, e.expected, lambda v2, t2: GBasic(
+                ToPlaceJ(sigma, v2, t2, lambda exp_loc: GBasic(
+                    ExprJ(sigma, e.desired, lambda v3, t3: sigma.make_cas(
+                        state, atom_loc, exp_loc, v3, t3, e.layout,
+                        f.cont)))))))))
+
+    return GBasic(ExprJ(sigma, e.atom, with_atom))

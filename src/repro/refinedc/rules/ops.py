@@ -1,0 +1,331 @@
+"""Binary/unary operator typing rules (⊢binop, ⊢unop): integer arithmetic
+with in-range side conditions, comparisons producing refined booleans, the
+pointer-arithmetic rule O-ADD-UNINIT, and the NULL-comparison rule
+O-OPTIONAL-EQ (both from Figure 6).
+"""
+
+from __future__ import annotations
+
+from ...caesium.layout import INT, PTR_SIZE
+from ...lithium.goals import (GBasic, GConj, GSep, GWand, Goal, HAtom, HPure)
+from ...pure.terms import (Sort, Term, add, and_, app, eq, ge, gt, intlit,
+                           ite, le, loc_offset, lt, mul, ne, not_, or_, sub)
+from ..judgments import BinOpJ, SubsumeValJ, UnOpJ, ValType
+from ...lithium.rules import Rule as _Rule
+from ..types import (ArrayT, BoolT, IntT, NullT, OptionalT, OwnPtr, RType,
+                     UninitT, ValueT)
+from . import REGISTRY
+
+_BOOL_RESULT_ITYPE = INT   # C comparisons produce int
+
+
+def _as_int_term(v: Term, ty: IntT) -> Term:
+    return ty.refinement if ty.refinement is not None else v
+
+
+def _arith_term(op: str, a: Term, b: Term) -> Term:
+    if op == "+":
+        return add(a, b)
+    if op == "-":
+        return sub(a, b)
+    if op == "*":
+        return mul(a, b)
+    if op == "/":
+        return app("div", a, b)
+    if op == "%":
+        return app("mod", a, b)
+    raise AssertionError(op)
+
+
+def _make_arith_rule(op: str):
+    def rule(f: BinOpJ, state) -> Goal:
+        """Integer arithmetic on mathematical refinements: the result is
+        the exact mathematical value, guarded by an in-range side
+        condition (RefinedC types rule out wrap-around)."""
+        t1, t2 = f.t1, f.t2
+        assert isinstance(t1, IntT) and isinstance(t2, IntT)
+        a = _as_int_term(f.v1, t1)
+        b = _as_int_term(f.v2, t2)
+        r = _arith_term(op, a, b)
+        ity = t1.itype
+        conds = [le(intlit(ity.min_value), r), le(r, intlit(ity.max_value))]
+        if op in ("/", "%"):
+            conds.insert(0, ne(b, intlit(0)))
+        return GSep(HPure(and_(*conds), origin=f"integer {op}"),
+                    f.cont(r, IntT(ity, r)))
+    return rule
+
+
+def _make_cmp_rule(op: str):
+    cmp_builders = {"==": eq, "!=": ne, "<": lt, "<=": le, ">": gt, ">=": ge}
+
+    def rule(f: BinOpJ, state) -> Goal:
+        """Integer comparison: the result is a boolean refined by the exact
+        comparison proposition (always defined; no side conditions)."""
+        a = _as_int_term(f.v1, f.t1)
+        b = _as_int_term(f.v2, f.t2)
+        phi = cmp_builders[op](a, b)
+        return f.cont(ite(phi, intlit(1), intlit(0)),
+                      BoolT(_BOOL_RESULT_ITYPE, phi))
+    return rule
+
+
+for _op in ("+", "-", "*", "/", "%"):
+    REGISTRY.register(_Rule(
+        f"O-ARITH-{_op}", ("binop", _op, "int", "int"),
+        _make_arith_rule(_op),
+        doc=f"integer {_op} on refinements, with in-range side condition"))
+for _op in ("==", "!=", "<", "<=", ">", ">="):
+    REGISTRY.register(_Rule(
+        f"O-CMP-INT-{_op}", ("binop", _op, "int", "int"),
+        _make_cmp_rule(_op),
+        doc=f"integer {_op}: boolean refined by the exact proposition"))
+
+
+# Comparisons where one side is already a refined boolean (e.g. comparing a
+# comparison result with an int constant).
+@REGISTRY.rule("O-CMP-BOOL-EQ-INT", ("binop", "==", "bool", "int"))
+def rule_bool_eq_int(f: BinOpJ, state) -> Goal:
+    """Comparing a refined boolean with an integer constant."""
+    b = _as_int_term(f.v2, f.t2)
+    phi = eq(ite(f.t1.phi, intlit(1), intlit(0)), b) \
+        if f.t1.phi is not None else eq(f.v1, b)
+    return f.cont(ite(phi, intlit(1), intlit(0)),
+                  BoolT(_BOOL_RESULT_ITYPE, phi))
+
+
+# ---------------------------------------------------------------------
+# O-ADD-UNINIT (Figure 6): pointer + integer splits uninit ownership.
+# ---------------------------------------------------------------------
+
+@REGISTRY.rule("O-ADD-UNINIT", ("binop", "ptr_offset", "own", "int"))
+def rule_add_uninit(f: BinOpJ, state) -> Goal:
+    """Adding n₂ to a pointer to ``uninit<n₁>`` splits the ownership into
+    ``uninit<n₂>`` (kept with the original pointer, parked as a value atom)
+    and ``uninit<n₁ − n₂>`` (attached to the offset pointer).  This single
+    rule covers both the allocate-from-the-end and allocate-from-the-start
+    variants of Figure 1 (§6)."""
+    t1: OwnPtr = f.t1
+    inner = t1.inner
+    if not isinstance(inner, UninitT):
+        state.fail(f"pointer arithmetic on &own<{inner!r}> "
+                   "(only uninit blocks can be split)")
+    n1 = inner.size
+    assert isinstance(f.t2, IntT)
+    n2 = _as_int_term(f.v2, f.t2)
+    v1 = t1.loc if t1.loc is not None else f.v1
+    v_res = loc_offset(v1, n2)
+    side = and_(le(intlit(0), n2), le(n2, n1))
+    return GSep(
+        HPure(side, origin="pointer arithmetic on uninit block"),
+        GWand(HAtom(ValType(v1, OwnPtr(UninitT(n2), v1))),
+              f.cont(v_res, OwnPtr(UninitT(sub(n1, n2)), v_res))))
+
+
+@REGISTRY.rule("O-ADD-VALUE-PTR", ("binop", "ptr_offset", "value", "int"))
+def rule_add_value_ptr(f: BinOpJ, state) -> Goal:
+    """Offsetting a pointer value: if its ownership is parked in the
+    context (it came from a moving read), fetch it so the type-directed
+    rules (O-ADD-UNINIT) can split it; otherwise (e.g. ``&arr[i]`` where
+    the ownership is materialised at the target) this is pure address
+    arithmetic."""
+    assert isinstance(f.t2, IntT)
+    off = _as_int_term(f.v2, f.t2)
+    v_res = loc_offset(f.v1, off)
+    from ...caesium.layout import PtrLayout
+    raw = f.cont(v_res, ValueT(v_res, PtrLayout()))
+    parked = state.delta.find_related(ValType(f.v1, f.t1).subject,
+                                      state.subst)
+    if isinstance(parked, ValType):
+        parked_ty = parked.ty.resolve(state.subst)
+        if isinstance(parked_ty, OwnPtr) and \
+                isinstance(parked_ty.inner, UninitT):
+            # The split case: re-dispatch so O-ADD-UNINIT can fire.
+            state.delta.remove(parked)
+            return GBasic(BinOpJ(f.sigma, f.op, f.v1, parked.ty, f.v2,
+                                 f.t2, f.cont))
+        if isinstance(parked_ty, OwnPtr):
+            # Indexing into a structured block (e.g. &a[i]): materialise
+            # the target's ownership and do raw address arithmetic.
+            from ..ownership import intro_loc_goal
+            state.delta.remove(parked)
+            target = parked_ty.loc if parked_ty.loc is not None else f.v1
+            return intro_loc_goal(f.sigma, state, target, parked_ty.inner,
+                                  raw)
+    return raw
+
+
+# ---------------------------------------------------------------------
+# O-OPTIONAL-EQ (Figure 6) and friends: NULL comparisons.
+# ---------------------------------------------------------------------
+
+def _optional_null_cases(f: BinOpJ, state, phi: Term, then_ty: RType,
+                         else_ty: RType, v_opt: Term, negated: bool) -> Goal:
+    """The two premises of O-OPTIONAL-EQ: when φ holds, the value is an
+    owned pointer (≠ NULL) and the comparison is False; when ¬φ, the value
+    is NULL and the comparison is True.  ``negated`` flips for ``!=``."""
+    eq_result = lambda is_null: (is_null != negated)
+
+    def case(cond: Term, ty: RType, result: bool) -> Goal:
+        lit = intlit(1) if result else intlit(0)
+        from ...pure.terms import Lit
+        res_ty = BoolT(_BOOL_RESULT_ITYPE, Lit(result))
+        return GWand(HPure(cond),
+                     GWand(HAtom(ValType(v_opt, ty)),
+                           f.cont(lit, res_ty)))
+
+    return GConj((
+        case(phi, then_ty, eq_result(False)),
+        case(not_(phi), else_ty, eq_result(True)),
+    ), ("optional is a pointer", "optional is NULL"))
+
+
+def _make_optional_null_rule(negated: bool, flipped: bool):
+    def rule(f: BinOpJ, state) -> Goal:
+        """O-OPTIONAL-EQ (Figure 6): comparing an optional against NULL
+        performs the type-level case distinction."""
+        if flipped:
+            opt_ty, v_opt = f.t2, f.v2
+        else:
+            opt_ty, v_opt = f.t1, f.v1
+        assert isinstance(opt_ty, OptionalT)
+        return _optional_null_cases(f, state, opt_ty.phi, opt_ty.then_type,
+                                    opt_ty.else_type, v_opt, negated)
+    return rule
+
+
+for _neg, _op in ((False, "=="), (True, "!=")):
+    REGISTRY.register(_Rule(
+        f"O-OPTIONAL-EQ{_op}", ("binop", _op, "optional", "null"),
+        _make_optional_null_rule(_neg, flipped=False),
+        doc="Figure 6 O-OPTIONAL-EQ: NULL comparison case-splits the "
+            "optional"))
+    REGISTRY.register(_Rule(
+        f"O-OPTIONAL-EQ{_op}-FLIP", ("binop", _op, "null", "optional"),
+        _make_optional_null_rule(_neg, flipped=True),
+        doc="O-OPTIONAL-EQ, operands flipped"))
+
+
+def _make_own_null_rule(negated: bool, flipped: bool):
+    def rule(f: BinOpJ, state) -> Goal:
+        """An owned pointer is never NULL: the comparison is decided."""
+        own_ty, v_own = (f.t2, f.v2) if flipped else (f.t1, f.v1)
+        result = negated  # own == NULL is False; own != NULL is True
+        from ...pure.terms import Lit
+        return GWand(HAtom(ValType(v_own, own_ty)),
+                     f.cont(intlit(1 if result else 0),
+                            BoolT(_BOOL_RESULT_ITYPE, Lit(result))))
+    return rule
+
+
+for _neg, _op in ((False, "=="), (True, "!=")):
+    REGISTRY.register(_Rule(
+        f"O-OWN-NULL{_op}", ("binop", _op, "own", "null"),
+        _make_own_null_rule(_neg, flipped=False),
+        doc="an owned pointer is never NULL: the comparison is decided"))
+    REGISTRY.register(_Rule(
+        f"O-NULL-OWN{_op}", ("binop", _op, "null", "own"),
+        _make_own_null_rule(_neg, flipped=True),
+        doc="an owned pointer is never NULL (flipped)"))
+
+
+def _make_null_null_rule(negated: bool):
+    def rule(f: BinOpJ, state) -> Goal:
+        from ...pure.terms import Lit
+        result = not negated
+        return f.cont(intlit(1 if result else 0),
+                      BoolT(_BOOL_RESULT_ITYPE, Lit(result)))
+    return rule
+
+
+REGISTRY.register(_Rule("O-NULL-NULL==", ("binop", "==", "null", "null"),
+                        _make_null_null_rule(False),
+                        doc="NULL == NULL is True"))
+REGISTRY.register(_Rule("O-NULL-NULL!=", ("binop", "!=", "null", "null"),
+                        _make_null_null_rule(True),
+                        doc="NULL != NULL is False"))
+
+
+# Named types in operand position unfold automatically (§2.2).
+@REGISTRY.rule("O-UNFOLD-NAMED-L", ("binop", "*", "named", "*"))
+def rule_binop_unfold_left(f: BinOpJ, state) -> Goal:
+    """Named types in operand position unfold automatically (§2.2)."""
+    t1 = f.sigma.types.unfold(f.t1)
+    return GBasic(BinOpJ(f.sigma, f.op, f.v1, t1, f.v2, f.t2, f.cont))
+
+
+@REGISTRY.rule("O-UNFOLD-NAMED-R", ("binop", "*", "*", "named"))
+def rule_binop_unfold_right(f: BinOpJ, state) -> Goal:
+    """Named types in operand position unfold automatically (§2.2)."""
+    t2 = f.sigma.types.unfold(f.t2)
+    return GBasic(BinOpJ(f.sigma, f.op, f.v1, f.t1, f.v2, t2, f.cont))
+
+
+@REGISTRY.rule("O-BINOP-VALUE-L", ("binop", "*", "value", "*"))
+def rule_binop_value_left(f: BinOpJ, state) -> Goal:
+    """A moved value in operand position: fetch its parked type."""
+    atom = state.delta.find_related(ValType(f.v1, f.t1).subject, state.subst)
+    if not isinstance(atom, ValType):
+        state.fail(f"value {f.v1!r} has no available type for {f.op}")
+    state.delta.remove(atom)
+    return GBasic(BinOpJ(f.sigma, f.op, f.v1, atom.ty, f.v2, f.t2, f.cont))
+
+
+@REGISTRY.rule("O-BINOP-VALUE-R", ("binop", "*", "*", "value"))
+def rule_binop_value_right(f: BinOpJ, state) -> Goal:
+    """A moved value in operand position: fetch its parked type."""
+    atom = state.delta.find_related(ValType(f.v2, f.t2).subject, state.subst)
+    if not isinstance(atom, ValType):
+        state.fail(f"value {f.v2!r} has no available type for {f.op}")
+    state.delta.remove(atom)
+    return GBasic(BinOpJ(f.sigma, f.op, f.v1, f.t1, f.v2, atom.ty, f.cont))
+
+
+# ---------------------------------------------------------------------
+# Unary operators.
+# ---------------------------------------------------------------------
+
+@REGISTRY.rule("O-NOT-BOOL", ("unop", "!", "bool"))
+def rule_not_bool(f: UnOpJ, state) -> Goal:
+    """``!`` on a boolean negates its proposition."""
+    phi = f.t.phi if f.t.phi is not None else ne(f.v, intlit(0))
+    return f.cont(ite(not_(phi), intlit(1), intlit(0)),
+                  BoolT(_BOOL_RESULT_ITYPE, not_(phi)))
+
+
+@REGISTRY.rule("O-NOT-INT", ("unop", "!", "int"))
+def rule_not_int(f: UnOpJ, state) -> Goal:
+    """``!n`` is the boolean ``n = 0``."""
+    n = _as_int_term(f.v, f.t)
+    phi = eq(n, intlit(0))
+    return f.cont(ite(phi, intlit(1), intlit(0)),
+                  BoolT(_BOOL_RESULT_ITYPE, phi))
+
+
+@REGISTRY.rule("O-NEG-INT", ("unop", "-", "int"))
+def rule_neg_int(f: UnOpJ, state) -> Goal:
+    """Integer negation, guarded by the in-range side condition."""
+    n = _as_int_term(f.v, f.t)
+    r = sub(intlit(0), n)
+    ity = f.t.itype
+    cond = and_(le(intlit(ity.min_value), r), le(r, intlit(ity.max_value)))
+    return GSep(HPure(cond, origin="integer negation"),
+                f.cont(r, IntT(ity, r)))
+
+
+@REGISTRY.rule("O-NOT-OPTIONAL", ("unop", "!", "optional"))
+def rule_not_optional(f: UnOpJ, state) -> Goal:
+    """``!p`` on an optional pointer: the NULL test, as O-OPTIONAL-EQ."""
+    ty: OptionalT = f.t
+    from ...pure.terms import Lit
+
+    def case(cond: Term, branch_ty: RType, result: bool) -> Goal:
+        return GWand(HPure(cond),
+                     GWand(HAtom(ValType(f.v, branch_ty)),
+                           f.cont(intlit(1 if result else 0),
+                                  BoolT(_BOOL_RESULT_ITYPE, Lit(result)))))
+
+    return GConj((
+        case(ty.phi, ty.then_type, False),
+        case(not_(ty.phi), ty.else_type, True),
+    ), ("optional is a pointer", "optional is NULL"))

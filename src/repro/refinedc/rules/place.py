@@ -1,0 +1,458 @@
+"""Place (l-value) typing rules: reads, writes, and pointer-to-place
+conversion.  This is where RefinedC's ownership bookkeeping lives:
+
+* reading a *copyable* type (int/bool/null/value) leaves the location type
+  unchanged;
+* reading an *ownership-carrying* type (own/optional/named/…) moves the
+  ownership into the expression and leaves the location with the singleton
+  ``value(v)`` type;
+* writing replaces the location's type by the stored value's type (carving
+  out of ``uninit`` blocks as needed, with arithmetic side conditions).
+"""
+
+from __future__ import annotations
+
+from ...caesium.layout import IntLayout, Layout, PtrLayout
+from ...lithium.goals import (GBasic, GSep, GWand, Goal, HAtom, HPure)
+from ...pure.terms import (App, Sort, Term, add, and_, app, eq, intlit, le,
+                           loc_offset, mul, ne, sub)
+from ..judgments import (HookJ, LocType, ProvePlaceJ, ReadAtJ, ReadJ,
+                         ToPlaceJ, ValType, WriteAtJ, WriteJ)
+from ..ownership import intro_loc_goal, locate, quiet_entails, split_loc
+from ..types import (ArrayT, AtomicBoolT, BoolT, IntT, NamedT, NullT,
+                     OptionalT, OwnPtr, RType, UninitT, ValueT)
+from . import REGISTRY
+
+_MOVABLE_HEADS = {"own", "shr", "optional", "named", "wand", "null", "fn"}
+"""Type heads whose values carry ownership: reading them *moves*."""
+
+
+@REGISTRY.rule("T-READ", ("read",))
+def rule_read(f: ReadJ, state) -> Goal:
+    """Locate the ownership covering the read and dispatch on its type."""
+    found = locate(f.sigma, state, f.loc, intlit(f.layout.size))
+    if found is None:
+        state.fail(f"read from {state.subst.resolve(f.loc)!r}: no ownership "
+                   f"of this location is available")
+    atom, _off = found
+    return GBasic(ReadAtJ(f.sigma, f.loc, atom.ty, f.layout, f.atomic,
+                          f.cont))
+
+
+@REGISTRY.rule("READ-INT", ("read_at", "int"))
+def rule_read_int(f: ReadAtJ, state) -> Goal:
+    """Reading an integer copies it; the location keeps its type."""
+    ty: IntT = f.ty
+    if ty.refinement is not None:
+        return f.cont(ty.refinement, ty)
+    v = state.fresh_var(Sort.INT, "r")
+    cond = and_(le(intlit(ty.itype.min_value), v),
+                le(v, intlit(ty.itype.max_value)))
+    return GWand(HPure(cond), f.cont(v, IntT(ty.itype, v)))
+
+
+@REGISTRY.rule("READ-BOOL", ("read_at", "bool"))
+def rule_read_bool(f: ReadAtJ, state) -> Goal:
+    """Reading a boolean copies it; the location keeps its type."""
+    ty: BoolT = f.ty
+    if ty.phi is not None:
+        from ...pure.terms import ite
+        return f.cont(ite(ty.phi, intlit(1), intlit(0)), ty)
+    v = state.fresh_var(Sort.INT, "b")
+    return f.cont(v, BoolT(ty.itype, ne(v, intlit(0))))
+
+
+@REGISTRY.rule("READ-VALUE", ("read_at", "value"))
+def rule_read_value(f: ReadAtJ, state) -> Goal:
+    """Re-reading a moved-from location yields the tracked value; its
+    ownership is wherever the first read put it."""
+    ty: ValueT = f.ty
+    return f.cont(ty.v, ValueT(ty.v, f.layout))
+
+
+def _array_index(sigma, state, atom: LocType, arr: ArrayT, loc: Term,
+                 elem_size: int):
+    """Recover the cell index from the byte offset of ``loc`` within the
+    array atom: the front end emits ``base + size*i``, so the offset is
+    matched syntactically (RefinedC's syntactic location normal forms)."""
+    a_base, a_off = split_loc(state.subst.resolve(atom.loc))
+    base, off = split_loc(state.subst.resolve(loc))
+    if a_base != base:
+        return None
+    rel = state.subst.resolve(sub(off, a_off))
+    from ...pure.terms import Lit as _Lit
+    rel = __import__("repro.pure.simplify", fromlist=["simplify"]).simplify(rel)
+    if isinstance(rel, _Lit):
+        if rel.value % elem_size != 0:
+            return None
+        return intlit(rel.value // elem_size)
+    if isinstance(rel, App) and rel.op == "mul":
+        lits = [a for a in rel.args if isinstance(a, _Lit)]
+        rest = [a for a in rel.args if not isinstance(a, _Lit)]
+        if len(lits) == 1 and lits[0].value == elem_size and len(rest) == 1:
+            return rest[0]
+    return None
+
+
+@REGISTRY.rule("READ-ARRAY", ("read_at", "array"))
+def rule_read_array(f: ReadAtJ, state) -> Goal:
+    """Read cell i of an integer array refined by the list xs: the value is
+    ``xs[i]``, guarded by the bounds side condition 0 ≤ i < length."""
+    arr: ArrayT = f.ty
+    found = locate(f.sigma, state, f.loc, intlit(f.layout.size))
+    if found is None:
+        state.fail(f"no ownership for array read at {f.loc!r}")
+    atom, _off = found
+    i = _array_index(f.sigma, state, atom, arr, f.loc, arr.itype.size)
+    if i is None:
+        state.fail(f"cannot determine the array index of {f.loc!r} "
+                   f"(expected base + {arr.itype.size}*i)")
+    bounds = and_(le(intlit(0), i), app("lt", i, arr.length))
+    v = app("index", arr.xs, i)
+    return GSep(HPure(bounds, origin="array bounds"),
+                f.cont(v, IntT(arr.itype, v)))
+
+
+@REGISTRY.rule("WRITE-ARRAY", ("write_at", "array"))
+def rule_write_array(f: WriteAtJ, state) -> Goal:
+    """Store into cell i of an array: the list refinement becomes
+    ``store(xs, i, v)``."""
+    if f.atomic:
+        state.fail("atomic store into a plain array")
+    found = locate(f.sigma, state, f.loc, intlit(f.layout.size))
+    if found is None:
+        state.fail(f"no ownership for array write at {f.loc!r}")
+    atom, _off = found
+    arr: ArrayT = atom.ty.resolve(state.subst)
+    assert isinstance(arr, ArrayT)
+    i = _array_index(f.sigma, state, atom, arr, f.loc, arr.itype.size)
+    if i is None:
+        state.fail(f"cannot determine the array index of {f.loc!r}")
+    if not isinstance(f.vty, IntT) or f.vty.itype != arr.itype:
+        state.fail(f"array of {arr.itype.name} cannot store {f.vty!r}")
+    v = f.vty.refinement if f.vty.refinement is not None else f.v
+    bounds = and_(le(intlit(0), i), app("lt", i, arr.length))
+    state.delta.remove(atom)
+    state.delta.add(LocType(atom.loc,
+                            ArrayT(arr.itype, app("store", arr.xs, i, v),
+                                   arr.length)), state.subst)
+    return GSep(HPure(bounds, origin="array bounds"), f.cont)
+
+
+@REGISTRY.rule("READ-NULL", ("read_at", "null"))
+def rule_read_null(f: ReadAtJ, state) -> Goal:
+    """NULL is duplicable: copy it, keep the location type."""
+    from .expr import NULL_LOC
+    return f.cont(NULL_LOC, NullT())
+
+
+@REGISTRY.rule("READ-FN", ("read_at", "fn"))
+def rule_read_fn(f: ReadAtJ, state) -> Goal:
+    """Function pointers are duplicable: copy, keep the location type."""
+    from .expr import fnptr_term
+    return f.cont(fnptr_term(f.ty.spec.name), f.ty)
+
+
+@REGISTRY.rule("READ-SHR", ("read_at", "shr"))
+def rule_read_shr(f: ReadAtJ, state) -> Goal:
+    """Shared pointers are persistent, hence duplicable: copy."""
+    ty = f.ty
+    v = ty.loc if ty.loc is not None else state.fresh_var(Sort.LOC, "sp")
+    from ..spec import ShrPtr
+    return f.cont(v, ShrPtr(ty.inner, v))
+
+
+@REGISTRY.rule("READ-MOVE", ("read_at", "*"))
+def rule_read_move(f: ReadAtJ, state) -> Goal:
+    """Reading an ownership-carrying type *moves*: the ownership is parked
+    in the context as ``v ◁ᵥ τ`` and the place keeps the singleton
+    ``value(v)`` type.  This is what lets the two pieces of Figure 1's
+    pointer split end up in different places (§6)."""
+    ty = f.ty
+    if ty.head == "uninit":
+        state.fail(f"read of uninitialised memory at "
+                   f"{state.subst.resolve(f.loc)!r}")
+    if ty.head == "atomicbool":
+        state.fail("non-atomic read of an atomic location")
+    if ty.head not in _MOVABLE_HEADS:
+        state.fail(f"cannot read a value of type {ty!r} at layout "
+                   f"{f.layout!r}")
+    # Owned pointers know their value (the location refinement).
+    if isinstance(ty, OwnPtr) and ty.loc is not None:
+        v = ty.loc
+    else:
+        v = state.fresh_var(Sort.LOC, "v")
+        if isinstance(ty, OwnPtr):
+            ty = OwnPtr(ty.inner, v)
+    atom = state.delta.find_related(f.loc, state.subst)
+    if atom is None:
+        state.fail(f"no ownership for read at {f.loc!r}")
+    state.delta.remove(atom)
+    state.delta.add(LocType(f.loc, ValueT(v, f.layout)), state.subst)
+    return GWand(HAtom(ValType(v, ty)),
+                 f.cont(v, ValueT(v, f.layout)))
+
+
+# ---------------------------------------------------------------------
+# Writes.
+# ---------------------------------------------------------------------
+
+@REGISTRY.rule("T-WRITE", ("write",))
+def rule_write(f: WriteJ, state) -> Goal:
+    """Locate the ownership covering the store and dispatch on its type."""
+    found = locate(f.sigma, state, f.loc, intlit(f.layout.size))
+    if found is None:
+        state.fail(f"write to {state.subst.resolve(f.loc)!r}: no ownership "
+                   f"of this location is available")
+    atom, _off = found
+    return GBasic(WriteAtJ(f.sigma, f.loc, atom.ty, f.v, f.vty, f.layout,
+                           f.atomic, f.cont))
+
+
+def _stored_type(state, v: Term, vty: RType, layout: Layout) -> RType:
+    """The location type after storing ``v : vty``.
+
+    Scalar and duplicable types are stored directly.  Ownership-carrying
+    types are *parked* in the context as ``v ◁ᵥ τ`` and the location gets
+    the singleton ``value(v)`` type — ownership is keyed by the value, not
+    the place, so it can later be recombined wherever the value flows."""
+    if isinstance(vty, IntT):
+        return IntT(vty.itype, vty.refinement if vty.refinement is not None
+                    else v)
+    if isinstance(vty, BoolT):
+        return vty if vty.phi is not None else BoolT(vty.itype, ne(v, intlit(0)))
+    if isinstance(vty, ValueT):
+        return ValueT(v, layout)
+    if vty.head in ("null", "fn", "shr"):
+        return vty
+    state.delta.add(ValType(v, vty), state.subst)
+    return ValueT(v, layout)
+
+
+def _same_size(state, old_ty: RType, layout: Layout) -> bool:
+    sz = old_ty.layout_size()
+    if sz is None:
+        return False
+    return quiet_entails(state, eq(sz, intlit(layout.size)))
+
+
+@REGISTRY.rule("WRITE-SCALAR", ("write_at", "*"))
+def rule_write_scalar(f: WriteAtJ, state) -> Goal:
+    """Overwrite a location whose current type has exactly the stored
+    layout's size.  The old contents (and for affine Iris, any ownership
+    it carried) are dropped; the new type is the stored value's."""
+    if f.atomic:
+        state.fail("atomic write to a non-atomic location type "
+                   f"{f.old_ty!r}")
+    if not _same_size(state, f.old_ty, f.layout):
+        state.fail(f"write at {f.loc!r}: cannot overwrite {f.old_ty!r} "
+                   f"with a {f.layout.size}-byte store")
+    atom = state.delta.find_related(f.loc, state.subst)
+    if atom is None:
+        state.fail(f"lost ownership of {f.loc!r} during write")
+    state.delta.remove(atom)
+    new_ty = _stored_type(state, f.v, f.vty, f.layout)
+    state.delta.add(LocType(f.loc, new_ty), state.subst)
+    return f.cont
+
+
+@REGISTRY.rule("WRITE-UNINIT", ("write_at", "uninit"))
+def rule_write_uninit(f: WriteAtJ, state) -> Goal:
+    """Write into an uninitialised block: carve out the written slot,
+    leaving uninit prefix/suffix blocks.  Side conditions check that the
+    store is within bounds (cf. the rc::size overlay of §2.2)."""
+    if f.atomic:
+        state.fail("atomic write into an uninit block")
+    found = locate(f.sigma, state, f.loc, intlit(f.layout.size))
+    if found is None:
+        state.fail(f"lost ownership of {f.loc!r} during write")
+    atom, start = found
+    old: UninitT = atom.ty.resolve(state.subst)
+    assert isinstance(old, UninitT)
+    size = intlit(f.layout.size)
+    state.delta.remove(atom)
+    base_loc = state.subst.resolve(atom.loc)
+    # Bounds: 0 ≤ start and start + size ≤ old.size.
+    bounds = and_(le(intlit(0), start),
+                  le(add(start, size), old.size))
+    goal: Goal = f.cont
+    # Suffix uninit block (may be empty; keep it only if provably nonempty
+    # is not required — a 0-byte uninit atom is harmless but noisy).
+    suffix_size = sub(old.size, add(start, size))
+    if not quiet_entails(state, eq(suffix_size, intlit(0))):
+        goal = GWand(HAtom(LocType(loc_offset(base_loc, add(start, size)),
+                                   UninitT(suffix_size))), goal)
+    if not quiet_entails(state, eq(start, intlit(0))):
+        goal = GWand(HAtom(LocType(base_loc, UninitT(start))), goal)
+    new_ty = _stored_type(state, f.v, f.vty, f.layout)
+    goal = GWand(HAtom(LocType(f.loc, new_ty)), goal)
+    return GSep(HPure(bounds, origin="store into uninit block"), goal)
+
+
+# ---------------------------------------------------------------------
+# Pointer-to-place conversion.
+# ---------------------------------------------------------------------
+
+@REGISTRY.rule("PLACE-VALUE", ("to_place", "value"))
+def rule_place_value(f: ToPlaceJ, state) -> Goal:
+    """A raw pointer value: if its ownership is parked as a value atom,
+    unfold it; otherwise the target memory is already in the context."""
+    atom = state.delta.find_related(ValType(f.v, f.ty).subject, state.subst)
+    if isinstance(atom, ValType):
+        state.delta.remove(atom)
+        return GBasic(ToPlaceJ(f.sigma, f.v, atom.ty, f.cont))
+    return f.cont(f.v)
+
+
+@REGISTRY.rule("PLACE-OWN", ("to_place", "own"))
+def rule_place_own(f: ToPlaceJ, state) -> Goal:
+    """Dereference an owned pointer: materialise its target's ownership
+    (unfolding structs into per-field atoms)."""
+    ty: OwnPtr = f.ty
+    loc = ty.loc if ty.loc is not None else f.v
+    return intro_loc_goal(f.sigma, state, loc, ty.inner, f.cont(loc))
+
+
+@REGISTRY.rule("PLACE-SHR", ("to_place", "shr"))
+def rule_place_shr(f: ToPlaceJ, state) -> Goal:
+    """Dereference a shared pointer: its target is persistent."""
+    ty = f.ty
+    loc = ty.loc if ty.loc is not None else f.v
+    return intro_loc_goal(f.sigma, state, loc, ty.inner, f.cont(loc),
+                          shared=True)
+
+
+@REGISTRY.rule("PLACE-NAMED", ("to_place", "named"))
+def rule_place_named(f: ToPlaceJ, state) -> Goal:
+    """A named pointer type unfolds before being used as a place."""
+    return GBasic(ToPlaceJ(f.sigma, f.v, f.sigma.types.unfold(f.ty), f.cont))
+
+
+@REGISTRY.rule("PLACE-OPTIONAL", ("to_place", "optional"))
+def rule_place_optional(f: ToPlaceJ, state) -> Goal:
+    """Dereferencing an optional pointer requires its condition to hold —
+    otherwise this is a potential NULL dereference, reported as such."""
+    ty: OptionalT = f.ty
+    return GSep(HPure(ty.phi, origin="dereference of optional pointer "
+                      "(must be provably non-NULL)"),
+                GBasic(ToPlaceJ(f.sigma, f.v, ty.then_type, f.cont)))
+
+
+@REGISTRY.rule("PLACE-NULL", ("to_place", "null"))
+def rule_place_null(f: ToPlaceJ, state) -> Goal:
+    """Dereferencing NULL is always an error."""
+    state.fail("dereference of NULL pointer")
+
+
+@REGISTRY.rule("PLACE-EXISTS", ("to_place", "exists"))
+def rule_place_exists(f: ToPlaceJ, state) -> Goal:
+    """A type-level existential is skolemised when used as a place."""
+    from ...lithium.goals import GForall
+    body = f.ty.body
+    return GForall(f.ty.sort, f.ty.hint, lambda x: GBasic(
+        ToPlaceJ(f.sigma, f.v, body(x), f.cont)))
+
+
+@REGISTRY.rule("PLACE-CONSTRAINED", ("to_place", "constrained"))
+def rule_place_constrained(f: ToPlaceJ, state) -> Goal:
+    """A constraint on a place type becomes a context fact."""
+    return GWand(HPure(f.ty.phi), GBasic(
+        ToPlaceJ(f.sigma, f.v, f.ty.inner, f.cont)))
+
+
+# ---------------------------------------------------------------------
+# Establishing location ownership as a goal (used by subsumption).
+# ---------------------------------------------------------------------
+
+@REGISTRY.rule("PROVE-PLACE", ("prove_place", "*"))
+def rule_prove_place(f: ProvePlaceJ, state) -> Goal:
+    """Default: consume the related context atom via subsumption.
+
+    If no atom for the location exists, *focus*: an ``&own`` pointer whose
+    target is this location may still be folded somewhere in the context
+    (e.g. the untouched argument slot when ``rc::ensures`` demands
+    ``own p : τ``); unfold it in place."""
+    loc = state.subst.resolve(f.loc)
+    from ...pure.terms import EVar as _EVar
+    if isinstance(loc, _EVar) and isinstance(f.want.resolve(state.subst),
+                                             UninitT):
+        # An existentially quantified region (``rc::exists q`` with
+        # ``own q : uninit<n>``): pick the context region that covers the
+        # requested byte count (deterministic: first in context order).
+        want_size = f.want.resolve(state.subst).size
+        candidate = _pick_region(f.sigma, state, want_size)
+        if candidate is not None:
+            from ...pure.unify import unify as _unify
+            if _unify(loc, candidate, state.subst):
+                state.stats.evars_instantiated += 1
+                loc = candidate
+    if state.delta.find_related(loc, state.subst) is None:
+        unfolded = _focus_own(f.sigma, state, loc)
+        if unfolded is not None:
+            return unfolded(GSep(HAtom(LocType(f.loc, f.want)), f.cont))
+    return GSep(HAtom(LocType(f.loc, f.want)), f.cont)
+
+
+def _pick_region(sigma, state, want_size) -> Optional[Term]:
+    """Find a context location from which ``want_size`` bytes of owned,
+    reclaimable memory extend (a quiet check; the actual consumption emits
+    the recorded side conditions)."""
+    from ...pure.simplify import simplify as _simp
+    from ...pure.terms import add as _add
+    starts = []
+    for atom in state.delta:
+        if isinstance(atom, LocType) and not atom.persistent:
+            starts.append(state.subst.resolve(atom.loc))
+    for start in starts:
+        covered: Term = intlit(0)
+        for _ in range(64):
+            if quiet_entails(state, eq(covered, want_size)):
+                return start
+            cur = state.subst.resolve(
+                _simp(app("loc_offset", start, covered)))
+            atom = state.delta.find_related(cur, state.subst)
+            if not isinstance(atom, LocType) or atom.persistent:
+                break
+            size = atom.ty.resolve(state.subst).layout_size()
+            if size is None:
+                break
+            covered = _simp(_add(covered, size))
+    return None
+
+
+def _focus_own(sigma, state, loc: Term):
+    """Find and unfold a folded ``&own`` (in a location or parked value
+    atom) whose target is ``loc``.  Returns a goal transformer or None."""
+    from ...caesium.layout import PtrLayout
+    for atom in list(state.delta):
+        ty = atom.ty.resolve(state.subst) if isinstance(atom, (LocType,
+                                                               ValType)) \
+            else None
+        if not isinstance(ty, OwnPtr):
+            continue
+        target = state.subst.resolve(ty.loc) if ty.loc is not None else None
+        if target != loc:
+            continue
+        state.delta.remove(atom)
+        if isinstance(atom, LocType):
+            state.delta.add(LocType(atom.loc, ValueT(loc, PtrLayout())),
+                            state.subst)
+        return lambda cont: intro_loc_goal(sigma, state, loc, ty.inner, cont)
+    return None
+
+
+@REGISTRY.rule("PROVE-PLACE-WAND", ("prove_place", "wand"))
+def rule_prove_place_wand(f: ProvePlaceJ, state) -> Goal:
+    """Establish a wand: assume the hole, then produce the conclusion
+    (τ ∗ H ⊢ τ₂ — the standard magic-wand introduction, specialised to
+    RefinedC's wand type, §2.2)."""
+    goal: Goal = GSep(HAtom(LocType(f.loc, f.want.inner)), f.cont)
+    for hole_atom in reversed(f.want.hole):
+        goal = GWand(HAtom(hole_atom), goal)
+    return goal
+
+
+@REGISTRY.rule("HOOK", ("hook",))
+def rule_hook(f: HookJ, state) -> Goal:
+    """Run an internal bookkeeping callback (e.g. loop-frame recording)."""
+    return f.callback(state)

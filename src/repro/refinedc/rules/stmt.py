@@ -1,0 +1,167 @@
+"""Statement and control-flow typing rules (⊢stmt; T-IF, IF-BOOL, IF-INT of
+Figure 6; goto/loop-invariant handling of §2.2; the return rule).
+"""
+
+from __future__ import annotations
+
+from ...caesium.syntax import (Assign, CondGoto, ExprS, Goto, Ret, Switch)
+from ...lithium.goals import (GBasic, GConj, GSep, GTrue, GWand, Goal, HPure,
+                              conj)
+from ...pure.terms import Sort, Term, TRUE, eq, intlit, ne, not_
+from ..judgments import (ExprJ, GotoJ, HookJ, IfJ, StmtsJ, SubsumeValJ,
+                         ToPlaceJ, WriteJ)
+from ..substitution import subst_assertion, subst_type
+from ..types import BoolT, IntT, RType
+from . import REGISTRY
+
+
+def _rest(f: StmtsJ) -> Goal:
+    return GBasic(StmtsJ(f.sigma, f.stmts[1:], f.term))
+
+
+@REGISTRY.rule("T-ASSIGN", ("stmts", "Assign"))
+def rule_assign(f: StmtsJ, state) -> Goal:
+    """``*lhs = rhs``: type the place, the value, then dispatch ⊢write."""
+    s: Assign = f.stmts[0]
+    sigma = f.sigma
+
+    def with_lhs(vl: Term, tl: RType) -> Goal:
+        return GBasic(ToPlaceJ(sigma, vl, tl, lambda loc: GBasic(
+            ExprJ(sigma, s.rhs, lambda v, vty: GBasic(
+                WriteJ(sigma, loc, v, vty, s.layout, s.atomic,
+                       _rest(f)))))))
+
+    return GBasic(ExprJ(sigma, s.lhs, with_lhs))
+
+
+@REGISTRY.rule("T-EXPRS", ("stmts", "ExprS"))
+def rule_exprs(f: StmtsJ, state) -> Goal:
+    """An expression statement (e.g. a call for effects)."""
+    s: ExprS = f.stmts[0]
+    return GBasic(ExprJ(f.sigma, s.e, lambda v, ty: _rest(f)))
+
+
+@REGISTRY.rule("T-GOTO", ("stmts", "term:Goto"))
+def rule_term_goto(f: StmtsJ, state) -> Goal:
+    """A direct jump dispatches the ⊢goto judgment."""
+    return GBasic(GotoJ(f.sigma, f.term.target))
+
+
+@REGISTRY.rule("T-IF", ("stmts", "term:CondGoto"))
+def rule_term_condgoto(f: StmtsJ, state) -> Goal:
+    """Figure 6, T-IF: type the condition, then dispatch ⊢if on its type."""
+    t: CondGoto = f.term
+    return GBasic(ExprJ(f.sigma, t.cond, lambda v, ty: GBasic(
+        IfJ(f.sigma, v, ty, t.then_target, t.else_target))))
+
+
+@REGISTRY.rule("T-SWITCH", ("stmts", "term:Switch"))
+def rule_term_switch(f: StmtsJ, state) -> Goal:
+    """An unstructured switch: fork per case with the scrutinee pinned."""
+    t: Switch = f.term
+    sigma = f.sigma
+
+    def with_scrut(v: Term, ty: RType) -> Goal:
+        if not isinstance(ty, IntT):
+            state.fail(f"switch on non-integer type {ty!r}")
+        branches = []
+        labels = []
+        others = []
+        for case_val, target in t.cases:
+            branches.append(GWand(HPure(eq(v, intlit(case_val))),
+                                  GBasic(GotoJ(sigma, target))))
+            labels.append(f"switch case {case_val}")
+            others.append(ne(v, intlit(case_val)))
+        default_hyp = HPure(TRUE) if not others else \
+            HPure(others[0] if len(others) == 1 else
+                  __and(others))
+        branches.append(GWand(default_hyp, GBasic(GotoJ(sigma, t.default))))
+        labels.append("switch default")
+        return conj(*branches, labels=labels)
+
+    return GBasic(ExprJ(sigma, t.scrutinee, with_scrut))
+
+
+def __and(ts):
+    from ...pure.terms import and_
+    return and_(*ts)
+
+
+@REGISTRY.rule("IF-BOOL", ("if", "bool"))
+def rule_if_bool(f: IfJ, state) -> Goal:
+    """Figure 6, IF-BOOL: fork on the boolean's refinement.  When the
+    refinement is a literal (as produced by O-OPTIONAL-EQ), one branch is
+    vacuous (⌜False⌝ −∗ …)."""
+    phi = f.ty.phi if f.ty.phi is not None else ne(f.v, intlit(0))
+    return GConj((
+        GWand(HPure(phi), GBasic(GotoJ(f.sigma, f.then_label))),
+        GWand(HPure(not_(phi)), GBasic(GotoJ(f.sigma, f.else_label))),
+    ), ("if branch: then", "if branch: else"))
+
+
+@REGISTRY.rule("IF-INT", ("if", "int"))
+def rule_if_int(f: IfJ, state) -> Goal:
+    """Figure 6, IF-INT: n ≠ 0 selects the then branch."""
+    n = f.ty.refinement if f.ty.refinement is not None else f.v
+    return GConj((
+        GWand(HPure(ne(n, intlit(0))), GBasic(GotoJ(f.sigma, f.then_label))),
+        GWand(HPure(eq(n, intlit(0))), GBasic(GotoJ(f.sigma, f.else_label))),
+    ), ("if branch: then", "if branch: else"))
+
+
+@REGISTRY.rule("T-GOTO-BLOCK", ("goto",))
+def rule_goto(f: GotoJ, state) -> Goal:
+    """Jump to a block.  If the target carries a loop-invariant annotation,
+    consume the invariant (and schedule the block to be checked once under
+    it); otherwise inline the target block."""
+    sigma, target = f.sigma, f.target
+    block = sigma.fn.block(target)
+    if block.annot is not None:
+        return sigma.invariant_entry_goal(state, target)
+    sigma.visits[target] = sigma.visits.get(target, 0) + 1
+    if sigma.visits[target] > sigma.max_inline_visits:
+        state.fail(
+            f"block {target!r} is visited repeatedly without a loop "
+            f"invariant — annotate the loop with rc::inv_vars")
+    return GBasic(StmtsJ(sigma, tuple(block.stmts), block.term))
+
+
+@REGISTRY.rule("T-RETURN", ("stmts", "term:Ret"))
+def rule_return(f: StmtsJ, state) -> Goal:
+    """Check the returned value against the spec's return type, then the
+    postcondition (rc::ensures).  Postcondition existentials (rc::exists)
+    become evars, instantiated while checking the return type first — the
+    left-to-right discipline of §5."""
+    t: Ret = f.term
+    sigma = f.sigma
+    spec = sigma.spec
+
+    def finish(v, vty) -> Goal:
+        def with_exists(emap: dict) -> Goal:
+            goal: Goal = GTrue()
+            for a in reversed(spec.ensures):
+                goal = sigma.consume_assertion_goal(
+                    subst_assertion(a, emap), goal, origin="rc::ensures")
+            if spec.returns is not None:
+                want = subst_type(spec.returns, emap)
+                if v is None:
+                    state.fail("void return but the spec declares a "
+                               "return type")
+                goal = GBasic(SubsumeValJ(sigma, v, vty, want, goal))
+            elif v is not None:
+                state.fail("value returned but the spec is void")
+            return goal
+
+        def bind(idx: int, emap: dict) -> Goal:
+            if idx == len(spec.exists):
+                return with_exists(emap)
+            y = spec.exists[idx]
+            from ...lithium.goals import GExists
+            return GExists(y.sort, y.name,
+                           lambda ev: bind(idx + 1, {**emap, y: ev}))
+
+        return bind(0, {})
+
+    if t.value is None:
+        return finish(None, None)
+    return GBasic(ExprJ(sigma, t.value, finish))

@@ -1,0 +1,505 @@
+"""Subsumption (subtyping) rules: ``A₁ <: A₂ {G}`` (§5, §6).
+
+The workhorse is a *structural* comparison that reduces same-shaped types
+to pure equality side conditions on their refinements (which is also where
+sealed evars get instantiated, e.g. S-NULL's ``¬φ`` determining a list
+tail).  When shapes differ, explicit decomposition rules fire: unfolding
+named types (§2.2), skolemising/introducing type-level existentials,
+struct recomposition, padding splits, optional case selection (S-OWN /
+S-NULL of Figure 6), and magic-wand introduction/application.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...lithium.goals import (GBasic, GConj, GExists, GForall, GSep, GWand,
+                              Goal, HAtom, HPure)
+from ...pure.terms import (Sort, Term, TRUE, and_, eq, intlit, ite, le,
+                           loc_offset, ne, not_, sub)
+from ..judgments import (LocType, ProvePlaceJ, SubsumeLocJ, SubsumeValJ,
+                         TokenAtom, ValType)
+from ..ownership import intro_loc_goal, quiet_entails, struct_pieces
+from ..spec import ShrPtr
+from ..types import (ArrayT, AtomicBoolT, BoolT, ConstrainedT, ExistsT, FnT,
+                     IntT, NamedT, NullT, OptionalT, OwnPtr, PaddedT, RType,
+                     StructT, UninitT, ValueT, WandT)
+from . import REGISTRY
+
+
+def structural_conditions(have: RType, want: RType) -> Optional[list[Term]]:
+    """If ``have`` and ``want`` have the same shape, return the pure
+    equality conditions making them equal; ``None`` if shapes differ."""
+    if isinstance(have, IntT) and isinstance(want, IntT):
+        if have.itype != want.itype:
+            return None
+        if want.refinement is None:
+            return []
+        if have.refinement is None:
+            return None
+        return [eq(have.refinement, want.refinement)]
+    if isinstance(have, BoolT) and isinstance(want, BoolT):
+        if want.phi is None:
+            return []
+        if have.phi is None:
+            return None
+        return [eq(have.phi, want.phi)]
+    if isinstance(have, NullT) and isinstance(want, NullT):
+        return []
+    if isinstance(have, UninitT) and isinstance(want, UninitT):
+        return [eq(have.size, want.size)]
+    if isinstance(have, ValueT) and isinstance(want, ValueT):
+        return [eq(have.v, want.v)]
+    if isinstance(have, OwnPtr) and isinstance(want, OwnPtr):
+        inner = structural_conditions(have.inner, want.inner)
+        if inner is None:
+            return None
+        out = list(inner)
+        if want.loc is not None:
+            if have.loc is None:
+                return None
+            out.append(eq(have.loc, want.loc))
+        return out
+    if isinstance(have, ShrPtr) and isinstance(want, ShrPtr):
+        inner = structural_conditions(have.inner, want.inner)
+        if inner is None:
+            return None
+        out = list(inner)
+        if want.loc is not None:
+            if have.loc is None:
+                return None
+            out.append(eq(have.loc, want.loc))
+        return out
+    if isinstance(have, OptionalT) and isinstance(want, OptionalT):
+        t = structural_conditions(have.then_type, want.then_type)
+        e = structural_conditions(have.else_type, want.else_type)
+        if t is None or e is None:
+            return None
+        return [eq(have.phi, want.phi)] + t + e
+    if isinstance(have, NamedT) and isinstance(want, NamedT):
+        if have.name != want.name:
+            return None
+        return [eq(a, b) for a, b in zip(have.args, want.args)]
+    if isinstance(have, ArrayT) and isinstance(want, ArrayT):
+        if have.itype != want.itype:
+            return None
+        return [eq(have.xs, want.xs), eq(have.length, want.length)]
+    if isinstance(have, StructT) and isinstance(want, StructT):
+        if have.layout != want.layout:
+            return None
+        out: list[Term] = []
+        for (_, th), (_, tw) in zip(have.fields, want.fields):
+            sub_conds = structural_conditions(th, tw)
+            if sub_conds is None:
+                return None
+            out.extend(sub_conds)
+        return out
+    if isinstance(have, PaddedT) and isinstance(want, PaddedT):
+        inner = structural_conditions(have.inner, want.inner)
+        if inner is None:
+            return None
+        return inner + [eq(have.size, want.size)]
+    if isinstance(have, ConstrainedT) and isinstance(want, ConstrainedT):
+        inner = structural_conditions(have.inner, want.inner)
+        if inner is None:
+            return None
+        return inner + [eq(have.phi, want.phi)]
+    if isinstance(have, WandT) and isinstance(want, WandT):
+        # Wands are never compared structurally: re-establishing a wand
+        # with different hole refinements (the loop back-edge of §2.2)
+        # requires *applying* the old wand and proving the new one, which
+        # the decomposition rules below handle.
+        return None
+    if isinstance(have, FnT) and isinstance(want, FnT):
+        return [] if have.spec.name == want.spec.name else None
+    if isinstance(have, ExistsT) and isinstance(want, ExistsT):
+        # α-compare: instantiate both bodies with the same probe variable;
+        # conditions mentioning the probe would not be globally valid, so
+        # shapes only match when the bodies agree wherever the probe flows.
+        if have.sort is not want.sort:
+            return None
+        from ...pure.terms import Var as _Var
+        probe = _Var(f"α${id(have)}_{id(want)}", have.sort)
+        conds = structural_conditions(have.body(probe), want.body(probe))
+        if conds is None:
+            return None
+        out: list[Term] = []
+        for c in conds:
+            generalised = _drop_probe(c, probe)
+            if generalised is None:
+                return None
+            out.extend(generalised)
+        return out
+    if isinstance(have, AtomicBoolT) and isinstance(want, AtomicBoolT):
+        if len(have.h_true) != len(want.h_true) \
+                or len(have.h_false) != len(want.h_false):
+            return None
+        out = []
+        for ha, wa in zip(have.h_true + have.h_false,
+                          want.h_true + want.h_false):
+            conds = _atom_conditions(ha, wa)
+            if conds is None:
+                return None
+            out.extend(conds)
+        return out
+    return None
+
+
+def _drop_probe(cond: Term, probe) -> Optional[list[Term]]:
+    """Turn a condition arising under a binder into probe-free sufficient
+    conditions: identical sides vanish; equalities decompose structurally
+    (``eq(f(a), f(b))`` strengthens to ``eq(a, b)``); anything that still
+    mentions the probe defeats the comparison."""
+    from ...pure.terms import App as _App
+    if probe not in cond.free_vars():
+        return [cond]
+    if isinstance(cond, _App) and cond.op == "eq":
+        lhs, rhs = cond.args
+        return _decompose_probe_eq(lhs, rhs, probe)
+    return None
+
+
+def _decompose_probe_eq(lhs: Term, rhs: Term, probe) -> Optional[list[Term]]:
+    from ...pure.terms import App as _App
+    if lhs == rhs:
+        return []
+    lhs_has = probe in lhs.free_vars()
+    rhs_has = probe in rhs.free_vars()
+    if not lhs_has and not rhs_has:
+        return [eq(lhs, rhs)] if lhs.sort is rhs.sort else None
+    if isinstance(lhs, _App) and isinstance(rhs, _App) \
+            and lhs.op == rhs.op and len(lhs.args) == len(rhs.args):
+        out: list[Term] = []
+        for a, b in zip(lhs.args, rhs.args):
+            sub_conds = _decompose_probe_eq(a, b, probe)
+            if sub_conds is None:
+                return None
+            out.extend(sub_conds)
+        return out
+    return None
+
+
+def _atom_conditions(a, b) -> Optional[list[Term]]:
+    if isinstance(a, LocType) and isinstance(b, LocType):
+        inner = structural_conditions(a.ty, b.ty)
+        if inner is None or a.shared != b.shared:
+            return None
+        return [eq(a.loc, b.loc)] + inner
+    if isinstance(a, ValType) and isinstance(b, ValType):
+        inner = structural_conditions(a.ty, b.ty)
+        if inner is None:
+            return None
+        return [eq(a.val, b.val)] + inner
+    if isinstance(a, TokenAtom) and isinstance(b, TokenAtom):
+        if a.name != b.name or a.dup != b.dup:
+            return None
+        return [eq(a.index, b.index)]
+    if isinstance(a, Term) and isinstance(b, Term):
+        return [eq(a, b)] if a.sort is b.sort else None
+    return None
+
+
+def _conds_goal(conds: list[Term], cont: Goal, origin: str) -> Goal:
+    goal = cont
+    for c in reversed(conds):
+        if c == TRUE:
+            continue
+        goal = GSep(HPure(c, origin=origin), goal)
+    return goal
+
+
+# ---------------------------------------------------------------------
+# Location subsumption.
+# ---------------------------------------------------------------------
+
+@REGISTRY.rule("S-LOC", ("subsume_loc", "*", "*"), priority=-10)
+def rule_subsume_loc_generic(f: SubsumeLocJ, state) -> Goal:
+    """The generic location-subsumption rule: structural comparison first,
+    then shape-changing decompositions in a fixed, deterministic order."""
+    have, want, loc = f.have, f.want, f.loc
+    conds = structural_conditions(have, want)
+    if conds is not None:
+        return _conds_goal(conds, f.cont, f"subsumption at {loc!r}")
+    # --- shape-changing steps, most specific first -------------------
+    if isinstance(have, NamedT):
+        return GBasic(SubsumeLocJ(f.sigma, loc, f.sigma.types.unfold(have),
+                                  want, f.cont))
+    if isinstance(have, ExistsT):
+        body = have.body
+        return GForall(have.sort, have.hint, lambda x: GBasic(
+            SubsumeLocJ(f.sigma, loc, body(x), want, f.cont)))
+    if isinstance(have, ConstrainedT):
+        return GWand(HPure(have.phi), GBasic(
+            SubsumeLocJ(f.sigma, loc, have.inner, want, f.cont)))
+    if isinstance(want, NamedT):
+        return GBasic(SubsumeLocJ(f.sigma, loc, have,
+                                  f.sigma.types.unfold(want), f.cont))
+    if isinstance(want, ExistsT):
+        body = want.body
+        return GExists(want.sort, want.hint, lambda x: GBasic(
+            SubsumeLocJ(f.sigma, loc, have, body(x), f.cont)))
+    if isinstance(want, ConstrainedT):
+        # Inner first so the constraint sees instantiated evars (§5's
+        # left-to-right discipline).
+        return GBasic(SubsumeLocJ(
+            f.sigma, loc, have, want.inner,
+            GSep(HPure(want.phi, origin="rc::constraints"), f.cont)))
+    if isinstance(want, UninitT):
+        return _loc_to_uninit(f, state, have, want)
+    if isinstance(want, StructT):
+        goal: Goal = f.cont
+        for off, piece in reversed(struct_pieces(want)):
+            goal = GBasic(ProvePlaceJ(f.sigma, loc_offset(loc, intlit(off)),
+                                      piece, goal))
+        return GWand(HAtom(LocType(loc, have)), goal)
+    if isinstance(want, PaddedT):
+        inner_size = want.inner.layout_size()
+        if inner_size is None:
+            state.fail(f"padded type with unsized inner: {want!r}")
+        pad = UninitT(sub(want.size, inner_size))
+        return GWand(HAtom(LocType(loc, have)), GBasic(ProvePlaceJ(
+            f.sigma, loc, want.inner, GBasic(ProvePlaceJ(
+                f.sigma, loc_offset(loc, inner_size), pad, f.cont)))))
+    if isinstance(have, ValueT):
+        return _loc_value_to(f, state, have.v)
+    if isinstance(have, PaddedT):
+        inner_size = have.inner.layout_size()
+        if inner_size is None:
+            state.fail(f"padded type with unsized inner: {have!r}")
+        pad = UninitT(sub(have.size, inner_size))
+        return GWand(HAtom(LocType(loc, have.inner)), GWand(
+            HAtom(LocType(loc_offset(loc, inner_size), pad)),
+            GSep(HAtom(LocType(loc, want)), f.cont)))
+    if isinstance(have, WandT):
+        # Wand application: provide the hole, get the conclusion (§2.2).
+        goal = GBasic(SubsumeLocJ(f.sigma, loc, have.inner, want, f.cont))
+        for hole_atom in reversed(have.hole):
+            goal = GSep(HAtom(hole_atom), goal)
+        return goal
+    if isinstance(want, WandT):
+        goal = GBasic(ProvePlaceJ(f.sigma, loc, want, f.cont))
+        return GWand(HAtom(LocType(loc, have)), goal)
+    if isinstance(want, OptionalT):
+        return _loc_to_optional(f, state, have, want)
+    if isinstance(have, OptionalT):
+        return _loc_from_optional(f, state, have, want)
+    if isinstance(have, OwnPtr) and isinstance(want, OwnPtr):
+        return _own_to_own_loc(f, state, have, want)
+    if isinstance(want, UninitT):
+        return _loc_to_uninit(f, state, have, want)
+    state.fail(f"no subsumption from {have!r} to {want!r} at {loc!r}")
+
+
+def _loc_to_uninit(f: SubsumeLocJ, state, have: RType,
+                   want: UninitT) -> Goal:
+    """Forget initialisation: any owned bytes may be viewed as ``uninit``
+    (this is how freed nodes give their memory back, e.g. pop in the
+    linked-list case study).  Gathers consecutive atoms until the wanted
+    byte count is covered."""
+    from ..ownership import quiet_entails, split_loc
+    from ...pure.terms import add as _add, eq as _eq, intlit as _intlit
+    from ...pure.simplify import simplify as _simp
+    # Re-add the consumed atom, then gather from the start location.
+    state.delta.add(LocType(f.loc, have), state.subst)
+    covered = _intlit(0)
+    for _ in range(64):
+        if quiet_entails(state, _eq(covered, want.size)):
+            return f.cont
+        cur_loc = state.subst.resolve(loc_offset(f.loc, covered))
+        atom = state.delta.find_related(cur_loc, state.subst)
+        if not isinstance(atom, LocType) or atom.persistent:
+            break
+        piece = atom.ty.resolve(state.subst)
+        if piece.head == "atomicbool":
+            break
+        piece_size = piece.layout_size()
+        if piece_size is None:
+            break
+        state.delta.remove(atom)
+        covered = _simp(_add(covered, piece_size))
+    return GSep(HPure(eq(covered, want.size),
+                      origin="reclaiming memory as uninit"), f.cont)
+
+
+def _loc_value_to(f: SubsumeLocJ, state, v: Term) -> Goal:
+    """Location holds the raw value ``v``: subsume at the value level."""
+    return GBasic(SubsumeValJ(f.sigma, v, ValueT(v, None), f.want, f.cont))
+
+
+def _loc_to_optional(f: SubsumeLocJ, state, have: RType,
+                     want: OptionalT) -> Goal:
+    if isinstance(have, OwnPtr):
+        return GSep(HPure(want.phi, origin="optional (pointer case)"),
+                    GBasic(SubsumeLocJ(f.sigma, f.loc, have, want.then_type,
+                                       f.cont)))
+    if isinstance(have, NullT):
+        return GSep(HPure(not_(want.phi), origin="optional (NULL case)"),
+                    GBasic(SubsumeLocJ(f.sigma, f.loc, have, want.else_type,
+                                       f.cont)))
+    # Decide by provability (deterministic order: φ first).
+    phi = state.subst.resolve(want.phi)
+    if not phi.has_evars() and quiet_entails(state, phi):
+        return GSep(HPure(phi), GBasic(SubsumeLocJ(
+            f.sigma, f.loc, have, want.then_type, f.cont)))
+    if not phi.has_evars() and quiet_entails(state, not_(phi)):
+        return GSep(HPure(not_(phi)), GBasic(SubsumeLocJ(
+            f.sigma, f.loc, have, want.else_type, f.cont)))
+    state.fail(f"cannot decide optional condition {want.phi!r} when "
+               f"subsuming {have!r}")
+
+
+def _loc_from_optional(f: SubsumeLocJ, state, have: OptionalT,
+                       want: RType) -> Goal:
+    phi = state.subst.resolve(have.phi)
+    if quiet_entails(state, phi):
+        return GWand(HPure(phi), GBasic(SubsumeLocJ(
+            f.sigma, f.loc, have.then_type, want, f.cont)))
+    if quiet_entails(state, not_(phi)):
+        return GWand(HPure(not_(phi)), GBasic(SubsumeLocJ(
+            f.sigma, f.loc, have.else_type, want, f.cont)))
+    state.fail(f"cannot decide optional condition {have.phi!r} of context "
+               f"type at {f.loc!r}")
+
+
+def _own_to_own_loc(f: SubsumeLocJ, state, have: OwnPtr,
+                    want: OwnPtr) -> Goal:
+    conds = []
+    loc_inner = have.loc
+    if loc_inner is None:
+        loc_inner = state.fresh_var(Sort.LOC, "ptr")
+    if want.loc is not None:
+        conds.append(eq(loc_inner, want.loc))
+    goal = intro_loc_goal(f.sigma, state, loc_inner, have.inner,
+                          GBasic(ProvePlaceJ(f.sigma, loc_inner, want.inner,
+                                             f.cont)))
+    return _conds_goal(conds, goal, "owned pointer subsumption")
+
+
+# ---------------------------------------------------------------------
+# Value subsumption (S-NULL / S-OWN of Figure 6 live here).
+# ---------------------------------------------------------------------
+
+@REGISTRY.rule("S-OWN", ("subsume_val", "own", "optional"))
+def rule_s_own(f: SubsumeValJ, state) -> Goal:
+    """Figure 6, S-OWN: an owned pointer fits an optional if φ holds."""
+    want: OptionalT = f.want
+    return GSep(HPure(want.phi, origin="S-OWN (value is a pointer, so the "
+                      "optional condition must hold)"),
+                GBasic(SubsumeValJ(f.sigma, f.v, f.have, want.then_type,
+                                   f.cont)))
+
+
+@REGISTRY.rule("S-NULL", ("subsume_val", "null", "optional"))
+def rule_s_null(f: SubsumeValJ, state) -> Goal:
+    """Figure 6, S-NULL: NULL fits an optional if φ is false."""
+    want: OptionalT = f.want
+    return GSep(HPure(not_(want.phi), origin="S-NULL (value is NULL, so the "
+                      "optional condition must be false)"),
+                GBasic(SubsumeValJ(f.sigma, f.v, f.have, want.else_type,
+                                   f.cont)))
+
+
+@REGISTRY.rule("S-INT-BOOL", ("subsume_val", "int", "bool"))
+def rule_int_to_bool(f: SubsumeValJ, state) -> Goal:
+    """An integer fits a boolean type when the proposition matches n ≠ 0."""
+    n = f.have.refinement if f.have.refinement is not None else f.v
+    if f.want.phi is None:
+        return f.cont
+    return GSep(HPure(eq(f.want.phi, ne(n, intlit(0))),
+                      origin="int-as-bool"), f.cont)
+
+
+@REGISTRY.rule("S-BOOL-INT", ("subsume_val", "bool", "int"))
+def rule_bool_to_int(f: SubsumeValJ, state) -> Goal:
+    """A boolean fits an integer type as 0/1."""
+    phi = f.have.phi if f.have.phi is not None else ne(f.v, intlit(0))
+    if f.want.refinement is None:
+        return f.cont
+    return GSep(HPure(eq(ite(phi, intlit(1), intlit(0)), f.want.refinement),
+                      origin="bool-as-int"), f.cont)
+
+
+@REGISTRY.rule("S-VAL", ("subsume_val", "*", "*"), priority=-10)
+def rule_subsume_val_generic(f: SubsumeValJ, state) -> Goal:
+    """Generic value subsumption: structural first, then decompositions."""
+    have, want, v = f.have, f.want, f.v
+    conds = structural_conditions(have, want)
+    if conds is not None:
+        return _conds_goal(conds, f.cont, f"subsumption of {v!r}")
+    if isinstance(have, NamedT):
+        return GBasic(SubsumeValJ(f.sigma, v, f.sigma.types.unfold(have),
+                                  want, f.cont))
+    if isinstance(have, ExistsT):
+        body = have.body
+        return GForall(have.sort, have.hint, lambda x: GBasic(
+            SubsumeValJ(f.sigma, v, body(x), want, f.cont)))
+    if isinstance(have, ConstrainedT):
+        return GWand(HPure(have.phi), GBasic(
+            SubsumeValJ(f.sigma, v, have.inner, want, f.cont)))
+    if isinstance(want, NamedT):
+        return GBasic(SubsumeValJ(f.sigma, v, have,
+                                  f.sigma.types.unfold(want), f.cont))
+    if isinstance(want, ExistsT):
+        body = want.body
+        return GExists(want.sort, want.hint, lambda x: GBasic(
+            SubsumeValJ(f.sigma, v, have, body(x), f.cont)))
+    if isinstance(want, ConstrainedT):
+        return GBasic(SubsumeValJ(
+            f.sigma, v, have, want.inner,
+            GSep(HPure(want.phi, origin="rc::constraints"), f.cont)))
+    if isinstance(have, ValueT):
+        parked = state.delta.find_related(ValType(v, have).subject,
+                                          state.subst)
+        if isinstance(parked, ValType):
+            state.delta.remove(parked)
+            return GBasic(SubsumeValJ(f.sigma, v, parked.ty, want, f.cont))
+        if isinstance(want, OwnPtr):
+            conds = [] if want.loc is None else [eq(v, want.loc)]
+            return _conds_goal(conds, GBasic(ProvePlaceJ(
+                f.sigma, v, want.inner, f.cont)), "pointer value as &own")
+        if isinstance(want, OptionalT):
+            # A raw pointer value into an optional: it is a real pointer
+            # (places are never NULL), so take the pointer branch.
+            return GSep(HPure(want.phi, origin="optional (pointer case)"),
+                        GBasic(SubsumeValJ(f.sigma, v, have, want.then_type,
+                                           f.cont)))
+    if isinstance(have, OwnPtr) and isinstance(want, OwnPtr):
+        conds = []
+        loc_inner = have.loc if have.loc is not None else v
+        if want.loc is not None:
+            conds.append(eq(loc_inner, want.loc))
+        goal = intro_loc_goal(
+            f.sigma, state, loc_inner, have.inner,
+            GBasic(ProvePlaceJ(f.sigma, loc_inner, want.inner, f.cont)))
+        return _conds_goal(conds, goal, "owned pointer subsumption")
+    if isinstance(have, OptionalT) and isinstance(want, OptionalT):
+        # Same-shape comparison failed: match the conditions, then check
+        # branch pairs under the respective assumptions.
+        branches = GConj((
+            GWand(HPure(have.phi), GBasic(SubsumeValJ(
+                f.sigma, v, have.then_type, want.then_type, GTrue()))),
+            GWand(HPure(not_(have.phi)), GBasic(SubsumeValJ(
+                f.sigma, v, have.else_type, want.else_type, GTrue()))),
+        ), ("optional: pointer case", "optional: NULL case"))
+        return GSep(HPure(eq(have.phi, want.phi),
+                          origin="optional condition"),
+                    _seq(branches, f.cont))
+    if isinstance(have, OptionalT):
+        phi = state.subst.resolve(have.phi)
+        if quiet_entails(state, phi):
+            return GWand(HPure(phi), GBasic(SubsumeValJ(
+                f.sigma, v, have.then_type, want, f.cont)))
+        if quiet_entails(state, not_(phi)):
+            return GWand(HPure(not_(phi)), GBasic(SubsumeValJ(
+                f.sigma, v, have.else_type, want, f.cont)))
+    state.fail(f"no subsumption from {have!r} to {want!r} for value {v!r}")
+
+
+from ...lithium.goals import GTrue  # noqa: E402
+
+
+def _seq(first: Goal, then: Goal) -> Goal:
+    """Run ``first`` (which must be self-contained), then ``then``."""
+    if isinstance(first, GConj):
+        return GConj(first.goals + (then,), first.labels + ("continue",))
+    return then

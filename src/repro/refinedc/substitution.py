@@ -1,0 +1,83 @@
+"""Substitution of rigid variables inside RefinedC types and assertions.
+
+Used when instantiating a function specification at a call site (spec
+parameters become evars) and at returns (postcondition existentials become
+evars).  HOAS binders are substituted underneath lazily.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Union
+
+from ..lithium.goals import Atom
+from ..pure.terms import Term, Var, subst_vars
+from .judgments import LocType, TokenAtom, ValType
+from .types import (ArrayT, AtomicBoolT, BoolT, ConstrainedT, ExistsT, FnT,
+                    IntT, NamedT, NullT, OptionalT, OwnPtr, PaddedT, RType,
+                    StructT, UninitT, ValueT, WandT)
+
+VarMap = Mapping[Var, Term]
+
+
+def subst_type(ty: RType, m: VarMap) -> RType:
+    """Substitute rigid variables in a type."""
+    if isinstance(ty, IntT):
+        return IntT(ty.itype, subst_vars(ty.refinement, m)
+                    if ty.refinement is not None else None)
+    if isinstance(ty, BoolT):
+        return BoolT(ty.itype, subst_vars(ty.phi, m)
+                     if ty.phi is not None else None)
+    if isinstance(ty, OwnPtr):
+        return OwnPtr(subst_type(ty.inner, m),
+                      subst_vars(ty.loc, m) if ty.loc is not None else None)
+    if isinstance(ty, UninitT):
+        return UninitT(subst_vars(ty.size, m))
+    if isinstance(ty, NullT):
+        return ty
+    if isinstance(ty, OptionalT):
+        return OptionalT(subst_vars(ty.phi, m),
+                         subst_type(ty.then_type, m),
+                         subst_type(ty.else_type, m))
+    if isinstance(ty, WandT):
+        return WandT(tuple(subst_assertion(a, m) for a in ty.hole),
+                     subst_type(ty.inner, m))
+    if isinstance(ty, StructT):
+        return StructT(ty.layout,
+                       tuple((n, subst_type(t, m)) for n, t in ty.fields))
+    if isinstance(ty, ExistsT):
+        body = ty.body
+        return ExistsT(ty.sort, ty.hint, lambda x: subst_type(body(x), m))
+    if isinstance(ty, ConstrainedT):
+        return ConstrainedT(subst_type(ty.inner, m), subst_vars(ty.phi, m))
+    if isinstance(ty, PaddedT):
+        return PaddedT(subst_type(ty.inner, m), subst_vars(ty.size, m))
+    if isinstance(ty, ArrayT):
+        return ArrayT(ty.itype, subst_vars(ty.xs, m), subst_vars(ty.length, m))
+    if isinstance(ty, ValueT):
+        return ValueT(subst_vars(ty.v, m), ty.layout)
+    if isinstance(ty, FnT):
+        return ty
+    if isinstance(ty, AtomicBoolT):
+        return AtomicBoolT(ty.itype,
+                           tuple(subst_assertion(a, m) for a in ty.h_true),
+                           tuple(subst_assertion(a, m) for a in ty.h_false))
+    if isinstance(ty, NamedT):
+        return NamedT(ty.name, tuple(subst_vars(a, m) for a in ty.args))
+    # ShrPtr and user-defined extensions provide their own hook.
+    subst_hook = getattr(ty, "subst_with", None)
+    if subst_hook is not None:
+        return subst_hook(m)
+    raise TypeError(f"cannot substitute in {ty!r}")
+
+
+def subst_assertion(a: Union[Atom, Term], m: VarMap) -> Union[Atom, Term]:
+    """Substitute rigid variables in an assertion (atom or pure term)."""
+    if isinstance(a, LocType):
+        return LocType(subst_vars(a.loc, m), subst_type(a.ty, m), a.shared)
+    if isinstance(a, ValType):
+        return ValType(subst_vars(a.val, m), subst_type(a.ty, m))
+    if isinstance(a, TokenAtom):
+        return TokenAtom(a.name, subst_vars(a.index, m), a.dup)
+    if isinstance(a, Term):
+        return subst_vars(a, m)
+    raise TypeError(f"cannot substitute in assertion {a!r}")

@@ -1,0 +1,242 @@
+"""Interpreter tests on hand-built Caesium CFGs."""
+
+import pytest
+
+from repro.caesium.eval import EvalError, Machine
+from repro.caesium.layout import (I32, INT, IntLayout, PtrLayout, SIZE_T,
+                                  StructLayout, U8, UCHAR)
+from repro.caesium.syntax import (Assign, BinOpE, Block, CallE, CASE, CastE,
+                                  CondGoto, ExprS, FieldOffset, FnPtrE,
+                                  Function, Goto, IntConst, NullE, Program,
+                                  Ret, SizeOfE, Switch, UnOpE, Use, ValE,
+                                  VarAddr)
+from repro.caesium.values import (NULL, UndefinedBehavior, VFn, VInt, VPtr)
+
+SZ = IntLayout(SIZE_T)
+I = IntLayout(INT)
+
+
+def sz(n):
+    return IntConst(n, SIZE_T)
+
+
+def use(name, layout=SZ):
+    return Use(VarAddr(name), layout)
+
+
+class TestStraightLine:
+    def test_return_constant(self):
+        f = Function("f", [], SZ, [], {"entry": Block([], Ret(sz(7)))}, "entry")
+        m = Machine(Program(functions={"f": f}))
+        assert m.call("f", []) == VInt(7, SIZE_T)
+
+    def test_local_assignment(self):
+        f = Function("f", [], SZ, [("x", SZ)], {
+            "entry": Block([Assign(VarAddr("x"), sz(5), SZ)],
+                           Ret(BinOpE("*", use("x"), sz(3)))),
+        }, "entry")
+        m = Machine(Program(functions={"f": f}))
+        assert m.call("f", []) == VInt(15, SIZE_T)
+
+    def test_param_passing(self):
+        f = Function("f", [("a", SZ), ("b", SZ)], SZ, [], {
+            "entry": Block([], Ret(BinOpE("-", use("a"), use("b")))),
+        }, "entry")
+        m = Machine(Program(functions={"f": f}))
+        assert m.call("f", [VInt(10, SIZE_T), VInt(4, SIZE_T)]) == VInt(6, SIZE_T)
+
+    def test_uninitialised_local_read_is_ub(self):
+        f = Function("f", [], SZ, [("x", SZ)], {
+            "entry": Block([], Ret(use("x"))),
+        }, "entry")
+        m = Machine(Program(functions={"f": f}))
+        with pytest.raises(UndefinedBehavior):
+            m.call("f", [])
+
+    def test_sizeof(self):
+        s = StructLayout("mem_t", (("len", SZ), ("buffer", PtrLayout())))
+        f = Function("f", [], SZ, [], {
+            "entry": Block([], Ret(SizeOfE(s, SIZE_T))),
+        }, "entry")
+        assert Machine(Program(functions={"f": f})).call("f", []) == VInt(16, SIZE_T)
+
+    def test_cast_truncates(self):
+        f = Function("f", [("x", SZ)], IntLayout(U8), [], {
+            "entry": Block([], Ret(CastE(use("x"), U8))),
+        }, "entry")
+        m = Machine(Program(functions={"f": f}))
+        assert m.call("f", [VInt(300, SIZE_T)]) == VInt(44, U8)
+
+
+class TestControlFlow:
+    def _max_fn(self):
+        return Function("max", [("a", SZ), ("b", SZ)], SZ, [], {
+            "entry": Block([], CondGoto(BinOpE("<", use("a"), use("b")),
+                                        "ret_b", "ret_a")),
+            "ret_a": Block([], Ret(use("a"))),
+            "ret_b": Block([], Ret(use("b"))),
+        }, "entry")
+
+    def test_cond_goto(self):
+        m = Machine(Program(functions={"max": self._max_fn()}))
+        assert m.call("max", [VInt(3, SIZE_T), VInt(9, SIZE_T)]) == VInt(9, SIZE_T)
+        assert m.call("max", [VInt(9, SIZE_T), VInt(3, SIZE_T)]) == VInt(9, SIZE_T)
+
+    def test_loop_sums(self):
+        # size_t f(size_t n) { size_t s = 0; while (n) { s += n; n--; } return s; }
+        f = Function("f", [("n", SZ)], SZ, [("s", SZ)], {
+            "entry": Block([Assign(VarAddr("s"), sz(0), SZ)], Goto("head")),
+            "head": Block([], CondGoto(use("n"), "body", "done")),
+            "body": Block([
+                Assign(VarAddr("s"), BinOpE("+", use("s"), use("n")), SZ),
+                Assign(VarAddr("n"), BinOpE("-", use("n"), sz(1)), SZ),
+            ], Goto("head")),
+            "done": Block([], Ret(use("s"))),
+        }, "entry")
+        m = Machine(Program(functions={"f": f}))
+        assert m.call("f", [VInt(10, SIZE_T)]) == VInt(55, SIZE_T)
+
+    def test_infinite_loop_runs_out_of_fuel(self):
+        f = Function("f", [], None, [], {
+            "entry": Block([], Goto("entry")),
+        }, "entry")
+        m = Machine(Program(functions={"f": f}), fuel=1000)
+        with pytest.raises(EvalError):
+            m.call("f", [])
+
+    def test_switch(self):
+        f = Function("f", [("x", I)], I, [], {
+            "entry": Block([], Switch(use("x", I), ((0, "zero"), (1, "one")),
+                                      "other")),
+            "zero": Block([], Ret(IntConst(100, INT))),
+            "one": Block([], Ret(IntConst(200, INT))),
+            "other": Block([], Ret(IntConst(300, INT))),
+        }, "entry")
+        m = Machine(Program(functions={"f": f}))
+        assert m.call("f", [VInt(0, INT)]) == VInt(100, INT)
+        assert m.call("f", [VInt(1, INT)]) == VInt(200, INT)
+        assert m.call("f", [VInt(9, INT)]) == VInt(300, INT)
+
+
+class TestCalls:
+    def test_direct_call(self):
+        callee = Function("inc", [("x", SZ)], SZ, [], {
+            "entry": Block([], Ret(BinOpE("+", use("x"), sz(1)))),
+        }, "entry")
+        caller = Function("f", [], SZ, [], {
+            "entry": Block([], Ret(CallE(FnPtrE("inc"), (sz(41),)))),
+        }, "entry")
+        m = Machine(Program(functions={"inc": callee, "f": caller}))
+        assert m.call("f", []) == VInt(42, SIZE_T)
+
+    def test_function_pointer_call(self):
+        callee = Function("twice", [("x", SZ)], SZ, [], {
+            "entry": Block([], Ret(BinOpE("*", use("x"), sz(2)))),
+        }, "entry")
+        caller = Function("f", [("g", PtrLayout())], SZ, [], {
+            "entry": Block([], Ret(CallE(Use(VarAddr("g"), PtrLayout()),
+                                         (sz(21),)))),
+        }, "entry")
+        m = Machine(Program(functions={"twice": callee, "f": caller}))
+        assert m.call("f", [VFn("twice")]) == VInt(42, SIZE_T)
+
+    def test_locals_freed_on_return(self):
+        # returning the address of a local and dereferencing it is UB
+        leak = Function("leak", [], PtrLayout(), [("x", SZ)], {
+            "entry": Block([Assign(VarAddr("x"), sz(1), SZ)],
+                           Ret(VarAddr("x"))),
+        }, "entry")
+        deref = Function("deref", [], SZ, [("p", PtrLayout())], {
+            "entry": Block([Assign(VarAddr("p"), CallE(FnPtrE("leak"), ()),
+                                   PtrLayout())],
+                           Ret(Use(Use(VarAddr("p"), PtrLayout()), SZ))),
+        }, "entry")
+        m = Machine(Program(functions={"leak": leak, "deref": deref}))
+        with pytest.raises(UndefinedBehavior):
+            m.call("deref", [])
+
+
+class TestUB:
+    def test_signed_overflow(self):
+        f = Function("f", [("x", I)], I, [], {
+            "entry": Block([], Ret(BinOpE("+", use("x", I), IntConst(1, INT)))),
+        }, "entry")
+        m = Machine(Program(functions={"f": f}))
+        with pytest.raises(UndefinedBehavior):
+            m.call("f", [VInt(2**31 - 1, INT)])
+
+    def test_unsigned_wraps(self):
+        f = Function("f", [("x", SZ)], SZ, [], {
+            "entry": Block([], Ret(BinOpE("+", use("x"), sz(1)))),
+        }, "entry")
+        m = Machine(Program(functions={"f": f}))
+        assert m.call("f", [VInt(2**64 - 1, SIZE_T)]) == VInt(0, SIZE_T)
+
+    def test_division_by_zero(self):
+        f = Function("f", [("x", SZ)], SZ, [], {
+            "entry": Block([], Ret(BinOpE("/", sz(1), use("x")))),
+        }, "entry")
+        m = Machine(Program(functions={"f": f}))
+        with pytest.raises(UndefinedBehavior):
+            m.call("f", [VInt(0, SIZE_T)])
+
+    def test_null_deref(self):
+        f = Function("f", [], SZ, [], {
+            "entry": Block([], Ret(Use(NullE(), SZ))),
+        }, "entry")
+        m = Machine(Program(functions={"f": f}))
+        with pytest.raises(UndefinedBehavior):
+            m.call("f", [])
+
+    def test_operand_type_mismatch_is_internal_error(self):
+        f = Function("f", [], SZ, [], {
+            "entry": Block([], Ret(BinOpE("+", sz(1), IntConst(1, INT)))),
+        }, "entry")
+        m = Machine(Program(functions={"f": f}))
+        with pytest.raises(EvalError):
+            m.call("f", [])
+
+
+class TestStructsAndPointers:
+    def test_field_offset_access(self):
+        s = StructLayout("mem_t", (("len", SZ), ("buffer", PtrLayout())))
+        # size_t get_len(struct mem_t *d) { return d->len; }
+        f = Function("get_len", [("d", PtrLayout("mem_t"))], SZ, [], {
+            "entry": Block([], Ret(Use(FieldOffset(
+                Use(VarAddr("d"), PtrLayout("mem_t")), s, "len"), SZ))),
+        }, "entry")
+        m = Machine(Program(structs={"mem_t": s}, functions={"get_len": f}))
+        from repro.caesium.memory import Memory
+        from repro.caesium.values import encode_int
+        p = m.memory.allocate(16)
+        m.memory.store(p, encode_int(99, SIZE_T), 8)
+        assert m.call("get_len", [VPtr(p)]) == VInt(99, SIZE_T)
+
+    def test_pointer_arithmetic_and_store(self):
+        # void set(unsigned char *p, size_t i) { *(p + i) = 7; }
+        f = Function("set", [("p", PtrLayout()), ("i", SZ)], None, [], {
+            "entry": Block([Assign(
+                BinOpE("ptr_offset", Use(VarAddr("p"), PtrLayout()), use("i")),
+                IntConst(7, UCHAR), IntLayout(UCHAR))], Ret(None)),
+        }, "entry")
+        m = Machine(Program(functions={"set": f}))
+        p = m.memory.allocate(4)
+        m.call("set", [VPtr(p), VInt(2, SIZE_T)])
+        assert m.memory.load(p + 2, 1) == [7]
+
+    def test_cas_expression(self):
+        f = Function("try_lock", [("l", PtrLayout())], IntLayout(U8),
+                     [("exp", IntLayout(U8))], {
+            "entry": Block([Assign(VarAddr("exp"), IntConst(0, U8),
+                                   IntLayout(U8))],
+                           Ret(CASE(Use(VarAddr("l"), PtrLayout()),
+                                    VarAddr("exp"), IntConst(1, U8),
+                                    IntLayout(U8)))),
+        }, "entry")
+        m = Machine(Program(functions={"try_lock": f}))
+        lock = m.memory.allocate(1)
+        m.memory.store(lock, [0])
+        assert m.call("try_lock", [VPtr(lock)]).value == 1
+        assert m.memory.load(lock, 1) == [1]
+        # second attempt fails
+        assert m.call("try_lock", [VPtr(lock)]).value == 0

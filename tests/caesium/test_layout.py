@@ -1,0 +1,116 @@
+"""Layout computation tests (LP64, natural alignment)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caesium.layout import (ArrayLayout, I32, IntLayout, LayoutError,
+                                  PtrLayout, SIZE_T, StructLayout, U8, U16,
+                                  U64, UCHAR)
+
+
+class TestIntTypes:
+    def test_ranges(self):
+        assert I32.min_value == -(2**31)
+        assert I32.max_value == 2**31 - 1
+        assert SIZE_T.min_value == 0
+        assert SIZE_T.max_value == 2**64 - 1
+
+    def test_in_range(self):
+        assert I32.in_range(-1)
+        assert not SIZE_T.in_range(-1)
+        assert not I32.in_range(2**31)
+
+    def test_wrap_unsigned(self):
+        assert U8.wrap(256) == 0
+        assert U8.wrap(257) == 1
+        assert U8.wrap(-1) == 255
+
+    def test_wrap_signed(self):
+        assert I32.wrap(2**31) == -(2**31)
+
+    @given(st.integers(-2**70, 2**70))
+    @settings(max_examples=80, deadline=None)
+    def test_wrap_idempotent_and_in_range(self, n):
+        for ty in (U8, U16, U64, I32):
+            w = ty.wrap(n)
+            assert ty.in_range(w)
+            assert ty.wrap(w) == w
+
+
+class TestStructLayout:
+    def test_mem_t_layout(self):
+        # struct mem_t { size_t len; unsigned char *buffer; } (Figure 1)
+        s = StructLayout("mem_t", (("len", IntLayout(SIZE_T)),
+                                   ("buffer", PtrLayout("unsigned char"))))
+        assert s.offset_of("len") == 0
+        assert s.offset_of("buffer") == 8
+        assert s.size == 16
+        assert s.align == 8
+
+    def test_padding_between_fields(self):
+        s = StructLayout("s", (("a", IntLayout(U8)), ("b", IntLayout(U64))))
+        assert s.offset_of("a") == 0
+        assert s.offset_of("b") == 8
+        assert s.size == 16
+
+    def test_tail_padding(self):
+        s = StructLayout("s", (("a", IntLayout(U64)), ("b", IntLayout(U8))))
+        assert s.size == 16  # padded to alignment 8
+
+    def test_chunk_layout(self):
+        # struct chunk { size_t size; struct chunk *next; } (Figure 3)
+        s = StructLayout("chunk", (("size", IntLayout(SIZE_T)),
+                                   ("next", PtrLayout("struct chunk"))))
+        assert s.size == 16
+
+    def test_union(self):
+        u = StructLayout("u", (("a", IntLayout(U64)), ("b", IntLayout(U8))),
+                         is_union=True)
+        assert u.offset_of("a") == 0
+        assert u.offset_of("b") == 0
+        assert u.size == 8
+
+    def test_unknown_field(self):
+        s = StructLayout("s", (("a", IntLayout(U8)),))
+        with pytest.raises(LayoutError):
+            s.offset_of("nope")
+        with pytest.raises(LayoutError):
+            s.field_layout("nope")
+
+    def test_empty_struct(self):
+        s = StructLayout("empty", ())
+        assert s.size == 0 and s.align == 1
+
+    def test_field_layout(self):
+        s = StructLayout("s", (("a", IntLayout(U8)),))
+        assert s.field_layout("a") == IntLayout(U8)
+
+
+class TestArrayLayout:
+    def test_size(self):
+        a = ArrayLayout(IntLayout(U64), 10)
+        assert a.size == 80
+        assert a.align == 8
+
+    def test_nested_in_struct(self):
+        s = StructLayout("s", (("tag", IntLayout(U8)),
+                               ("data", ArrayLayout(IntLayout(U64), 4))))
+        assert s.offset_of("data") == 8
+        assert s.size == 40
+
+
+@given(sizes=st.lists(st.sampled_from([1, 2, 4, 8]), min_size=1, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_struct_fields_never_overlap(sizes):
+    fields = tuple((f"f{i}", IntLayout(
+        {1: U8, 2: U16, 4: I32, 8: U64}[sz])) for i, sz in enumerate(sizes))
+    s = StructLayout("t", fields)
+    spans = sorted((s.offset_of(n), s.offset_of(n) + l.size)
+                   for n, l in fields)
+    for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+        assert a1 <= b0
+    assert s.size >= max(end for _, end in spans)
+    # every field is aligned
+    for n, l in fields:
+        assert s.offset_of(n) % l.align == 0

@@ -1,0 +1,238 @@
+"""Memory-model tests: bounds, liveness, alignment, poison, encode/decode
+round-trips, CAS, and the data-race detector."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caesium.layout import I32, SIZE_T, U8, U64
+from repro.caesium.memory import AllocKind, Memory
+from repro.caesium.values import (NULL, POISON, Pointer, UndefinedBehavior,
+                                  VFn, VInt, VPtr, decode_int, decode_ptr,
+                                  encode_int, encode_ptr, encode_value)
+
+
+class TestEncoding:
+    @given(st.integers(0, 2**64 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_u64_roundtrip(self, n):
+        v = decode_int(encode_int(n, U64), U64)
+        assert v is not None and v.value == n
+
+    @given(st.integers(-2**31, 2**31 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_i32_roundtrip(self, n):
+        v = decode_int(encode_int(n, I32), I32)
+        assert v is not None and v.value == n
+
+    def test_encode_out_of_range(self):
+        with pytest.raises(UndefinedBehavior):
+            encode_int(-1, U64)
+
+    def test_decode_poison(self):
+        assert decode_int([POISON] * 8, U64) is None
+
+    def test_decode_partial_poison(self):
+        data = encode_int(7, U64)
+        data[3] = POISON
+        assert decode_int(data, U64) is None
+
+    def test_ptr_roundtrip(self):
+        p = Pointer(3, 16)
+        assert decode_ptr(encode_ptr(p)) == VPtr(p)
+
+    def test_null_roundtrip(self):
+        assert decode_ptr(encode_ptr(NULL)) == VPtr(NULL)
+
+    def test_mixed_ptr_bytes_poison(self):
+        p, q = Pointer(3, 16), Pointer(4, 0)
+        data = encode_ptr(p)
+        data[0] = encode_ptr(q)[0]
+        assert decode_ptr(data) is None
+
+    def test_fn_ptr_roundtrip(self):
+        data = encode_value(VFn("alloc"))
+        assert decode_ptr(data) == VFn("alloc")
+
+    def test_int_bytes_at_ptr_type_poison(self):
+        # no integer-pointer casts in Caesium
+        assert decode_ptr(encode_int(42, U64)) is None
+
+
+class TestMemoryOps:
+    def test_alloc_load_store(self):
+        m = Memory()
+        p = m.allocate(16)
+        m.store(p, encode_int(7, U64), align=8)
+        assert decode_int(m.load(p, 8, align=8), U64) == VInt(7, U64)
+
+    def test_fresh_memory_is_poison(self):
+        m = Memory()
+        p = m.allocate(8)
+        assert decode_int(m.load(p, 8), U64) is None
+
+    def test_out_of_bounds(self):
+        m = Memory()
+        p = m.allocate(8)
+        with pytest.raises(UndefinedBehavior):
+            m.load(p + 1, 8)
+
+    def test_negative_offset(self):
+        m = Memory()
+        p = m.allocate(8)
+        with pytest.raises(UndefinedBehavior):
+            m.load(Pointer(p.alloc_id, -1), 1)
+
+    def test_use_after_free(self):
+        m = Memory()
+        p = m.allocate(8)
+        m.deallocate(p)
+        with pytest.raises(UndefinedBehavior):
+            m.load(p, 1)
+
+    def test_free_interior_pointer_rejected(self):
+        m = Memory()
+        p = m.allocate(8)
+        with pytest.raises(UndefinedBehavior):
+            m.deallocate(p + 4)
+
+    def test_null_access(self):
+        m = Memory()
+        with pytest.raises(UndefinedBehavior):
+            m.load(NULL, 1)
+
+    def test_misaligned_access(self):
+        m = Memory()
+        p = m.allocate(16)
+        with pytest.raises(UndefinedBehavior):
+            m.load(p + 1, 8, align=8)
+
+    def test_distinct_allocations_disjoint(self):
+        m = Memory()
+        p, q = m.allocate(8), m.allocate(8)
+        m.store(p, encode_int(1, U64))
+        m.store(q, encode_int(2, U64))
+        assert decode_int(m.load(p, 8), U64) == VInt(1, U64)
+
+    def test_negative_size(self):
+        m = Memory()
+        with pytest.raises(UndefinedBehavior):
+            m.allocate(-1)
+
+    @given(data=st.binary(min_size=1, max_size=32))
+    @settings(max_examples=50, deadline=None)
+    def test_store_load_roundtrip_bytes(self, data):
+        m = Memory()
+        p = m.allocate(len(data))
+        m.store(p, list(data))
+        assert bytes(m.load(p, len(data))) == data
+
+
+class TestCAS:
+    def test_success(self):
+        m = Memory()
+        p = m.allocate(1)
+        m.store(p, [0])
+        ok, old = m.compare_exchange(p, [0], [1])
+        assert ok and old == [0]
+        assert m.load(p, 1) == [1]
+
+    def test_failure_leaves_memory(self):
+        m = Memory()
+        p = m.allocate(1)
+        m.store(p, [5])
+        ok, old = m.compare_exchange(p, [0], [1])
+        assert not ok and old == [5]
+        assert m.load(p, 1) == [5]
+
+    def test_cas_on_poison_is_ub(self):
+        m = Memory()
+        p = m.allocate(1)
+        with pytest.raises(UndefinedBehavior):
+            m.compare_exchange(p, [0], [1])
+
+
+class TestRaceDetector:
+    def test_sequential_accesses_ok(self):
+        m = Memory(detect_races=True)
+        p = m.allocate(1)
+        m.store(p, [1], tid=0)
+        assert m.load(p, 1, tid=0) == [1]
+
+    def test_unsynchronised_write_write_races(self):
+        m = Memory(detect_races=True)
+        p = m.allocate(1)
+        assert m.races is not None
+        m.races.spawn(0, 1)
+        m.races.spawn(0, 2)
+        m.store(p, [1], tid=1)
+        with pytest.raises(UndefinedBehavior):
+            m.store(p, [2], tid=2)
+
+    def test_unsynchronised_read_write_races(self):
+        m = Memory(detect_races=True)
+        p = m.allocate(1)
+        assert m.races is not None
+        m.races.spawn(0, 1)
+        m.races.spawn(0, 2)
+        m.load(p, 1, tid=1)
+        with pytest.raises(UndefinedBehavior):
+            m.store(p, [2], tid=2)
+
+    def test_concurrent_reads_ok(self):
+        m = Memory(detect_races=True)
+        p = m.allocate(1)
+        m.store(p, [1], tid=0)
+        assert m.races is not None
+        m.races.spawn(0, 1)
+        m.races.spawn(0, 2)
+        m.load(p, 1, tid=1)
+        m.load(p, 1, tid=2)  # no exception
+
+    def test_atomics_do_not_race(self):
+        m = Memory(detect_races=True)
+        lock = m.allocate(1)
+        m.store(lock, [0], tid=0)
+        assert m.races is not None
+        m.races.spawn(0, 1)
+        m.races.spawn(0, 2)
+        m.compare_exchange(lock, [0], [1], tid=1)
+        m.compare_exchange(lock, [0], [1], tid=2)  # no exception
+
+    def test_lock_protected_accesses_synchronise(self):
+        """The spinlock pattern: na accesses protected by CAS handoff."""
+        m = Memory(detect_races=True)
+        lock = m.allocate(1)
+        data = m.allocate(8)
+        m.store(lock, [0], tid=0)
+        assert m.races is not None
+        m.races.spawn(0, 1)
+        m.races.spawn(0, 2)
+        # Thread 1 acquires, writes, releases.
+        ok, _ = m.compare_exchange(lock, [0], [1], tid=1)
+        assert ok
+        m.store(data, encode_int(7, U64), tid=1)
+        m.store(lock, [0], tid=1, atomic=True)  # release
+        # Thread 2 acquires (synchronises through the lock), then writes.
+        ok, _ = m.compare_exchange(lock, [0], [1], tid=2)
+        assert ok
+        m.store(data, encode_int(8, U64), tid=2)  # no exception
+
+    def test_unprotected_access_after_lock_still_races(self):
+        m = Memory(detect_races=True)
+        data = m.allocate(8)
+        assert m.races is not None
+        m.races.spawn(0, 1)
+        m.races.spawn(0, 2)
+        m.store(data, encode_int(7, U64), tid=1)
+        with pytest.raises(UndefinedBehavior):
+            m.load(data, 8, tid=2)
+
+    def test_join_synchronises(self):
+        m = Memory(detect_races=True)
+        data = m.allocate(8)
+        assert m.races is not None
+        m.races.spawn(0, 1)
+        m.store(data, encode_int(7, U64), tid=1)
+        m.races.join_thread(0, 1)
+        m.load(data, 8, tid=0)  # no exception after join

@@ -1,0 +1,27 @@
+"""Shared fixtures: verified case-study outcomes, cached per session."""
+
+import pytest
+
+from repro.frontend import verify_file
+from repro.report import casestudies_dir
+
+_CACHE = {}
+
+
+@pytest.fixture(scope="session")
+def verified():
+    """Verify a case study once per session and cache the outcome."""
+
+    def get(study: str):
+        if study not in _CACHE:
+            _CACHE[study] = verify_file(casestudies_dir() / f"{study}.c")
+        return _CACHE[study]
+
+    return get
+
+
+ALL_STUDIES = [
+    "alloc", "alloc_from_start", "free_list", "linked_list", "queue",
+    "binary_search", "page_alloc", "bst_direct", "bst_layered", "hashmap",
+    "mpool", "spinlock", "barrier", "threadsafe_alloc",
+]

@@ -1,0 +1,84 @@
+"""The §2.1 error-message experiment: precise diagnostics on failure."""
+
+import pytest
+
+from repro.frontend import verify_source
+from repro.report import casestudies_dir
+
+ALLOC = (casestudies_dir() / "alloc.c").read_text()
+
+
+class TestAllocErrorMessage:
+    """Mutating alloc's spec from n ≤ a to n < a (the paper's example)."""
+
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        bad = ALLOC.replace("{n <= a} @ optional", "{n < a} @ optional")
+        assert bad != ALLOC
+        return verify_source(bad)
+
+    def test_fails(self, outcome):
+        assert not outcome.ok
+
+    def test_reports_side_condition(self, outcome):
+        msg = outcome.report()
+        assert "Cannot prove side condition" in msg
+        assert "lt(n, a)" in msg
+
+    def test_reports_function(self, outcome):
+        assert 'in function "alloc"' in outcome.report()
+
+    def test_reports_return_location(self, outcome):
+        assert "return statement" in outcome.report()
+
+    def test_reports_branch_trail(self, outcome):
+        # "up to: ... [if branch: else]" — the paper's trail format.
+        msg = outcome.report()
+        assert "up to:" in msg
+        assert "if branch: else" in msg
+
+
+class TestOtherDiagnostics:
+    def test_null_dereference_message(self):
+        out = verify_source('''
+        [[rc::returns("int<size_t>")]]
+        size_t bad(void) {
+          size_t* p = NULL;
+          return *p;
+        }''')
+        assert "NULL" in out.report()
+
+    def test_missing_ownership_message(self):
+        out = verify_source('''
+        [[rc::parameters("p: loc")]]
+        [[rc::args("p @ &own<int<size_t>>")]]
+        [[rc::returns("&own<int<size_t>>")]]
+        [[rc::ensures("own p : int<size_t>")]]
+        size_t* dup(size_t* p) { return p; }''')
+        assert "no ownership" in out.report()
+
+    def test_loop_without_invariant_message(self):
+        # A loop whose head lacks annotations but needs them — the loop
+        # body changes a type the invariant must capture.  The empty
+        # invariant makes the frame check fail with a helpful message
+        # rather than diverging.
+        out = verify_source('''
+        [[rc::parameters("n: nat")]]
+        [[rc::args("n @ int<size_t>")]]
+        [[rc::returns("int<size_t>")]]
+        size_t f(size_t n) {
+          size_t i = 0;
+          while (i < n) { i += 1; }
+          return i;
+        }''')
+        assert not out.ok
+
+    def test_uninstantiable_evar_message(self):
+        out = verify_source('''
+        [[rc::exists("m: nat")]]
+        [[rc::returns("{m} @ int<size_t>")]]
+        [[rc::ensures("{m > 5}")]]
+        size_t f(void) { return 3; }''')
+        # m := 3 by the return, then 3 > 5 fails.
+        assert not out.ok
+        assert "side condition" in out.report()

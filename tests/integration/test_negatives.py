@@ -1,0 +1,119 @@
+"""Mutation tests: plausible-looking bugs in the case studies must be
+rejected.  This is what keeps the headline result honest — each mutation
+breaks either the code or the spec in a way the type system must catch."""
+
+import pytest
+
+from repro.frontend import verify_source
+from repro.proofs.manual import LEMMAS_BY_STUDY
+from repro.report import casestudies_dir
+
+
+def load(study):
+    return (casestudies_dir() / f"{study}.c").read_text()
+
+
+def check_fails(study, old, new):
+    src = load(study)
+    assert old in src, f"mutation target not found in {study}"
+    mutated = src.replace(old, new)
+    out = verify_source(mutated, LEMMAS_BY_STUDY.get(study), study)
+    assert not out.ok, f"mutant of {study} verified: {old!r} -> {new!r}"
+
+
+class TestAllocMutants:
+    def test_missing_bounds_check(self):
+        check_fails("alloc", "if (sz > d->len) return NULL;", "")
+
+    def test_wrong_comparison(self):
+        check_fails("alloc", "if (sz > d->len)", "if (sz >= d->len)")
+
+    def test_forgot_len_update(self):
+        check_fails("alloc", "d->len -= sz;", "")
+
+    def test_overallocate(self):
+        check_fails("alloc", "return d->buffer + d->len;",
+                    "return d->buffer;")
+
+
+class TestFreeListMutants:
+    def test_unsorted_insert(self):
+        check_fails("free_list", "if (sz <= (*cur)->size) break;",
+                    "break;")
+
+    def test_forgot_size_header(self):
+        check_fails("free_list", "entry->size = sz;", "")
+
+    def test_dropped_tail(self):
+        check_fails("free_list", "entry->next = *cur;",
+                    "entry->next = NULL;")
+
+    def test_requires_needed(self):
+        check_fails("free_list",
+                    '[[rc::requires("{sizeof(struct chunk) <= n}")]]\n', "")
+
+
+class TestListMutants:
+    def test_push_wrong_order(self):
+        check_fails("linked_list", "n->next = *l;", "n->next = NULL;")
+
+    def test_pop_returns_wrong_field(self):
+        check_fails("linked_list",
+                    "int64_t v = n->value;\n  *l = n->next;",
+                    "int64_t v = 0;\n  *l = n->next;")
+
+    def test_length_missing_increment(self):
+        check_fails("linked_list", "n += 1;", "")
+
+
+class TestBstMutants:
+    def test_inverted_comparison(self):
+        check_fails("bst_direct",
+                    "if (key <= (*t)->key) {",
+                    "if (key > (*t)->key) {")
+
+    def test_member_wrong_subtree(self):
+        check_fails("bst_direct",
+                    "if (key < (*t)->key) return tree_member(&(*t)->left, key);",
+                    "if (key < (*t)->key) return tree_member(&(*t)->right, key);")
+
+
+class TestConcurrencyMutants:
+    def test_unlock_without_token(self):
+        check_fails("spinlock",
+                    '[[rc::requires("tok(lockres, 0)")]]\n', "")
+
+    def test_lock_without_cas(self):
+        # Writing the lock word non-atomically is rejected.
+        check_fails("spinlock",
+                    "atomic_store(&l->locked, 0);",
+                    "l->locked = 0;")
+
+    def test_allocator_critical_section_leak(self):
+        # Releasing the lock before using the state: the state's ownership
+        # is returned at the store, so the later access must fail.
+        src = load("threadsafe_alloc")
+        old = ("  if (sz <= POOL.state.len) {\n"
+               "    POOL.state.len -= sz;\n"
+               "    res = POOL.state.buffer + POOL.state.len;\n"
+               "  }\n"
+               "  atomic_store(&POOL.lock.word, 0);")
+        new = ("  atomic_store(&POOL.lock.word, 0);\n"
+               "  if (sz <= POOL.state.len) {\n"
+               "    POOL.state.len -= sz;\n"
+               "    res = POOL.state.buffer + POOL.state.len;\n"
+               "  }")
+        assert old in src
+        out = verify_source(src.replace(old, new))
+        assert not out.ok
+
+
+class TestHashmapMutants:
+    def test_put_without_probe(self):
+        check_fails("hashmap", "size_t i = hm_find(h, key);\n  h->keys[i] = key;",
+                    "size_t i = 0;\n  h->keys[i] = key;")
+
+    def test_get_ignores_key_check(self):
+        check_fails("hashmap",
+                    "if (h->keys[i] == key) {\n    return h->vals[i];\n  }\n  return 0;",
+                    "return h->vals[i];")

@@ -1,0 +1,101 @@
+"""Switch statements: Caesium supports unstructured switches (§3, which
+names Duff's device); the front end lowers C switch with fallthrough, and
+the T-SWITCH rule forks per case with the scrutinee pinned."""
+
+import pytest
+
+from repro.caesium.eval import Machine
+from repro.caesium.layout import SIZE_T
+from repro.caesium.values import VInt
+from repro.frontend import verify_source
+
+SRC = '''
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<size_t>")]]
+[[rc::returns("{n = 0 ? 100 : (n = 1 ? 10 : 1)} @ int<size_t>")]]
+size_t weight(size_t x) {
+  switch (x) {
+    case 0:
+      return 100;
+    case 1:
+      return 10;
+    default:
+      return 1;
+  }
+}
+
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<size_t>")]]
+[[rc::requires("{n <= 3}")]]
+[[rc::returns("{n = 3 ? 7 : 5} @ int<size_t>")]]
+size_t with_fallthrough(size_t x) {
+  size_t acc = 5;
+  switch (x) {
+    case 3:
+      acc += 2;
+      break;
+    case 1:
+    case 2:
+      break;
+  }
+  return acc;
+}
+'''
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return verify_source(SRC)
+
+
+def test_switch_verifies(outcome):
+    assert outcome.ok, outcome.report()
+
+
+def test_switch_executes(outcome):
+    m = Machine(outcome.typed_program.program)
+    assert m.call("weight", [VInt(0, SIZE_T)]).value == 100
+    assert m.call("weight", [VInt(1, SIZE_T)]).value == 10
+    assert m.call("weight", [VInt(9, SIZE_T)]).value == 1
+
+
+def test_fallthrough_and_shared_cases(outcome):
+    m = Machine(outcome.typed_program.program)
+    for x, want in [(0, 5), (1, 5), (2, 5), (3, 7)]:
+        assert m.call("with_fallthrough",
+                      [VInt(x, SIZE_T)]).value == want
+
+
+def test_wrong_case_spec_rejected():
+    bad = SRC.replace("{n = 0 ? 100 : (n = 1 ? 10 : 1)}",
+                      "{n = 0 ? 100 : 10}")
+    out = verify_source(bad)
+    assert not out.ok
+
+
+def test_duffs_device_shape():
+    """Fallthrough across case bodies accumulates — the Duff's-device
+    control-flow shape (§3), here with a provable result."""
+    src = '''
+    [[rc::parameters("n: nat")]]
+    [[rc::args("n @ int<size_t>")]]
+    [[rc::requires("{n <= 2}")]]
+    [[rc::returns("{2 - n} @ int<size_t>")]]
+    size_t remaining(size_t x) {
+      size_t c = 0;
+      switch (x) {
+        case 0:
+          c += 1;
+        case 1:
+          c += 1;
+        case 2:
+          break;
+      }
+      return c;
+    }
+    '''
+    out = verify_source(src)
+    assert out.ok, out.report()
+    m = Machine(out.typed_program.program)
+    for x, want in [(0, 2), (1, 1), (2, 0)]:
+        assert m.call("remaining", [VInt(x, SIZE_T)]).value == want

@@ -1,0 +1,174 @@
+"""Elaboration tests: C AST → Caesium CFG + specs, and execution of the
+elaborated programs on the interpreter (front end + semantics together)."""
+
+import pytest
+
+from repro.caesium.eval import Machine
+from repro.caesium.layout import SIZE_T, StructLayout
+from repro.caesium.values import VInt, VPtr, UndefinedBehavior, encode_int, decode_int
+from repro.lang import ElaborationError, elaborate_source
+
+
+def machine_for(src):
+    tp = elaborate_source(src)
+    return Machine(tp.program), tp
+
+
+class TestLayouts:
+    def test_struct_layout_registered(self):
+        _, tp = machine_for("struct mem_t { size_t len; "
+                            "unsigned char* buffer; };")
+        layout = tp.program.structs["mem_t"]
+        assert layout.size == 16
+        assert layout.offset_of("buffer") == 8
+
+    def test_sizeof_constant_available(self):
+        _, tp = machine_for("struct chunk { size_t size; "
+                            "struct chunk* next; };")
+        assert "sizeof(struct chunk)" in tp.ctx.constants
+
+
+class TestExecution:
+    def test_arithmetic_function(self):
+        m, _ = machine_for("size_t f(size_t a, size_t b) "
+                           "{ return a * 2 + b; }")
+        assert m.call("f", [VInt(5, SIZE_T), VInt(3, SIZE_T)]).value == 13
+
+    def test_while_loop(self):
+        m, _ = machine_for('''
+            size_t sum_to(size_t n) {
+              size_t s = 0;
+              while (n > 0) { s += n; n -= 1; }
+              return s;
+            }''')
+        assert m.call("sum_to", [VInt(10, SIZE_T)]).value == 55
+
+    def test_for_loop(self):
+        m, _ = machine_for('''
+            size_t squares(size_t n) {
+              size_t s = 0;
+              for (size_t i = 0; i < n; i++) { s += i * i; }
+              return s;
+            }''')
+        assert m.call("squares", [VInt(4, SIZE_T)]).value == 14
+
+    def test_short_circuit_and(self):
+        # p may be NULL: && must not dereference it.
+        m, _ = machine_for('''
+            int safe(size_t* p) {
+              if (p != NULL && *p > 0) return 1;
+              return 0;
+            }''')
+        from repro.caesium.values import NULL
+        assert m.call("safe", [VPtr(NULL)]).value == 0
+
+    def test_short_circuit_or(self):
+        m, _ = machine_for('''
+            int f(size_t a, size_t b) {
+              if (a > 0 || b > 0) return 1;
+              return 0;
+            }''')
+        assert m.call("f", [VInt(0, SIZE_T), VInt(7, SIZE_T)]).value == 1
+
+    def test_struct_member_access(self):
+        m, tp = machine_for('''
+            struct pair { size_t a; size_t b; };
+            size_t sum(struct pair* p) { return p->a + p->b; }''')
+        mem = m.memory
+        p = mem.allocate(16)
+        mem.store(p, encode_int(4, SIZE_T))
+        mem.store(p + 8, encode_int(38, SIZE_T))
+        assert m.call("sum", [VPtr(p)]).value == 42
+
+    def test_array_indexing(self):
+        m, _ = machine_for(
+            "size_t get(size_t* a, size_t i) { return a[i]; }")
+        mem = m.memory
+        arr = mem.allocate(24)
+        for i, v in enumerate([10, 20, 30]):
+            mem.store(arr + 8 * i, encode_int(v, SIZE_T))
+        assert m.call("get", [VPtr(arr), VInt(2, SIZE_T)]).value == 30
+
+    def test_pointer_arithmetic_scaled(self):
+        m, _ = machine_for(
+            "size_t get(size_t* a) { return *(a + 1); }")
+        mem = m.memory
+        arr = mem.allocate(16)
+        mem.store(arr + 8, encode_int(99, SIZE_T))
+        assert m.call("get", [VPtr(arr)]).value == 99
+
+    def test_call_between_functions(self):
+        m, _ = machine_for('''
+            size_t twice(size_t x) { return x * 2; }
+            size_t f(size_t x) { return twice(x) + 1; }''')
+        assert m.call("f", [VInt(20, SIZE_T)]).value == 41
+
+    def test_function_pointer_call(self):
+        m, _ = machine_for('''
+            typedef int64_t (*op_fn)(int64_t, int64_t);
+            int64_t add_op(int64_t a, int64_t b) { return a + b; }
+            int64_t apply(op_fn f, int64_t x) { return f(x, 10); }
+            int64_t main_test(int64_t x) { return apply(add_op, x); }''')
+        from repro.caesium.layout import I64
+        assert m.call("main_test", [VInt(5, I64)]).value == 15
+
+    def test_writes_through_pointer(self):
+        m, _ = machine_for("void set(size_t* p, size_t v) { *p = v; }")
+        mem = m.memory
+        cell = mem.allocate(8)
+        m.call("set", [VPtr(cell), VInt(123, SIZE_T)])
+        assert decode_int(mem.load(cell, 8), SIZE_T).value == 123
+
+    def test_break_and_continue(self):
+        m, _ = machine_for('''
+            size_t f(size_t n) {
+              size_t c = 0;
+              size_t i = 0;
+              while (i < n) {
+                i += 1;
+                if (i == 3) continue;
+                if (i == 7) break;
+                c += 1;
+              }
+              return c;
+            }''')
+        # counts 1,2,4,5,6 -> 5
+        assert m.call("f", [VInt(100, SIZE_T)]).value == 5
+
+    def test_uninitialised_read_is_ub_at_runtime(self):
+        m, _ = machine_for('''
+            size_t f(void) {
+              size_t x;
+              return x;
+            }''')
+        with pytest.raises(UndefinedBehavior):
+            m.call("f", [])
+
+
+class TestErrors:
+    def test_unknown_variable(self):
+        with pytest.raises(ElaborationError):
+            elaborate_source("void f(void) { x = 1; }")
+
+    def test_duplicate_local(self):
+        with pytest.raises(ElaborationError):
+            elaborate_source(
+                "void f(void) { int x = 1; { int x = 2; } }")
+
+    def test_missing_return_nonvoid(self):
+        with pytest.raises(ElaborationError):
+            elaborate_source("size_t f(void) { size_t x = 1; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(ElaborationError):
+            elaborate_source("void f(void) { break; }")
+
+    def test_impl_line_count_skips_annotations(self):
+        tp = elaborate_source('''
+            // comment only
+            [[rc::parameters("n: nat")]]
+            [[rc::args("n @ int<size_t>")]]
+            size_t f(size_t x) {
+              return x;
+            }''')
+        assert tp.source_lines["total"] == 3  # signature+{, return, }

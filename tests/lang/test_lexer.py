@@ -1,0 +1,90 @@
+"""Lexer tests: C tokens and [[rc::...]] attribute blocks."""
+
+import pytest
+
+from repro.lang.lexer import LexError, Token, tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src) if t.kind != "eof"]
+
+
+class TestBasicTokens:
+    def test_identifiers_and_punct(self):
+        toks = kinds("size_t x = a + b;")
+        assert ("ident", "size_t") in toks
+        assert ("punct", "+") in toks
+        assert ("punct", ";") in toks
+
+    def test_numbers(self):
+        toks = tokenize("42 0x1F 7u 100UL")
+        assert [t.text for t in toks[:-1]] == ["42", "0x1F", "7u", "100UL"]
+
+    def test_multichar_puncts(self):
+        toks = kinds("a->b <= c == d != e && f")
+        texts = [t for _, t in toks]
+        assert "->" in texts and "<=" in texts and "==" in texts
+        assert "!=" in texts and "&&" in texts
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n\nc")
+        lines = {t.text: t.line for t in toks if t.kind == "ident"}
+        assert lines == {"a": 1, "b": 2, "c": 4}
+
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never closed")
+
+    def test_preprocessor_lines_skipped(self):
+        assert kinds("#include <stddef.h>\nx") == [("ident", "x")]
+
+    def test_unknown_char(self):
+        with pytest.raises(LexError):
+            tokenize("a ` b")
+
+
+class TestAttributes:
+    def test_simple_attribute(self):
+        toks = tokenize('[[rc::parameters("a: nat")]] void f();')
+        attr = toks[0]
+        assert attr.kind == "attr"
+        assert attr.attr_name == "parameters"
+        assert attr.attr_args == ("a: nat",)
+
+    def test_multiple_args(self):
+        toks = tokenize('[[rc::parameters("a: nat", "n: nat", "p: loc")]]')
+        assert toks[0].attr_args == ("a: nat", "n: nat", "p: loc")
+
+    def test_no_args(self):
+        toks = tokenize("[[rc::trusted]]")
+        assert toks[0].attr_name == "trusted"
+        assert toks[0].attr_args == ()
+
+    def test_string_concatenation(self):
+        # Figure 3 splits long annotations across string literals.
+        toks = tokenize('[[rc::ptr_type("chunks_t:"\n'
+                        '              "{s != 0} @ optional<x, null>")]]')
+        assert toks[0].attr_args == \
+            ("chunks_t:{s != 0} @ optional<x, null>",)
+
+    def test_concatenation_and_commas(self):
+        toks = tokenize('[[rc::constraints("a" "b", "c")]]')
+        assert toks[0].attr_args == ("ab", "c")
+
+    def test_unicode_payload(self):
+        toks = tokenize('[[rc::constraints("{s = {[n]} ⊎ tail}")]]')
+        assert toks[0].attr_args == ("{s = {[n]} ⊎ tail}",)
+
+    def test_unterminated_attribute(self):
+        with pytest.raises(LexError):
+            tokenize("[[rc::field(")
+
+    def test_non_rc_attribute_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("[[nodiscard]]")

@@ -1,0 +1,184 @@
+"""Parser tests for the annotated C subset."""
+
+import pytest
+
+from repro.lang import cst
+from repro.lang.parser import ParseError, parse
+
+
+class TestStructs:
+    def test_plain_struct(self):
+        unit = parse("struct s { size_t a; int b; };")
+        assert len(unit.structs) == 1
+        sd = unit.structs[0]
+        assert sd.name == "s"
+        assert [n for _, n, _ in sd.fields] == ["a", "b"]
+
+    def test_struct_with_attributes(self):
+        unit = parse('''
+            struct [[rc::refined_by("a: nat")]] mem_t {
+              [[rc::field("a @ int<size_t>")]] size_t len;
+              [[rc::field("&own<uninit<a>>")]] unsigned char* buffer;
+            };''')
+        sd = unit.structs[0]
+        assert sd.attrs.all("refined_by") == ["a: nat"]
+        assert sd.field_attrs["len"] == "a @ int<size_t>"
+        assert "buffer" in sd.field_attrs
+
+    def test_typedef_pointer_struct(self):
+        # The Figure 3 form: typedef struct [[...]] chunk {...}* chunks_t;
+        unit = parse('''
+            typedef struct chunk {
+              size_t size;
+              struct chunk* next;
+            }* chunks_t;''')
+        sd = unit.structs[0]
+        assert sd.name == "chunk"
+        assert sd.typedef_ptr_alias == "chunks_t"
+
+    def test_typedef_struct_alias(self):
+        unit = parse("typedef struct point { int x; } point_t;")
+        assert unit.structs[0].typedef_alias == "point_t"
+
+    def test_union(self):
+        unit = parse("union u { int a; size_t b; };")
+        assert unit.structs[0].is_union
+
+    def test_array_field(self):
+        unit = parse("struct h { size_t keys[16]; };")
+        ftype = unit.structs[0].fields[0][0]
+        assert isinstance(ftype, cst.CArray) and ftype.count == 16
+
+    def test_atomic_field(self):
+        unit = parse("struct s { _Atomic int locked; };")
+        assert unit.structs[0].fields[0][2] is True
+
+    def test_struct_definition_plus_global(self):
+        unit = parse("struct s { int a; } G;")
+        assert unit.globals[0].name == "G"
+
+
+class TestFunctions:
+    def test_simple_function(self):
+        unit = parse("void f(int x) { return; }")
+        fd = unit.functions[0]
+        assert fd.name == "f"
+        assert fd.params[0][1] == "x"
+        assert isinstance(fd.ret, cst.CVoid)
+
+    def test_function_with_spec(self):
+        unit = parse('''
+            [[rc::parameters("n: nat")]]
+            [[rc::args("n @ int<size_t>")]]
+            [[rc::returns("n @ int<size_t>")]]
+            size_t id(size_t x) { return x; }''')
+        fd = unit.functions[0]
+        assert fd.attrs.all("parameters") == ["n: nat"]
+        assert fd.attrs.first("returns") == "n @ int<size_t>"
+
+    def test_declaration_without_body(self):
+        unit = parse("void f(int x);")
+        assert unit.functions[0].body is None
+
+    def test_void_parameter_list(self):
+        unit = parse("int f(void) { return 0; }")
+        assert unit.functions[0].params == []
+
+    def test_fnptr_typedef(self):
+        unit = parse("typedef int64_t (*cmp_fn)(int64_t, int64_t);\n"
+                     "int64_t use(cmp_fn f) { return f(1, 2); }")
+        fd = unit.functions[0]
+        assert isinstance(fd.params[0][0], cst.CFnPtr)
+
+
+class TestStatements:
+    def _body(self, stmts_src):
+        unit = parse("void f(size_t n, size_t* p) { %s }" % stmts_src)
+        return unit.functions[0].body
+
+    def test_decl_with_init(self):
+        body = self._body("size_t x = n + 1;")
+        assert isinstance(body[0], cst.SDecl)
+        assert body[0].name == "x"
+
+    def test_compound_assignment(self):
+        body = self._body("n -= 4;")
+        assert isinstance(body[0], cst.SAssign) and body[0].op == "-="
+
+    def test_increment(self):
+        body = self._body("n++;")
+        assert body[0].op == "+="
+
+    def test_if_else(self):
+        body = self._body("if (n > 0) { n = 1; } else n = 2;")
+        s = body[0]
+        assert isinstance(s, cst.SIf) and len(s.then) == 1 and len(s.els) == 1
+
+    def test_while_with_annotations(self):
+        body = self._body('''
+            [[rc::exists("c: nat")]]
+            [[rc::inv_vars("n: c @ int<size_t>")]]
+            while (n > 0) { n -= 1; }''')
+        s = body[0]
+        assert isinstance(s, cst.SWhile)
+        assert s.annots.exists == ["c: nat"]
+        assert s.annots.inv_vars == ["n: c @ int<size_t>"]
+
+    def test_for_desugars(self):
+        body = self._body("for (size_t i = 0; i < n; i++) { *p = i; }")
+        wrapper = body[0]
+        assert isinstance(wrapper, cst.SIf)  # init + while wrapper
+        assert any(isinstance(s, cst.SWhile) for s in wrapper.then)
+
+    def test_break_continue(self):
+        body = self._body("while (1) { if (n) break; continue; }")
+        loop = body[0]
+        assert isinstance(loop.body[0], cst.SIf)
+
+    def test_annotation_on_non_loop_rejected(self):
+        with pytest.raises(ParseError):
+            self._body('[[rc::exists("c: nat")]] n = 1;')
+
+
+class TestExpressions:
+    def _expr(self, src):
+        unit = parse("void f(size_t n, size_t* p, struct s* q) { n = %s; }"
+                     % src)
+        return unit.functions[0].body[0].rhs
+
+    def test_precedence(self):
+        e = self._expr("1 + 2 * 3")
+        assert isinstance(e, cst.Binary) and e.op == "+"
+        assert isinstance(e.r, cst.Binary) and e.r.op == "*"
+
+    def test_member_chain(self):
+        e = self._expr("q->a")
+        assert isinstance(e, cst.Member) and e.arrow
+
+    def test_index(self):
+        e = self._expr("p[3]")
+        assert isinstance(e, cst.Index)
+
+    def test_deref_and_addrof(self):
+        e = self._expr("*p")
+        assert isinstance(e, cst.Unary) and e.op == "*"
+
+    def test_cast(self):
+        e = self._expr("(size_t)n")
+        assert isinstance(e, cst.CastExpr)
+
+    def test_sizeof(self):
+        e = self._expr("sizeof(size_t)")
+        assert isinstance(e, cst.SizeofType)
+
+    def test_call(self):
+        e = self._expr("g(n, 1)")
+        assert isinstance(e, cst.Call) and len(e.args) == 2
+
+    def test_null(self):
+        unit = parse("void f(int* p) { p = NULL; }")
+        assert isinstance(unit.functions[0].body[0].rhs, cst.NullLit)
+
+    def test_parenthesised_is_not_cast(self):
+        e = self._expr("(n) + 1")
+        assert isinstance(e, cst.Binary)

@@ -1,0 +1,63 @@
+"""Adequacy: verified case studies run correctly on the Caesium
+interpreter — the executable substitute for the paper's Coq soundness."""
+
+import pytest
+
+from repro.proofs import adequacy
+
+
+def test_alloc():
+    assert adequacy.check_alloc("alloc", trials=25) > 0
+
+
+def test_alloc_from_start():
+    assert adequacy.check_alloc("alloc_from_start", trials=25) > 0
+
+
+def test_free_list():
+    assert adequacy.check_free_list(trials=15) > 0
+
+
+def test_linked_list():
+    assert adequacy.check_linked_list(trials=15) > 0
+
+
+def test_queue_is_fifo():
+    assert adequacy.check_queue(trials=15) > 0
+
+
+def test_binary_search_matches_bisect():
+    assert adequacy.check_binary_search(trials=40) > 0
+
+
+def test_page_alloc():
+    assert adequacy.check_page_alloc(trials=10) > 0
+
+
+def test_mpool():
+    assert adequacy.check_mpool(trials=10) > 0
+
+
+def test_bst_direct():
+    assert adequacy.check_bst("bst_direct", trials=15) > 0
+
+
+def test_bst_layered():
+    assert adequacy.check_bst("bst_layered", trials=15) > 0
+
+
+def test_hashmap_matches_dict():
+    assert adequacy.check_hashmap(trials=15) > 0
+
+
+def test_spinlock_mutual_exclusion():
+    """Concurrent increments under the verified spinlock: no data race
+    (UB) in any explored interleaving, no lost update."""
+    assert adequacy.check_spinlock_concurrent(threads=3, rounds=4,
+                                              seeds=range(6)) == 6
+
+
+def test_unlocked_version_races():
+    """Sanity: without the lock, the race detector fires — the detector
+    (and hence the mutual-exclusion test) is not vacuous."""
+    assert adequacy.check_spinlock_race_detected(seeds=range(6)) > 0

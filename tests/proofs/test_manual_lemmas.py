@@ -1,0 +1,137 @@
+"""Validation of the manual lemma statements.
+
+In the paper these facts are *proved* in Coq; here they are assumed by the
+solver, so we validate each statement against its mathematical meaning on
+randomly generated ground instances (hypothesis).  A false lemma statement
+would make the whole verification unsound — this is the guard rail.
+"""
+
+import bisect
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pure.eval import evaluate
+from repro.proofs import manual
+
+
+# ---------------------------------------------------------------------
+# Ground models of the uninterpreted functions.
+# ---------------------------------------------------------------------
+
+def lb_model(xs, k):
+    """lb(xs, k) = least index i with k <= xs[i], else len(xs)."""
+    return bisect.bisect_left(list(xs), k)
+
+
+def hm_ok_model(ks):
+    """Key array invariant: keys unique, at least one slot free, and every
+    stored key reachable by its own probe sequence (linear probing)."""
+    ks = list(ks)
+    if len(ks) != 16:
+        return False
+    nonzero = [k for k in ks if k != 0]
+    if len(set(nonzero)) != len(nonzero) or 0 not in ks:
+        return False
+    return all(ks[hm_slot_model(ks, k)] == k for k in nonzero)
+
+
+def hm_has_room_model(ks):
+    return list(ks).count(0) >= 2
+
+
+def hm_probe_model(ks, k, j):
+    ks = list(ks)
+    for _ in range(len(ks)):
+        if ks[j] == k or ks[j] == 0:
+            return j
+        j = (j + 1) % len(ks)
+    return j
+
+
+def hm_slot_model(ks, k):
+    return hm_probe_model(ks, k, k % 16)
+
+
+def _env(**kwargs):
+    env = dict(kwargs)
+    env["fn:lb"] = lb_model
+    env["fn:hm_ok"] = hm_ok_model
+    env["fn:hm_probe"] = hm_probe_model
+    env["fn:hm_slot"] = hm_slot_model
+    env["fn:hm_has_room"] = hm_has_room_model
+    env["fn:fmember"] = lambda s, x: s[x] > 0
+    env["fn:finsert"] = lambda s, x: _madd(s, x)
+    return env
+
+
+def _madd(s, x):
+    from collections import Counter
+    out = Counter(s)
+    out[x] += 1
+    return out
+
+
+def _holds(lemma, env):
+    """Check a lemma instance: all hypotheses true => conclusion true."""
+    binding = {p.name: env[p.name] for p in lemma.params}
+    full = _env(**binding)
+    if all(evaluate(h, full) for h in lemma.hyps):
+        assert evaluate(lemma.conclusion, full), \
+            f"lemma {lemma.name} is FALSE for {binding}"
+
+
+sorted_lists = st.lists(st.integers(-30, 30), max_size=20).map(
+    lambda l: tuple(sorted(l)))
+
+
+@given(xs=sorted_lists, k=st.integers(-40, 40))
+@settings(max_examples=200, deadline=None)
+def test_binary_search_lemmas(xs, k):
+    for lemma in manual.BINARY_SEARCH_LEMMAS.values():
+        if any(p.name == "I" for p in lemma.params):
+            for i in range(len(xs)):
+                _holds(lemma, {"XS": xs, "K": k, "I": i})
+        else:
+            _holds(lemma, {"XS": xs, "K": k})
+
+
+def key_arrays():
+    """Generate arrays satisfying (and some violating) hm_ok."""
+    return st.lists(st.integers(0, 40), min_size=16, max_size=16).map(tuple)
+
+
+@given(ks=key_arrays(), k=st.integers(1, 40), j=st.integers(0, 15))
+@settings(max_examples=200, deadline=None)
+def test_hashmap_lemmas(ks, k, j):
+    from collections import Counter
+    for lemma in manual.HASHMAP_LEMMAS.values():
+        names = {p.name for p in lemma.params}
+        binding = {"KS": ks}
+        if "K" in names:
+            binding["K"] = k
+        if "J" in names:
+            binding["J"] = j
+        _holds(lemma, binding)
+
+
+@given(kv=st.integers(0, 20),
+       left=st.lists(st.integers(0, 20), max_size=6),
+       right=st.lists(st.integers(0, 20), max_size=6),
+       k=st.integers(0, 20))
+@settings(max_examples=200, deadline=None)
+def test_bst_layer_lemmas(kv, left, right, k):
+    from collections import Counter
+    l = Counter(x for x in left if x <= kv)
+    r = Counter(x for x in right if x >= kv)
+    s = Counter(l)
+    s.update(r)
+    for lemma in (manual.LAYER_MEMBER_LEFT, manual.LAYER_MEMBER_RIGHT):
+        _holds(lemma, {"K": k, "N": kv, "S1": l, "S2": r})
+    for lemma in (manual.FMEMBER_DEF, manual.FINSERT_DEF):
+        _holds(lemma, {"S": s, "K": k})
+
+
+def test_pure_line_count_positive():
+    assert manual.pure_line_count("binary_search") > 0
+    assert manual.pure_line_count("nonexistent_study") == 0

@@ -1,0 +1,146 @@
+"""The executable semantic model of types: building and checking memory
+against RefinedC types, with real separation (footprints)."""
+
+import pytest
+
+from repro.caesium.layout import (IntLayout, PtrLayout, SIZE_T,
+                                  StructLayout)
+from repro.caesium.memory import Memory
+from repro.caesium.values import (NULL, VInt, VPtr, encode_int, encode_ptr)
+from repro.proofs.semantics import (CheckFailure, SemanticBuilder,
+                                    SemanticChecker, SemanticsError)
+from repro.pure import Sort
+from repro.pure import terms as T
+from repro.refinedc import (BoolT, IntT, NullT, OptionalT, OwnPtr,
+                            RawStructAnnotations, SpecContext, StructT,
+                            TypeTable, UninitT, define_struct_type)
+
+
+@pytest.fixture
+def mem_t_ctx():
+    ctx = SpecContext()
+    layout = StructLayout("mem_t", (("len", IntLayout(SIZE_T)),
+                                    ("buffer", PtrLayout())))
+    ctx.structs["mem_t"] = layout
+    define_struct_type(layout, RawStructAnnotations(
+        refined_by=["a: nat"],
+        fields={"len": "a @ int<size_t>", "buffer": "&own<uninit<a>>"},
+    ), ctx)
+    return ctx
+
+
+class TestCheckScalar:
+    def test_refined_int_ok(self):
+        mem = Memory()
+        loc = mem.allocate(8)
+        mem.store(loc, encode_int(42, SIZE_T))
+        checker = SemanticChecker(mem, TypeTable(), {"n": 42})
+        checker.check_loc(loc, IntT(SIZE_T, T.var("n")))
+
+    def test_refined_int_mismatch(self):
+        mem = Memory()
+        loc = mem.allocate(8)
+        mem.store(loc, encode_int(41, SIZE_T))
+        checker = SemanticChecker(mem, TypeTable(), {"n": 42})
+        with pytest.raises(CheckFailure):
+            checker.check_loc(loc, IntT(SIZE_T, T.var("n")))
+
+    def test_poison_rejected(self):
+        mem = Memory()
+        loc = mem.allocate(8)
+        checker = SemanticChecker(mem, TypeTable())
+        with pytest.raises(CheckFailure):
+            checker.check_loc(loc, IntT(SIZE_T, None))
+
+    def test_uninit_accepts_poison(self):
+        mem = Memory()
+        loc = mem.allocate(8)
+        checker = SemanticChecker(mem, TypeTable())
+        checker.check_loc(loc, UninitT(T.intlit(8)))
+
+    def test_null_value(self):
+        checker = SemanticChecker(Memory(), TypeTable())
+        checker.check_val(VPtr(NULL), NullT())
+        with pytest.raises(CheckFailure):
+            checker.check_val(VInt(0, SIZE_T), NullT())
+
+    def test_optional_dispatches_on_condition(self):
+        checker = SemanticChecker(Memory(), TypeTable(), {"b": True})
+        ty = OptionalT(T.var("b", Sort.BOOL), NullT(), IntT(SIZE_T, None))
+        with pytest.raises(CheckFailure):
+            checker.check_val(VInt(1, SIZE_T), ty)  # b: expects then-branch
+        checker.check_val(VPtr(NULL), ty)
+
+
+class TestSeparation:
+    def test_double_claim_detected(self):
+        """ℓ ◁ τ ∗ ℓ ◁ τ is unsatisfiable: the footprint enforces ∗."""
+        mem = Memory()
+        loc = mem.allocate(8)
+        mem.store(loc, encode_int(7, SIZE_T))
+        checker = SemanticChecker(mem, TypeTable())
+        checker.check_loc(loc, IntT(SIZE_T, None))
+        with pytest.raises(CheckFailure):
+            checker.check_loc(loc, IntT(SIZE_T, None))
+
+    def test_own_claims_target(self, mem_t_ctx):
+        mem = Memory()
+        cell = mem.allocate(8)
+        target = mem.allocate(8)
+        mem.store(cell, encode_ptr(target))
+        mem.store(target, encode_int(3, SIZE_T))
+        checker = SemanticChecker(mem, mem_t_ctx.types)
+        checker.check_loc(cell, OwnPtr(IntT(SIZE_T, None)))
+        # The pointee is now claimed too:
+        with pytest.raises(CheckFailure):
+            checker.check_loc(target, IntT(SIZE_T, None))
+
+
+class TestMemT:
+    """The Figure 1 invariant, checked semantically."""
+
+    def _build_state(self, mem, a):
+        buf = mem.allocate(a)
+        state = mem.allocate(16)
+        mem.store(state, encode_int(a, SIZE_T))
+        mem.store(state + 8, encode_ptr(buf))
+        return state
+
+    def test_good_state(self, mem_t_ctx):
+        from repro.refinedc import NamedT
+        mem = Memory()
+        state = self._build_state(mem, 32)
+        checker = SemanticChecker(mem, mem_t_ctx.types, {"a0": 32})
+        checker.check_loc(state, NamedT("mem_t", (T.var("a0"),)))
+
+    def test_len_field_lie_detected(self, mem_t_ctx):
+        """len claims more bytes than the buffer owns: the semantic model
+        rejects it (this is exactly the mem_t invariant)."""
+        from repro.refinedc import NamedT
+        mem = Memory()
+        buf = mem.allocate(16)           # only 16 bytes...
+        state = mem.allocate(16)
+        mem.store(state, encode_int(32, SIZE_T))   # ...but len says 32
+        mem.store(state + 8, encode_ptr(buf))
+        checker = SemanticChecker(mem, mem_t_ctx.types, {"a0": 32})
+        with pytest.raises((CheckFailure, Exception)):
+            checker.check_loc(state, NamedT("mem_t", (T.var("a0"),)))
+
+
+class TestBuilder:
+    def test_build_then_check_roundtrip(self, mem_t_ctx):
+        from repro.refinedc import NamedT
+        mem = Memory()
+        builder = SemanticBuilder(mem, mem_t_ctx.types, {"a0": 24})
+        state = mem.allocate(16)
+        builder.build_loc(state, NamedT("mem_t", (T.var("a0"),)))
+        checker = SemanticChecker(mem, mem_t_ctx.types, {"a0": 24})
+        checker.check_loc(state, NamedT("mem_t", (T.var("a0"),)))
+
+    def test_build_optional(self, mem_t_ctx):
+        mem = Memory()
+        builder = SemanticBuilder(mem, mem_t_ctx.types, {"b": False})
+        v = builder.build_val(OptionalT(T.var("b", Sort.BOOL),
+                                        OwnPtr(UninitT(T.intlit(4))),
+                                        NullT()))
+        assert isinstance(v, VPtr) and v.ptr.is_null

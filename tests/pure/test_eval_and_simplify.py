@@ -1,0 +1,185 @@
+"""Ground evaluation and simplification tests, including the property that
+simplification preserves semantics (hypothesis-based)."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pure import Sort, evaluate, simplify, simplify_hyp
+from repro.pure import terms as T
+from repro.pure.eval import EvalError
+
+
+class TestEvaluate:
+    def test_arith(self):
+        t = T.add(T.var("a"), T.mul(T.intlit(2), T.var("b")))
+        assert evaluate(t, {"a": 3, "b": 4}) == 11
+
+    def test_div_truncates_toward_zero(self):
+        t = T.app("div", T.var("a"), T.var("b"))
+        assert evaluate(t, {"a": 7, "b": 2}) == 3
+        assert evaluate(t, {"a": -7, "b": 2}) == -3
+
+    def test_div_by_zero(self):
+        with pytest.raises(EvalError):
+            evaluate(T.app("div", T.intlit(1), T.var("b")), {"b": 0})
+
+    def test_unbound_var(self):
+        with pytest.raises(EvalError):
+            evaluate(T.var("missing"), {})
+
+    def test_mset_ops(self):
+        s = T.munion(T.msingle(T.intlit(1)), T.msingle(T.intlit(1)))
+        assert evaluate(s, {}) == Counter({1: 2})
+        assert evaluate(T.msize(s), {}) == 2
+        assert evaluate(T.mmember(T.intlit(1), s), {}) is True
+        assert evaluate(T.mall_ge(s, T.intlit(1)), {}) is True
+        assert evaluate(T.mall_ge(s, T.intlit(2)), {}) is False
+
+    def test_list_ops(self):
+        l = T.cons(T.intlit(1), T.cons(T.intlit(2), T.nil()))
+        assert evaluate(l, {}) == (1, 2)
+        assert evaluate(T.length(l), {}) == 2
+        assert evaluate(T.append(l, l), {}) == (1, 2, 1, 2)
+        assert evaluate(T.app("head", l), {}) == 1
+        assert evaluate(T.app("index", l, T.intlit(1)), {}) == 2
+
+    def test_loc_offset(self):
+        t = T.loc_offset(T.var("p", Sort.LOC), T.intlit(8))
+        assert evaluate(t, {"p": (1, 4)}) == (1, 12)
+
+    def test_uninterpreted_fn(self):
+        t = T.fn_app("hash", [T.var("x")], Sort.INT)
+        assert evaluate(t, {"x": 10, "fn:hash": lambda x: x * 3}) == 30
+
+
+class TestSimplify:
+    def test_msize_distributes(self):
+        s = T.var("s", Sort.MSET)
+        t = T.msize(T.munion(T.msingle(T.var("n")), s))
+        assert simplify(t) == T.add(T.intlit(1), T.msize(s))
+
+    def test_len_distributes(self):
+        l = T.var("l", Sort.LIST)
+        t = T.length(T.cons(T.var("x"), T.append(l, T.nil())))
+        assert simplify(t) == T.add(T.intlit(1), T.length(l))
+
+    def test_cons_eq_decomposes(self):
+        x, y = T.var("x"), T.var("y")
+        l = T.var("l", Sort.LIST)
+        t = simplify(T.eq(T.cons(x, l), T.cons(y, l)))
+        assert t == T.eq(x, y)
+
+    def test_cons_nil_absurd(self):
+        t = simplify(T.eq(T.cons(T.var("x"), T.nil()), T.nil()))
+        assert t == T.FALSE
+
+    def test_mall_ge_decomposes(self):
+        s = T.var("s", Sort.MSET)
+        n, k = T.var("n"), T.var("k")
+        t = simplify(T.mall_ge(T.munion(T.msingle(k), s), n))
+        assert t == T.and_(T.le(n, k), T.mall_ge(s, n))
+
+    def test_mset_eq_cancellation(self):
+        s = T.var("s", Sort.MSET)
+        n = T.var("n")
+        t = simplify(T.eq(T.munion(T.msingle(n), s), T.munion(s, T.msingle(n))))
+        assert t == T.TRUE
+
+    def test_mset_singleton_eq(self):
+        t = simplify(T.eq(T.msingle(T.var("a")), T.msingle(T.var("b"))))
+        assert t == T.eq(T.var("a"), T.var("b"))
+
+    def test_mset_nonempty_vs_empty_absurd(self):
+        t = simplify(T.eq(T.msingle(T.var("a")), T.mempty()))
+        assert t == T.FALSE
+
+    def test_idempotent(self):
+        s = T.var("s", Sort.MSET)
+        t = T.msize(T.munion(T.msingle(T.var("n")), s))
+        once = simplify(t)
+        assert simplify(once) == once
+
+
+class TestSimplifyHyp:
+    def test_conjunction_splits(self):
+        p, q = T.var("p", Sort.BOOL), T.var("q", Sort.BOOL)
+        assert simplify_hyp(T.and_(p, q)) == [p, q]
+
+    def test_true_vanishes(self):
+        assert simplify_hyp(T.TRUE) == []
+
+    def test_append_nil_rule(self):
+        xs, ys = T.var("xs", Sort.LIST), T.var("ys", Sort.LIST)
+        out = simplify_hyp(T.eq(T.append(xs, ys), T.nil()))
+        assert T.eq(xs, T.nil()) in out and T.eq(ys, T.nil()) in out
+
+    def test_munion_empty_rule(self):
+        a, b = T.var("a", Sort.MSET), T.var("b", Sort.MSET)
+        out = simplify_hyp(T.eq(T.munion(a, b), T.mempty()))
+        assert T.eq(a, T.mempty()) in out and T.eq(b, T.mempty()) in out
+
+
+# ----------------------------------------------------------------------
+# Property-based: simplification is semantics-preserving.
+# ----------------------------------------------------------------------
+
+_INT_VARS = ["a", "b", "c"]
+
+
+def int_terms(depth=3):
+    leaf = st.one_of(
+        st.integers(-20, 20).map(T.intlit),
+        st.sampled_from(_INT_VARS).map(T.var),
+    )
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda p: T.add(*p)),
+            st.tuples(children, children).map(lambda p: T.sub(*p)),
+            st.tuples(children, children).map(lambda p: T.mul(*p)),
+            children.map(T.neg),
+            st.tuples(children, children).map(lambda p: T.app("min", *p)),
+            st.tuples(children, children).map(lambda p: T.app("max", *p)),
+        )
+    return st.recursive(leaf, extend, max_leaves=10)
+
+
+def bool_terms():
+    cmp_ops = [T.le, T.lt, T.eq, T.ne]
+    base = st.tuples(st.sampled_from(cmp_ops), int_terms(), int_terms()) \
+        .map(lambda t: t[0](t[1], t[2]))
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda p: T.and_(*p)),
+            st.tuples(children, children).map(lambda p: T.or_(*p)),
+            children.map(T.not_),
+            st.tuples(children, children).map(lambda p: T.implies(*p)),
+        )
+    return st.recursive(base, extend, max_leaves=8)
+
+
+@given(t=int_terms(), a=st.integers(-50, 50), b=st.integers(-50, 50),
+       c=st.integers(-50, 50))
+@settings(max_examples=150, deadline=None)
+def test_simplify_preserves_int_semantics(t, a, b, c):
+    env = {"a": a, "b": b, "c": c}
+    assert evaluate(simplify(t), env) == evaluate(t, env)
+
+
+@given(t=bool_terms(), a=st.integers(-50, 50), b=st.integers(-50, 50),
+       c=st.integers(-50, 50))
+@settings(max_examples=150, deadline=None)
+def test_simplify_preserves_bool_semantics(t, a, b, c):
+    env = {"a": a, "b": b, "c": c}
+    assert evaluate(simplify(t), env) == evaluate(t, env)
+
+
+@given(t=bool_terms(), a=st.integers(-50, 50), b=st.integers(-50, 50),
+       c=st.integers(-50, 50))
+@settings(max_examples=100, deadline=None)
+def test_simplify_hyp_preserves_conjunction_semantics(t, a, b, c):
+    env = {"a": a, "b": b, "c": c}
+    parts = simplify_hyp(t)
+    assert all(evaluate(p, env) for p in parts) == bool(evaluate(t, env))

@@ -1,0 +1,128 @@
+"""Tests for the annotation expression parser (unicode + ASCII syntax)."""
+
+import pytest
+
+from repro.pure import Sort, SpecParseError, parse_sort, parse_term
+from repro.pure import terms as T
+
+a, n, p = T.var("a"), T.var("n"), T.var("p", Sort.LOC)
+s, tail = T.var("s", Sort.MSET), T.var("tail", Sort.MSET)
+xs = T.var("xs", Sort.LIST)
+ENV = {"a": a, "n": n, "p": p, "s": s, "tail": tail, "xs": xs}
+
+
+class TestParseSort:
+    def test_nat(self):
+        assert parse_sort("nat") == (Sort.INT, True)
+
+    def test_int(self):
+        assert parse_sort("int") == (Sort.INT, False)
+
+    def test_loc(self):
+        assert parse_sort("loc") == (Sort.LOC, False)
+
+    def test_gmultiset(self):
+        assert parse_sort("{gmultiset nat}") == (Sort.MSET, False)
+
+    def test_list(self):
+        assert parse_sort("{list Z}") == (Sort.LIST, False)
+
+    def test_unknown(self):
+        with pytest.raises(SpecParseError):
+            parse_sort("widget")
+
+
+class TestParseTerm:
+    def test_comparison_unicode(self):
+        assert parse_term("n ≤ a", ENV) == T.le(n, a)
+
+    def test_comparison_ascii(self):
+        assert parse_term("n <= a", ENV) == T.le(n, a)
+
+    def test_coq_braces_stripped(self):
+        assert parse_term("{n ≤ a}", ENV) == T.le(n, a)
+
+    def test_arith_precedence(self):
+        t = parse_term("a + 2 * n", ENV)
+        assert t == T.add(a, T.mul(T.intlit(2), n))
+
+    def test_ternary(self):
+        t = parse_term("n ≤ a ? a - n : a", ENV)
+        assert t == T.ite(T.le(n, a), T.sub(a, n), a)
+
+    def test_multiset_union(self):
+        t = parse_term("{[n]} ⊎ tail", ENV)
+        assert t == T.munion(T.msingle(n), tail)
+
+    def test_multiset_union_ascii(self):
+        t = parse_term("{[n]} (+) tail", ENV)
+        assert t == T.munion(T.msingle(n), tail)
+
+    def test_empty_mset(self):
+        assert parse_term("s ≠ ∅", ENV) == T.ne(s, T.mempty())
+
+    def test_forall_membership_pattern(self):
+        t = parse_term("∀ k, k ∈ tail → n ≤ k", ENV)
+        assert t == T.mall_ge(tail, n)
+
+    def test_forall_ascii(self):
+        t = parse_term("forall k, k in tail -> n <= k", ENV)
+        assert t == T.mall_ge(tail, n)
+
+    def test_forall_unsupported_shape(self):
+        with pytest.raises(SpecParseError):
+            parse_term("forall k, k in tail -> k <= k + 1", ENV)
+
+    def test_list_syntax(self):
+        t = parse_term("1 :: xs ++ []", ENV)
+        assert t == T.cons(T.intlit(1), T.append(xs, T.nil()))
+
+    def test_list_literal(self):
+        t = parse_term("[1, 2, 3]", ENV)
+        assert t == T.list_lit(T.intlit(1), T.intlit(2), T.intlit(3))
+
+    def test_len_function(self):
+        assert parse_term("len(xs)", ENV) == T.length(xs)
+
+    def test_loc_plus_offset(self):
+        assert parse_term("p + 8", ENV) == T.loc_offset(p, T.intlit(8))
+
+    def test_sizeof_constant(self):
+        consts = {"sizeof(struct chunk)": T.intlit(16)}
+        t = parse_term("sizeof(struct chunk) ≤ n", ENV, consts)
+        assert t == T.le(T.intlit(16), n)
+
+    def test_sizeof_unknown(self):
+        with pytest.raises(SpecParseError):
+            parse_term("sizeof(struct nope) ≤ n", ENV, {})
+
+    def test_uninterpreted_function(self):
+        t = parse_term("hash(n) % 8", ENV)
+        assert t == T.app("mod", T.fn_app("hash", [n], Sort.INT), T.intlit(8))
+
+    def test_unknown_identifier(self):
+        with pytest.raises(SpecParseError):
+            parse_term("zzz + 1", ENV)
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(SpecParseError):
+            parse_term("(n + 1", ENV)
+
+    def test_trailing_tokens(self):
+        with pytest.raises(SpecParseError):
+            parse_term("n + 1 )", ENV)
+
+    def test_conjunction_and_implication(self):
+        t = parse_term("n ≤ a ∧ a ≤ n → a = n", ENV)
+        assert t == T.implies(T.and_(T.le(n, a), T.le(a, n)), T.eq(a, n))
+
+    def test_membership(self):
+        assert parse_term("n ∈ s", ENV) == T.mmember(n, s)
+
+    def test_booleans(self):
+        assert parse_term("true", ENV) == T.TRUE
+        assert parse_term("false", ENV) == T.FALSE
+
+    def test_sort_error_surfaces(self):
+        with pytest.raises(SpecParseError):
+            parse_term("s + 1", ENV)  # MSET + INT is ill-sorted

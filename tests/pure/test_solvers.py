@@ -1,0 +1,233 @@
+"""Tests for the linear-arithmetic, list, and multiset solvers, and the
+PureSolver dispatcher's auto/manual accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pure import Lemma, Outcome, PureSolver, Sort, evaluate
+from repro.pure import terms as T
+from repro.pure.linarith import implies_linear
+from repro.pure.lists import list_solver
+from repro.pure.sets import multiset_solver
+
+a, b, c, n = T.var("a"), T.var("b"), T.var("c"), T.var("n")
+s = T.var("s", Sort.MSET)
+tail = T.var("tail", Sort.MSET)
+xs = T.var("xs", Sort.LIST)
+ys = T.var("ys", Sort.LIST)
+
+
+class TestLinarith:
+    def test_trivial(self):
+        assert implies_linear([], T.le(T.intlit(1), T.intlit(2)))
+
+    def test_transitivity(self):
+        assert implies_linear([T.le(a, b), T.le(b, c)], T.le(a, c))
+
+    def test_not_provable(self):
+        assert not implies_linear([T.le(a, b)], T.le(b, a))
+
+    def test_strict_integer_tightening(self):
+        # over ints, a < b implies a + 1 <= b
+        assert implies_linear([T.lt(a, b)], T.le(T.add(a, T.intlit(1)), b))
+
+    def test_equality_hypothesis(self):
+        assert implies_linear([T.eq(a, T.add(b, T.intlit(2)))],
+                              T.lt(b, a))
+
+    def test_equality_goal(self):
+        assert implies_linear([T.le(a, b), T.le(b, a)], T.eq(a, b))
+
+    def test_disequality_goal(self):
+        assert implies_linear([T.lt(a, b)], T.ne(a, b))
+
+    def test_contradictory_hypotheses(self):
+        assert implies_linear([T.lt(a, b), T.lt(b, a)], T.FALSE)
+
+    def test_nat_subtraction_bound(self):
+        # with 0 <= n and n <= a:  a - n <= a
+        hyps = [T.le(T.intlit(0), n), T.le(n, a)]
+        assert implies_linear(hyps, T.le(T.sub(a, n), a))
+
+    def test_needs_nonneg(self):
+        # without 0 <= n this is false over ints
+        assert not implies_linear([T.le(n, a)], T.le(T.sub(a, n), a))
+
+    def test_scaling(self):
+        assert implies_linear([T.le(T.mul(T.intlit(2), a), b)],
+                              T.le(a, T.app("div", T.add(b, b), T.intlit(2))))\
+            or True  # div is opaque; just ensure no crash
+
+    def test_len_nonneg_axiom(self):
+        assert implies_linear([], T.le(T.intlit(0), T.length(xs)))
+
+    def test_msize_nonneg_axiom(self):
+        assert implies_linear([], T.le(T.intlit(0), T.msize(s)))
+
+    def test_min_axiom(self):
+        assert implies_linear([], T.le(T.app("min", a, b), a))
+
+    def test_max_axiom(self):
+        assert implies_linear([], T.le(b, T.app("max", a, b)))
+
+    def test_mod_bounds(self):
+        m = T.app("mod", a, T.intlit(8))
+        assert implies_linear([], T.lt(m, T.intlit(8)))
+        assert implies_linear([], T.le(T.intlit(0), m))
+
+    def test_many_vars(self):
+        vs = [T.var(f"x{i}") for i in range(8)]
+        hyps = [T.le(vs[i], vs[i + 1]) for i in range(7)]
+        assert implies_linear(hyps, T.le(vs[0], vs[7]))
+
+    def test_false_chain_not_provable(self):
+        vs = [T.var(f"x{i}") for i in range(8)]
+        hyps = [T.le(vs[i], vs[i + 1]) for i in range(7)]
+        assert not implies_linear(hyps, T.le(vs[7], vs[0]))
+
+
+class TestListSolver:
+    def test_append_assoc(self):
+        zs = T.var("zs", Sort.LIST)
+        lhs = T.append(T.append(xs, ys), zs)
+        rhs = T.append(xs, T.append(ys, zs))
+        assert list_solver([], T.eq(lhs, rhs))
+
+    def test_append_nil(self):
+        assert list_solver([], T.eq(T.append(xs, T.nil()), xs))
+
+    def test_rewriting_by_hypothesis(self):
+        hyp = T.eq(xs, T.cons(a, ys))
+        goal = T.eq(T.length(xs), T.add(T.intlit(1), T.length(ys)))
+        assert list_solver([hyp], goal)
+
+    def test_elementwise(self):
+        hyps = [T.eq(a, b)]
+        goal = T.eq(T.cons(a, xs), T.cons(b, xs))
+        assert list_solver(hyps, goal)
+
+    def test_not_provable(self):
+        assert not list_solver([], T.eq(T.cons(a, xs), xs))
+
+
+class TestMultisetSolver:
+    def test_freelist_invariant(self):
+        # the shape arising in Figure 3's verification
+        hyps = [T.eq(s, T.munion(T.msingle(n), tail)), T.mall_ge(tail, n)]
+        assert multiset_solver(hyps, T.eq(T.munion(T.msingle(n), tail), s))
+
+    def test_commutativity(self):
+        assert multiset_solver([], T.eq(T.munion(s, tail), T.munion(tail, s)))
+
+    def test_nonempty_from_singleton(self):
+        hyps = [T.eq(s, T.munion(T.msingle(n), tail))]
+        assert multiset_solver(hyps, T.ne(s, T.mempty()))
+
+    def test_all_ge_from_parts(self):
+        hyps = [T.mall_ge(tail, n), T.le(a, n)]
+        goal = T.mall_ge(T.munion(T.msingle(n), tail), a)
+        assert multiset_solver(hyps, goal)
+
+    def test_all_ge_not_provable(self):
+        assert not multiset_solver([T.mall_ge(tail, n)],
+                                   T.mall_ge(tail, T.add(n, T.intlit(1))))
+
+    def test_member_singleton(self):
+        assert multiset_solver([], T.mmember(n, T.munion(tail, T.msingle(n))))
+
+    def test_elementwise_matching(self):
+        hyps = [T.eq(a, b)]
+        goal = T.eq(T.munion(T.msingle(a), s), T.munion(T.msingle(b), s))
+        assert multiset_solver(hyps, goal)
+
+    def test_saturation_through_equation_chain(self):
+        s2 = T.var("s2", Sort.MSET)
+        hyps = [T.eq(s, T.munion(T.msingle(n), s2)),
+                T.eq(s2, T.munion(T.msingle(a), tail))]
+        goal = T.mmember(a, s)
+        assert multiset_solver(hyps, goal)
+
+
+class TestPureSolverDispatch:
+    def test_default_counts_as_auto(self):
+        solver = PureSolver()
+        res = solver.prove([T.le(T.intlit(0), n), T.le(n, a)],
+                           T.le(T.sub(a, n), a))
+        assert res.outcome is Outcome.DEFAULT
+
+    def test_named_solver_counts_as_manual(self):
+        solver = PureSolver(tactics=["multiset_solver"])
+        # Bound propagation over an opaque multiset part needs the multiset
+        # solver; the default solver does not know the theory of mall_ge.
+        hyps = [T.mall_ge(tail, n), T.le(a, n)]
+        res = solver.prove(hyps,
+                           T.mall_ge(T.munion(T.msingle(n), tail), a))
+        assert res.outcome is Outcome.NAMED
+        assert res.solver == "multiset_solver"
+
+    def test_failure(self):
+        solver = PureSolver()
+        assert solver.prove([], T.le(a, b)).outcome is Outcome.FAILED
+
+    def test_unknown_tactic_rejected(self):
+        with pytest.raises(ValueError):
+            PureSolver(tactics=["frobnicate_solver"])
+
+    def test_implication_goal(self):
+        solver = PureSolver()
+        res = solver.prove([], T.implies(T.lt(a, b), T.le(a, b)))
+        assert res.outcome is Outcome.DEFAULT
+
+    def test_conjunction_goal(self):
+        solver = PureSolver()
+        goal = T.and_(T.le(a, a), T.le(T.intlit(0), T.length(xs)))
+        assert solver.prove([], goal).outcome is Outcome.DEFAULT
+
+    def test_bool_eq_goal(self):
+        solver = PureSolver()
+        goal = T.eq(T.le(a, b), T.not_(T.lt(b, a)))
+        assert solver.prove([], goal).outcome is Outcome.DEFAULT
+
+    def test_ite_goal(self):
+        solver = PureSolver()
+        goal = T.le(T.ite(T.le(n, a), T.sub(a, n), a), a)
+        res = solver.prove([T.le(T.intlit(0), n), T.le(T.intlit(0), a)], goal)
+        assert res.outcome is Outcome.DEFAULT
+
+    def test_lemma_counts_as_manual(self):
+        srt = T.fn_app("is_bst", [T.var("t0")], Sort.BOOL)
+        lemma = Lemma("bst_empty", (T.var("t0"),), (),
+                      T.fn_app("is_bst", [T.var("t0")], Sort.BOOL))
+        solver = PureSolver(lemmas=[lemma])
+        res = solver.prove([], T.fn_app("is_bst", [a], Sort.BOOL))
+        assert res.outcome is Outcome.LEMMA
+
+    def test_false_hypothesis_proves_anything(self):
+        solver = PureSolver()
+        res = solver.prove([T.FALSE], T.le(b, a))
+        assert res.outcome is Outcome.DEFAULT
+
+    def test_contradictory_arith_hypotheses_prove_anything(self):
+        solver = PureSolver()
+        res = solver.prove([T.lt(a, b), T.lt(b, a)], T.eq(s, T.mempty()))
+        assert res.outcome is Outcome.DEFAULT
+
+
+# ----------------------------------------------------------------------
+# Property: the default solver is sound — anything it proves holds under
+# random ground instantiation of the hypotheses.
+# ----------------------------------------------------------------------
+
+@given(av=st.integers(-30, 30), bv=st.integers(-30, 30),
+       nv=st.integers(0, 30))
+@settings(max_examples=100, deadline=None)
+def test_linarith_soundness_sample(av, bv, nv):
+    hyps = [T.le(T.intlit(0), n), T.le(n, a), T.lt(a, b)]
+    goals = [T.le(T.sub(a, n), a), T.le(a, b), T.ne(a, b),
+             T.le(n, b), T.lt(T.sub(a, n), b)]
+    env = {"a": av, "b": bv, "n": nv}
+    if all(evaluate(h, env) for h in hyps):
+        for g in goals:
+            if implies_linear(hyps, g):
+                assert evaluate(g, env), f"unsound: {g} under {env}"

@@ -1,0 +1,150 @@
+"""Unit tests for the refinement term language."""
+
+import pytest
+
+from repro.pure import Sort, Subst, TermError, fresh_evar
+from repro.pure import terms as T
+
+
+class TestConstruction:
+    def test_literal_sorts(self):
+        assert T.intlit(3).sort is Sort.INT
+        assert T.TRUE.sort is Sort.BOOL
+
+    def test_add_folds_constants(self):
+        assert T.add(T.intlit(2), T.intlit(3)) == T.intlit(5)
+
+    def test_add_flattens(self):
+        a, b = T.var("a"), T.var("b")
+        t = T.add(T.add(a, b), T.intlit(1), T.intlit(2))
+        assert isinstance(t, T.App) and t.op == "add"
+        assert T.intlit(3) in t.args and a in t.args and b in t.args
+
+    def test_add_identity(self):
+        a = T.var("a")
+        assert T.add(a, T.intlit(0)) == a
+
+    def test_mul_zero_annihilates(self):
+        assert T.mul(T.var("a"), T.intlit(0)) == T.intlit(0)
+
+    def test_sub_zero(self):
+        a = T.var("a")
+        assert T.sub(a, T.intlit(0)) == a
+
+    def test_comparison_folding(self):
+        assert T.le(T.intlit(1), T.intlit(2)) == T.TRUE
+        assert T.lt(T.intlit(2), T.intlit(2)) == T.FALSE
+        assert T.eq(T.intlit(5), T.intlit(5)) == T.TRUE
+
+    def test_eq_reflexive_without_evars(self):
+        a = T.var("a")
+        assert T.eq(a, a) == T.TRUE
+
+    def test_eq_not_folded_with_evars(self):
+        ev = fresh_evar(Sort.INT)
+        t = T.eq(ev, ev)
+        assert t != T.TRUE  # evars must not be eagerly identified
+
+    def test_and_simplification(self):
+        p = T.var("p", Sort.BOOL)
+        assert T.and_(p, T.TRUE) == p
+        assert T.and_(p, T.FALSE) == T.FALSE
+        assert T.or_(p, T.TRUE) == T.TRUE
+        assert T.or_(p, T.FALSE) == p
+
+    def test_double_negation(self):
+        p = T.var("p", Sort.BOOL)
+        assert T.not_(T.not_(p)) == p
+
+    def test_ite_concrete_condition(self):
+        a, b = T.var("a"), T.var("b")
+        assert T.ite(T.TRUE, a, b) == a
+        assert T.ite(T.FALSE, a, b) == b
+        assert T.ite(T.var("p", Sort.BOOL), a, a) == a
+
+    def test_ite_branch_sort_mismatch(self):
+        with pytest.raises(TermError):
+            T.ite(T.TRUE, T.intlit(1), T.var("s", Sort.MSET))
+
+    def test_sort_checking(self):
+        with pytest.raises(TermError):
+            T.add(T.intlit(1), T.TRUE)
+        with pytest.raises(TermError):
+            T.eq(T.intlit(1), T.var("s", Sort.MSET))
+
+    def test_loc_offset_zero(self):
+        p = T.var("p", Sort.LOC)
+        assert T.loc_offset(p, T.intlit(0)) == p
+
+    def test_loc_offset_collapses(self):
+        p = T.var("p", Sort.LOC)
+        t = T.loc_offset(T.loc_offset(p, T.intlit(4)), T.intlit(3))
+        assert t == T.loc_offset(p, T.intlit(7))
+
+    def test_munion_empty_unit(self):
+        s = T.var("s", Sort.MSET)
+        assert T.munion(s, T.mempty()) == s
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(TermError):
+            T.app("frobnicate", T.intlit(1))
+
+
+class TestTraversal:
+    def test_free_vars(self):
+        a, b = T.var("a"), T.var("b")
+        t = T.add(a, T.mul(b, T.intlit(2)))
+        assert t.free_vars() == {a, b}
+
+    def test_evars(self):
+        ev = fresh_evar(Sort.INT)
+        t = T.add(T.var("a"), ev)
+        assert t.evars() == {ev}
+        assert t.has_evars()
+
+    def test_no_evars(self):
+        assert not T.add(T.var("a"), T.intlit(1)).has_evars()
+
+
+class TestSubst:
+    def test_bind_and_resolve(self):
+        s = Subst()
+        ev = fresh_evar(Sort.INT)
+        s.bind_evar(ev, T.intlit(7))
+        assert s.resolve(T.add(ev, T.intlit(1))) == T.intlit(8)
+
+    def test_double_bind_rejected(self):
+        s = Subst()
+        ev = fresh_evar(Sort.INT)
+        s.bind_evar(ev, T.intlit(1))
+        with pytest.raises(TermError):
+            s.bind_evar(ev, T.intlit(2))
+
+    def test_occurs_check(self):
+        s = Subst()
+        ev = fresh_evar(Sort.INT)
+        with pytest.raises(TermError):
+            s.bind_evar(ev, T.add(ev, T.intlit(1)))
+
+    def test_chained_resolution(self):
+        s = Subst()
+        e1, e2 = fresh_evar(Sort.INT), fresh_evar(Sort.INT)
+        s.bind_evar(e1, e2)
+        s.bind_evar(e2, T.intlit(3))
+        assert s.resolve(e1) == T.intlit(3)
+
+    def test_sort_mismatch_rejected(self):
+        s = Subst()
+        ev = fresh_evar(Sort.INT)
+        with pytest.raises(TermError):
+            s.bind_evar(ev, T.TRUE)
+
+    def test_subst_vars(self):
+        a = T.var("a")
+        t = T.subst_vars(T.add(a, T.intlit(1)), {a: T.intlit(4)})
+        assert t == T.intlit(5)
+
+    def test_subst_vars_recanonicalises(self):
+        a, b = T.var("a"), T.var("b")
+        t = T.subst_vars(T.le(a, b), {a: T.intlit(1), b: T.intlit(2)})
+        assert t == T.TRUE
