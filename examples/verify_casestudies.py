@@ -2,17 +2,65 @@
 """Verify every case study of the paper's evaluation (Figure 7) and print
 the regenerated table.
 
-Run:  python examples/verify_casestudies.py
+Run:  python examples/verify_casestudies.py [--jobs N] [--cache [DIR]]
+                                            [--metrics-json PATH]
+
+``--jobs N`` verifies independent functions on a process pool; ``--cache``
+makes unchanged re-runs cache hits (persisted under ``.rc-cache/`` or the
+given DIR); ``--metrics-json`` dumps the aggregated per-phase metrics.
 """
 
-from repro.report import figure7_table, format_table
+import argparse
+import time
+from pathlib import Path
 
 
-def main() -> None:
-    rows = figure7_table()
+def main(argv=None) -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--jobs", type=int, default=1,
+                    help="parallel verification workers (0 = one per CPU)")
+    ap.add_argument("--cache", nargs="?", const=True, default=False,
+                    metavar="DIR",
+                    help="enable the result cache (optionally in DIR)")
+    ap.add_argument("--metrics-json", metavar="PATH",
+                    help="write aggregated driver metrics as JSON")
+    args = ap.parse_args(argv)
+
+    from repro.driver import DriverConfig, merge_metrics
+    from repro.frontend import verify_files
+    from repro.report import (EXTRA_STUDIES, FIGURE7_STUDIES,
+                              casestudies_dir, format_table, study_report)
+
+    cache = bool(args.cache)
+    cache_dir = args.cache if isinstance(args.cache, str) else None
+    base = casestudies_dir()
+    paths = [base / f"{stem}.c"
+             for stem, _cls in FIGURE7_STUDIES + EXTRA_STUDIES]
+
+    t0 = time.perf_counter()
+    outcomes = verify_files(paths, jobs=args.jobs, cache=cache,
+                            cache_dir=cache_dir)
+    elapsed = time.perf_counter() - t0
+    rows = [study_report(p, outcomes[p.stem]) for p in paths]
     print(format_table(rows))
-    failed = [r.study for r in rows if not r.verified]
+
+    total = merge_metrics([o.metrics for o in outcomes.values()
+                           if o.metrics is not None])
     print()
+    jobs = DriverConfig(jobs=args.jobs).resolved_jobs()
+    print(f"jobs={jobs}  elapsed {elapsed:.2f}s  "
+          f"(search {total.phases.search_s:.2f}s, "
+          f"solver {total.phases.solver_s:.2f}s, "
+          f"front end {total.phases.parse_s + total.phases.elaborate_s:.2f}s"
+          + (f", cache {total.cache_hits} hit / {total.cache_misses} miss"
+             if cache else "") + ")")
+    if args.metrics_json:
+        out = Path(args.metrics_json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(total.to_json())
+        print(f"metrics written to {out}")
+
+    failed = [r.study for r in rows if not r.verified]
     if failed:
         print(f"FAILED: {failed}")
         raise SystemExit(1)

@@ -1,0 +1,21 @@
+"""The verification driver subsystem: parallel scheduling, content-
+addressed result caching, and per-phase metrics for RefinedC checking.
+
+See DESIGN.md ("The verification driver") for why per-function
+parallelism is sound, and README.md for the user-facing flags, the cache
+layout and the metrics JSON schema.
+"""
+
+from .cache import (CACHE_FORMAT_VERSION, DEFAULT_CACHE_DIR, ResultCache,
+                    function_cache_key)
+from .metrics import (DriverMetrics, FunctionMetrics, PhaseTimings,
+                      merge_metrics)
+from .pool import (DriverConfig, Unit, reset_fresh_counters, run_program,
+                   run_units)
+
+__all__ = [
+    "CACHE_FORMAT_VERSION", "DEFAULT_CACHE_DIR", "DriverConfig",
+    "DriverMetrics", "FunctionMetrics", "PhaseTimings", "ResultCache",
+    "Unit", "function_cache_key", "merge_metrics", "reset_fresh_counters",
+    "run_program", "run_units",
+]

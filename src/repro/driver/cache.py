@@ -1,0 +1,188 @@
+"""Content-addressed verification result cache (persisted under
+``.rc-cache/``).
+
+A cached entry is keyed by a SHA-256 over everything the verification of
+one function depends on:
+
+* the **elaborated Caesium body** (``repr`` of the
+  :class:`~repro.caesium.syntax.Function` — layouts included, so a struct
+  layout change invalidates);
+* the function's **raw spec text** (``repr(RawFunctionAnnotations)``,
+  recorded by the front end in ``TypedProgram.spec_texts``);
+* the **unit context text**: struct annotations and globals
+  (``TypedProgram.context_text``) — data-structure invariants are part of
+  every proof;
+* the **lemma table** and ``rc::tactics`` solvers the spec pulls in
+  (stable ``repr`` of the parsed :class:`~repro.pure.solver.Lemma`
+  values);
+* a cache **format version**, so layout changes of the entry format
+  invalidate old caches wholesale.
+
+Entries store the outcome, the deterministic ``Stats.counters()`` and the
+error text — **not** the derivation tree.  A cache hit therefore returns a
+:class:`FunctionResult` with ``derivations=[]``; re-run with the cache
+disabled to regenerate certificates for ``proofs.certcheck``.
+
+Corrupted, truncated, stale-version or otherwise unreadable entries are
+treated as misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from ..lithium.search import Stats, VerificationError
+from ..refinedc.checker import FunctionResult, TypedProgram
+
+CACHE_FORMAT_VERSION = 1
+
+DEFAULT_CACHE_DIR = Path(".rc-cache")
+
+_COUNTER_FIELDS = (
+    "rule_applications", "evars_created", "evars_instantiated",
+    "side_conditions_auto", "side_conditions_manual", "atom_matches",
+    "conj_forks", "backtracks", "solver_calls",
+)
+
+
+def function_cache_key(tp: TypedProgram, name: str) -> str:
+    """The content hash for one function's verification result."""
+    spec = tp.specs[name]
+    h = hashlib.sha256()
+    h.update(f"rc-cache-v{CACHE_FORMAT_VERSION}\n".encode())
+    h.update(tp.context_text.encode())
+    h.update(b"\x00spec\x00")
+    h.update(tp.spec_texts.get(name, "").encode())
+    h.update(b"\x00body\x00")
+    fn = tp.program.functions.get(name)
+    h.update(repr(fn).encode() if fn is not None else b"<no body>")
+    h.update(b"\x00tactics\x00")
+    h.update(repr(list(spec.tactics)).encode())
+    h.update(b"\x00lemmas\x00")
+    for lemma in sorted(spec.lemmas, key=lambda l: l.name):
+        h.update(repr(lemma).encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+class CachedVerificationError(VerificationError):
+    """A verification error rehydrated from the cache.  The structured
+    side-condition terms are not persisted, so ``format()`` replays the
+    recorded text verbatim instead of re-rendering."""
+
+    def __init__(self, reason: str, function: str, location: list,
+                 text: str) -> None:
+        self._cached_text = text
+        super().__init__(reason, location, None, (), function)
+
+    def format(self) -> str:
+        # During super().__init__ the cached text is not set yet.
+        return getattr(self, "_cached_text", "") or super().format()
+
+    def __reduce__(self):
+        return (CachedVerificationError,
+                (self.reason, self.function, self.location,
+                 self._cached_text))
+
+
+class ResultCache:
+    """A directory of JSON entries, one per (function, content-key).
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` — two-level fan-out keeps
+    directories small for large programs.  Writes are atomic (tempfile +
+    rename), so a crashed writer leaves no truncated entry behind."""
+
+    def __init__(self, root: Path | str = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------
+    def get(self, key: str) -> Optional[tuple[FunctionResult, float]]:
+        """Return ``(result, original_wall_s)`` on a hit, None on a miss.
+        Any malformed entry is silently a miss."""
+        path = self._path(key)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError, UnicodeDecodeError):
+            self.misses += 1
+            return None
+        try:
+            result, wall = self._rehydrate(key, data)
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result, wall
+
+    @staticmethod
+    def _rehydrate(key: str, data: dict) -> tuple[FunctionResult, float]:
+        if data["format_version"] != CACHE_FORMAT_VERSION \
+                or data["key"] != key:
+            raise ValueError("stale or mismatched cache entry")
+        raw = data["stats"]
+        stats = Stats(**{f: int(raw[f]) for f in _COUNTER_FIELDS})
+        stats.rules_used = set(raw["rules_used"])
+        stats.manual_conditions = [tuple(m) for m in
+                                   raw["manual_conditions"]]
+        stats.solver_time = float(raw.get("solver_time", 0.0))
+        error = None
+        if data["error"] is not None:
+            e = data["error"]
+            error = CachedVerificationError(
+                e["reason"], e["function"], list(e["location"]), e["text"])
+        ok = bool(data["ok"])
+        if not ok and error is None:
+            raise ValueError("failed entry without an error record")
+        return (FunctionResult(data["name"], ok, stats, error, []),
+                float(data.get("wall_s", 0.0)))
+
+    # ------------------------------------------------------------
+    def put(self, key: str, result: FunctionResult, wall_s: float) -> None:
+        """Persist one result.  Failures to write (read-only FS, races)
+        are ignored — the cache is an accelerator, not a store of record."""
+        entry = {
+            "format_version": CACHE_FORMAT_VERSION,
+            "key": key,
+            "name": result.name,
+            "ok": result.ok,
+            "wall_s": wall_s,
+            "stats": {
+                **{f: getattr(result.stats, f) for f in _COUNTER_FIELDS},
+                "rules_used": sorted(result.stats.rules_used),
+                "manual_conditions": [list(m) for m in
+                                      result.stats.manual_conditions],
+                "solver_time": result.stats.solver_time,
+            },
+            "error": None if result.error is None else {
+                "reason": result.error.reason,
+                "function": result.error.function,
+                "location": list(result.error.location),
+                "text": result.error.format(),
+            },
+        }
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(entry, fh)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass

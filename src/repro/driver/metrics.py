@@ -1,0 +1,128 @@
+"""Per-phase metrics for the verification driver.
+
+The driver times each phase of Figure 2's pipeline — **parse** (text →
+CST), **elaborate** (CST → Caesium + specs), **search** (Lithium rule
+application) and **solver** (pure side-condition discharge, measured
+inside :class:`~repro.lithium.search.SearchState`) — and records the
+deterministic :meth:`~repro.lithium.search.Stats.counters` per function,
+plus cache hit/miss accounting.
+
+Everything is exportable as JSON (``DriverMetrics.to_json``) with the
+schema documented in README.md, and rendered in
+``VerificationOutcome.report()`` and the Figure 7 tables of
+:mod:`repro.report`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+METRICS_SCHEMA_VERSION = 1
+
+
+@dataclass
+class PhaseTimings:
+    """Wall seconds per pipeline phase.  ``search_s`` is the time spent in
+    Lithium proof search *excluding* the pure solver; ``solver_s`` is the
+    time inside ``PureSolver.prove``.  For parallel runs the search/solver
+    entries are summed per-function wall times (CPU-like), not elapsed
+    time — elapsed time is ``DriverMetrics.wall_s``."""
+
+    parse_s: float = 0.0
+    elaborate_s: float = 0.0
+    search_s: float = 0.0
+    solver_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.parse_s + self.elaborate_s + self.search_s \
+            + self.solver_s
+
+
+@dataclass
+class FunctionMetrics:
+    """Driver-level accounting for one verified function."""
+
+    name: str
+    ok: bool
+    cache: str = "off"            # "off" | "hit" | "miss"
+    wall_s: float = 0.0           # check wall time (original, if cached)
+    solver_s: float = 0.0
+    counters: dict = field(default_factory=dict)  # Stats.counters()
+
+
+@dataclass
+class DriverMetrics:
+    """Everything the driver measured for one translation unit."""
+
+    study: str = ""
+    jobs: int = 1
+    cache_enabled: bool = False
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_s: float = 0.0           # elapsed checking time (excl. front end)
+    phases: PhaseTimings = field(default_factory=PhaseTimings)
+    functions: list[FunctionMetrics] = field(default_factory=list)
+
+    # ------------------------------------------------------------
+    def add_function(self, name: str, ok: bool, cache: str, wall_s: float,
+                     solver_s: float, counters: dict) -> None:
+        self.functions.append(
+            FunctionMetrics(name, ok, cache, wall_s, solver_s, counters))
+        if cache != "hit":
+            # Cached entries report the *original* run's times; only live
+            # checks contribute to this unit's phase totals.
+            self.phases.search_s += max(0.0, wall_s - solver_s)
+            self.phases.solver_s += solver_s
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    # ------------------------------------------------------------
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["schema_version"] = METRICS_SCHEMA_VERSION
+        d["cache_hit_rate"] = round(self.cache_hit_rate, 4)
+        return d
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    # ------------------------------------------------------------
+    def summary(self) -> str:
+        """The two human-readable lines appended to
+        ``VerificationOutcome.report()``."""
+        p = self.phases
+        lines = [
+            f"driver: jobs={self.jobs}, "
+            f"{len(self.functions)} function(s), "
+            f"wall {self.wall_s * 1e3:.1f}ms"
+            + (f", cache {self.cache_hits} hit / {self.cache_misses} miss"
+               if self.cache_enabled else ", cache off"),
+            f"phases: parse {p.parse_s * 1e3:.1f}ms, "
+            f"elaborate {p.elaborate_s * 1e3:.1f}ms, "
+            f"search {p.search_s * 1e3:.1f}ms, "
+            f"solver {p.solver_s * 1e3:.1f}ms",
+        ]
+        return "\n".join(lines)
+
+
+def merge_metrics(per_unit: list[DriverMetrics]) -> DriverMetrics:
+    """Aggregate the metrics of several translation units (e.g. the whole
+    Figure 7 evaluation) into one summary record."""
+    total = DriverMetrics(study="<all>")
+    for m in per_unit:
+        total.jobs = max(total.jobs, m.jobs)
+        total.cache_enabled = total.cache_enabled or m.cache_enabled
+        total.cache_hits += m.cache_hits
+        total.cache_misses += m.cache_misses
+        total.wall_s += m.wall_s
+        total.phases.parse_s += m.phases.parse_s
+        total.phases.elaborate_s += m.phases.elaborate_s
+        total.phases.search_s += m.phases.search_s
+        total.phases.solver_s += m.phases.solver_s
+        total.functions.extend(m.functions)
+    return total

@@ -1,0 +1,267 @@
+"""The verification driver: parallel, cached, metered checking.
+
+Replaces the serial loop of ``check_program`` for the toolchain entry
+points.  Spec-modular checking (§4) makes functions *independent* proof
+obligations — each function is verified against the *specs* of its
+callees, never their bodies — so the work list is embarrassingly
+parallel.  The driver:
+
+1. schedules independent functions onto a **process pool** (``jobs > 1``),
+   with a deterministic in-process serial path as the ``jobs = 1``
+   fallback and reference semantics;
+2. consults a **content-addressed result cache** (:mod:`.cache`) before
+   scheduling anything;
+3. records **per-phase metrics** (:mod:`.metrics`).
+
+Determinism: before every function check the driver resets the global
+fresh-name counters (skolem variables, evars, slot uids), making each
+function's proof — its statistics, its derivation, and its error text —
+a pure function of (body, spec, context, lemmas).  This is what makes
+parallel results byte-identical to serial ones: a worker process and the
+parent produce the very same names.
+
+Workers never receive the elaborated program (specs close over Python
+functions and do not pickle); each worker re-elaborates the source text
+once and keeps it for the lifetime of the pool, so the per-task payload
+is just a function name.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..lithium import search as _search
+from ..pure import terms as _terms
+from ..refinedc import checker as _checker
+from ..refinedc.checker import (FunctionResult, ProgramResult, TypedProgram,
+                                check_function, missing_body_result,
+                                verification_targets)
+from .cache import DEFAULT_CACHE_DIR, ResultCache, function_cache_key
+from .metrics import DriverMetrics, PhaseTimings
+
+
+def reset_fresh_counters() -> None:
+    """Reset every global fresh-name counter the proof search draws from.
+
+    Called before each function check (serial and parallel alike) so a
+    function's verification is deterministic and independent of what was
+    checked before it — in this process or any other."""
+    _search._FRESH_VAR_COUNTER = itertools.count(1)
+    _terms._EVAR_COUNTER = itertools.count()
+    _checker.FnCtx._slot_counter = itertools.count(1)
+
+
+@dataclass
+class DriverConfig:
+    """Driver knobs, shared by ``verify_source``/``verify_file`` and the
+    multi-unit entry point."""
+
+    jobs: int = 1                 # <=0 means "one per CPU"
+    cache: bool = False
+    cache_dir: Optional[Path] = None
+
+    def resolved_jobs(self) -> int:
+        if self.jobs > 0:
+            return self.jobs
+        return max(1, multiprocessing.cpu_count())
+
+    def open_cache(self) -> Optional[ResultCache]:
+        if not self.cache and self.cache_dir is None:
+            return None
+        root = Path(self.cache_dir) if self.cache_dir is not None \
+            else DEFAULT_CACHE_DIR
+        return ResultCache(root)
+
+
+@dataclass
+class Unit:
+    """One translation unit of work for the driver."""
+
+    key: str                      # stable id (study name / path stem)
+    source: str
+    tp: TypedProgram
+    lemmas: Optional[dict] = None
+    timings: Optional[PhaseTimings] = None   # parse/elaborate, if measured
+
+
+# ---------------------------------------------------------------------
+# Worker side.  Module-level so both fork and spawn start methods can
+# import them; state lives in a per-process dict filled lazily.
+# ---------------------------------------------------------------------
+
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(units_blob: bytes) -> None:
+    _WORKER_STATE["units"] = pickle.loads(units_blob)
+    _WORKER_STATE["programs"] = {}
+
+
+def _worker_check(unit_key: str, fn_name: str):
+    from ..lang.elaborate import elaborate_source
+    tp = _WORKER_STATE["programs"].get(unit_key)
+    if tp is None:
+        source, lemmas = _WORKER_STATE["units"][unit_key]
+        tp = elaborate_source(source, lemmas)
+        _WORKER_STATE["programs"][unit_key] = tp
+    reset_fresh_counters()
+    t0 = time.perf_counter()
+    fr = check_function(tp, fn_name)
+    return unit_key, fn_name, fr, time.perf_counter() - t0
+
+
+def _check_one(tp: TypedProgram, name: str) -> tuple[FunctionResult, float]:
+    """The in-process reference path: reset counters, check, time it."""
+    reset_fresh_counters()
+    t0 = time.perf_counter()
+    fr = check_function(tp, name)
+    return fr, time.perf_counter() - t0
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+# ---------------------------------------------------------------------
+# The driver proper.
+# ---------------------------------------------------------------------
+
+def run_units(units: Sequence[Unit], config: Optional[DriverConfig] = None
+              ) -> dict[str, tuple[ProgramResult, DriverMetrics]]:
+    """Verify several translation units under one scheduler.
+
+    Sharing the pool across units is what makes whole-evaluation runs
+    scale: pool startup is paid once and the per-function tasks of all
+    units load-balance together."""
+    config = config or DriverConfig()
+    jobs = config.resolved_jobs()
+    store = config.open_cache()
+
+    t_start = time.perf_counter()
+    results: dict[str, ProgramResult] = {}
+    metrics: dict[str, DriverMetrics] = {}
+    # (unit_key, fn_name) -> bookkeeping for assembly.
+    cache_keys: dict[tuple[str, str], str] = {}
+    collected: dict[tuple[str, str], tuple[FunctionResult, float, str]] = {}
+    pending: list[tuple[str, str]] = []
+    units_by_key = {u.key: u for u in units}
+
+    for unit in units:
+        m = DriverMetrics(study=unit.key, jobs=jobs,
+                          cache_enabled=store is not None)
+        if unit.timings is not None:
+            m.phases.parse_s = unit.timings.parse_s
+            m.phases.elaborate_s = unit.timings.elaborate_s
+        metrics[unit.key] = m
+        to_check, missing = verification_targets(unit.tp)
+        for name in missing:
+            collected[(unit.key, name)] = \
+                (missing_body_result(name), 0.0, "off")
+        for name in to_check:
+            if store is not None:
+                ckey = function_cache_key(unit.tp, name)
+                cache_keys[(unit.key, name)] = ckey
+                hit = store.get(ckey)
+                if hit is not None:
+                    fr, wall = hit
+                    collected[(unit.key, name)] = (fr, wall, "hit")
+                    m.cache_hits += 1
+                    continue
+                m.cache_misses += 1
+            pending.append((unit.key, name))
+
+    if pending:
+        live = _run_pending(pending, units_by_key, jobs)
+        for (ukey, name), (fr, wall) in live.items():
+            state = "miss" if store is not None else "off"
+            collected[(ukey, name)] = (fr, wall, state)
+            if store is not None:
+                store.put(cache_keys[(ukey, name)], fr, wall)
+
+    elapsed = time.perf_counter() - t_start
+    out: dict[str, tuple[ProgramResult, DriverMetrics]] = {}
+    for unit in units:
+        result = ProgramResult()
+        m = metrics[unit.key]
+        # Assemble in spec order, so dict iteration (and therefore
+        # reports) is byte-identical to the serial reference path.
+        for name in unit.tp.specs:
+            item = collected.get((unit.key, name))
+            if item is None:
+                continue
+            fr, wall, state = item
+            result.functions[name] = fr
+            m.add_function(name, fr.ok, state, wall, fr.stats.solver_time,
+                           fr.stats.counters())
+        # Elapsed time is shared by every unit on the pool; a unit's own
+        # checking cost is the sum of its live function walls.
+        m.wall_s = elapsed if len(units) == 1 else \
+            sum(f.wall_s for f in m.functions if f.cache != "hit")
+        out[unit.key] = (result, m)
+    return out
+
+
+def _run_pending(pending: list[tuple[str, str]],
+                 units_by_key: dict[str, Unit], jobs: int
+                 ) -> dict[tuple[str, str], tuple[FunctionResult, float]]:
+    if jobs > 1 and len(pending) > 1:
+        try:
+            return _run_parallel(pending, units_by_key, jobs)
+        except (pickle.PicklingError, AttributeError, TypeError):
+            # Unpicklable user-supplied lemmas or results: fall back to
+            # the deterministic serial path rather than failing the run.
+            pass
+    return _run_serial(pending, units_by_key)
+
+
+def _run_serial(pending, units_by_key):
+    out = {}
+    for ukey, name in pending:
+        fr, wall = _check_one(units_by_key[ukey].tp, name)
+        out[(ukey, name)] = (fr, wall)
+    return out
+
+
+def _run_parallel(pending, units_by_key, jobs):
+    needed = {ukey for ukey, _ in pending}
+    blob = pickle.dumps({k: (units_by_key[k].source, units_by_key[k].lemmas)
+                         for k in needed})
+    workers = min(jobs, len(pending))
+    out = {}
+    with ProcessPoolExecutor(max_workers=workers,
+                             mp_context=_pool_context(),
+                             initializer=_worker_init,
+                             initargs=(blob,)) as pool:
+        futures = [pool.submit(_worker_check, ukey, name)
+                   for ukey, name in pending]
+        for fut in as_completed(futures):
+            ukey, name, fr, wall = fut.result()
+            out[(ukey, name)] = (fr, wall)
+    return out
+
+
+def run_program(tp: TypedProgram, *, source: Optional[str] = None,
+                lemmas: Optional[dict] = None, study: str = "",
+                config: Optional[DriverConfig] = None,
+                timings: Optional[PhaseTimings] = None
+                ) -> tuple[ProgramResult, DriverMetrics]:
+    """Drive verification of one elaborated program.
+
+    ``source`` enables the parallel path (workers re-elaborate it); with
+    ``source=None`` the driver always runs serially in-process."""
+    config = config or DriverConfig()
+    if source is None:
+        config = DriverConfig(jobs=1, cache=config.cache,
+                              cache_dir=config.cache_dir)
+    unit = Unit(key=study or "<unit>", source=source or "", tp=tp,
+                lemmas=lemmas, timings=timings)
+    return run_units([unit], config)[unit.key]

@@ -5,18 +5,33 @@ parses the annotated C and elaborates it to Caesium + specifications, (B)
 Lithium executes the typing rules, (C) pure side conditions are discharged
 by the default solver, the ``rc::tactics`` solvers, and the ``rc::lemmas``
 manual facts.
+
+Stage (B)+(C) is scheduled by the verification driver
+(:mod:`repro.driver`): ``jobs=N`` verifies independent functions on a
+process pool, ``cache=True`` consults the content-addressed result cache
+under ``.rc-cache/``, and every run records per-phase metrics
+(``VerificationOutcome.metrics``).  The defaults (``jobs=1``, cache off)
+keep the classic serial behaviour.
+
+``verify_files`` verifies several translation units under one shared
+scheduler — the way the Figure 7 evaluation runs — so pool startup is paid
+once and the units' functions load-balance together.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
-from .lang.elaborate import elaborate_source
+from .driver import DriverConfig, DriverMetrics, PhaseTimings, Unit, \
+    run_units
+from .lang.elaborate import elaborate_unit
+from .lang.parser import parse
 from .proofs.manual import LEMMAS_BY_STUDY
 from .pure.solver import Lemma
-from .refinedc.checker import ProgramResult, TypedProgram, check_program
+from .refinedc.checker import ProgramResult, TypedProgram
 
 
 @dataclass
@@ -26,6 +41,7 @@ class VerificationOutcome:
     typed_program: TypedProgram
     result: ProgramResult
     study: str = ""
+    metrics: Optional[DriverMetrics] = None
 
     @property
     def ok(self) -> bool:
@@ -41,20 +57,46 @@ class VerificationOutcome:
                          f"auto, {fr.stats.side_conditions_manual} manual)")
             if not fr.ok:
                 lines.append(fr.format_error())
+        if self.metrics is not None:
+            lines.append(self.metrics.summary())
         return "\n".join(lines)
+
+
+def _front_end(source: str, lemmas: Optional[dict[str, Lemma]]
+               ) -> tuple[TypedProgram, PhaseTimings]:
+    """Run stage (A), timing parse and elaborate separately."""
+    timings = PhaseTimings()
+    t0 = time.perf_counter()
+    unit = parse(source)
+    t1 = time.perf_counter()
+    tp = elaborate_unit(unit, source, lemmas)
+    t2 = time.perf_counter()
+    timings.parse_s = t1 - t0
+    timings.elaborate_s = t2 - t1
+    return tp, timings
 
 
 def verify_source(source: str,
                   lemmas: Optional[dict[str, Lemma]] = None,
-                  study: str = "") -> VerificationOutcome:
+                  study: str = "", *,
+                  jobs: int = 1,
+                  cache: bool = False,
+                  cache_dir: Optional[Union[str, Path]] = None
+                  ) -> VerificationOutcome:
     """Verify annotated C source text."""
-    tp = elaborate_source(source, lemmas)
-    result = check_program(tp)
-    return VerificationOutcome(tp, result, study)
+    tp, timings = _front_end(source, lemmas)
+    config = DriverConfig(jobs=jobs, cache=cache, cache_dir=cache_dir)
+    unit = Unit(key=study or "<unit>", source=source, tp=tp, lemmas=lemmas,
+                timings=timings)
+    result, metrics = run_units([unit], config)[unit.key]
+    return VerificationOutcome(tp, result, study, metrics)
 
 
 def verify_file(path: Union[str, Path],
-                lemmas: Optional[dict[str, Lemma]] = None
+                lemmas: Optional[dict[str, Lemma]] = None, *,
+                jobs: int = 1,
+                cache: bool = False,
+                cache_dir: Optional[Union[str, Path]] = None
                 ) -> VerificationOutcome:
     """Verify an annotated C file.  Manual lemma tables registered for the
     file's stem (see :mod:`repro.proofs.manual`) are picked up
@@ -63,4 +105,31 @@ def verify_file(path: Union[str, Path],
     study = path.stem
     if lemmas is None:
         lemmas = LEMMAS_BY_STUDY.get(study)
-    return verify_source(path.read_text(), lemmas, study)
+    return verify_source(path.read_text(), lemmas, study, jobs=jobs,
+                         cache=cache, cache_dir=cache_dir)
+
+
+def verify_files(paths: Sequence[Union[str, Path]], *,
+                 jobs: int = 1,
+                 cache: bool = False,
+                 cache_dir: Optional[Union[str, Path]] = None
+                 ) -> dict[str, VerificationOutcome]:
+    """Verify several annotated C files under one shared scheduler.
+
+    Returns outcomes keyed by file stem, in input order.  With ``jobs>1``
+    every (file, function) pair is one task on a single process pool."""
+    units = []
+    tps: dict[str, TypedProgram] = {}
+    for p in paths:
+        p = Path(p)
+        study = p.stem
+        lemmas = LEMMAS_BY_STUDY.get(study)
+        source = p.read_text()
+        tp, timings = _front_end(source, lemmas)
+        tps[study] = tp
+        units.append(Unit(key=study, source=source, tp=tp, lemmas=lemmas,
+                          timings=timings))
+    config = DriverConfig(jobs=jobs, cache=cache, cache_dir=cache_dir)
+    results = run_units(units, config)
+    return {study: VerificationOutcome(tps[study], result, study, metrics)
+            for study, (result, metrics) in results.items()}

@@ -559,6 +559,7 @@ class UnitElaborator:
         self.fn_types: dict[str, tuple[cst.CType, tuple[cst.CType, ...]]] = {}
         self.global_types: dict[str, cst.CType] = {}
         self.lemma_table = lemma_table or {}
+        self._context_parts: list[str] = []
         # Uninterpreted spec functions inherit their result sorts from the
         # manual lemma statements that mention them.
         from ..pure.terms import App as _App
@@ -591,6 +592,9 @@ class UnitElaborator:
             self.global_types[g.name] = g.ctype
             tp.globals[g.name] = GlobalSpec(g.name, layout,
                                             g.attrs.first("global"))
+            self._context_parts.append(
+                f"global {g.name}: {layout!r} "
+                f"@ {g.attrs.first('global')!r}")
         # Two passes over functions: specs first (so calls & fn<> types can
         # refer to any function), then bodies.
         for fd in unit.functions:
@@ -605,6 +609,8 @@ class UnitElaborator:
                     tp.specs[fd.name] = spec
                     # Make the spec available to fn<...> type expressions.
                     self.ctx.fn_specs[fd.name] = spec
+                    # Raw spec text, for the driver's result-cache key.
+                    tp.spec_texts[fd.name] = repr(raw)
         for fd in unit.functions:
             if fd.body is None:
                 continue
@@ -612,6 +618,7 @@ class UnitElaborator:
             program.functions[fd.name] = elab.run()
         for name, layout in self.layouts.items():
             program.structs[name] = layout
+        tp.context_text = "\n".join(self._context_parts)
         return tp
 
     def _elab_struct(self, decl: cst.StructDecl,
@@ -642,6 +649,8 @@ class UnitElaborator:
             tname, _, ttext = ptr_type.partition(":")
             raw.ptr_type = (tname.strip(), ttext.strip())
         define_struct_type(layout, raw, self.ctx)
+        self._context_parts.append(f"struct {decl.name}: {layout!r} "
+                                   f"annot {raw!r}")
 
     def _raw_annotations(self, fd: cst.FuncDef
                          ) -> Optional[RawFunctionAnnotations]:
@@ -661,14 +670,22 @@ class UnitElaborator:
         )
 
 
+def elaborate_unit(unit: cst.TranslationUnit, source: str,
+                   lemmas: Optional[dict[str, Lemma]] = None
+                   ) -> TypedProgram:
+    """Elaborate an already-parsed translation unit.  Split out of
+    :func:`elaborate_source` so the verification driver can time the parse
+    and elaborate phases separately."""
+    tp = UnitElaborator(lemmas).elaborate(unit)
+    tp.source_lines = {"total": _count_impl_lines(source)}
+    return tp
+
+
 def elaborate_source(source: str,
                      lemmas: Optional[dict[str, Lemma]] = None
                      ) -> TypedProgram:
     """The front-end entry point: annotated C source → TypedProgram."""
-    unit = parse(source)
-    tp = UnitElaborator(lemmas).elaborate(unit)
-    tp.source_lines = {"total": _count_impl_lines(source)}
-    return tp
+    return elaborate_unit(parse(source), source, lemmas)
 
 
 def _count_impl_lines(source: str) -> int:

@@ -31,6 +31,7 @@ becomes ``?xs := ?y :: ?ys``).
 from __future__ import annotations
 
 import sys
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -65,6 +66,15 @@ class VerificationError(Exception):
         self.context_facts = list(context_facts)
         self.function = function
         super().__init__(self.format())
+
+    def __reduce__(self):
+        # Default exception pickling would round-trip only ``self.args``
+        # (the formatted string) and mis-reconstruct it as ``reason``.
+        # Rebuild from the structured fields so errors survive the process
+        # pool of the parallel verification driver byte-identically.
+        return (VerificationError,
+                (self.reason, self.location, self.side_condition,
+                 self.context_facts, self.function))
 
     def format(self) -> str:
         lines = []
@@ -103,6 +113,28 @@ class Stats:
     atom_matches: int = 0
     conj_forks: int = 0
     backtracks: int = 0   # must stay 0 — asserted by the benchmarks
+    solver_calls: int = 0
+    solver_time: float = 0.0   # wall seconds spent inside PureSolver.prove
+
+    def counters(self) -> dict:
+        """The deterministic portion of the statistics: every counter, but
+        no wall-clock measurement.  Two verifications of the same function
+        must produce equal ``counters()`` regardless of machine load,
+        process, or scheduling — the determinism tests assert exactly
+        this."""
+        return {
+            "rule_applications": self.rule_applications,
+            "rules_used": sorted(self.rules_used),
+            "evars_created": self.evars_created,
+            "evars_instantiated": self.evars_instantiated,
+            "side_conditions_auto": self.side_conditions_auto,
+            "side_conditions_manual": self.side_conditions_manual,
+            "manual_conditions": [list(m) for m in self.manual_conditions],
+            "atom_matches": self.atom_matches,
+            "conj_forks": self.conj_forks,
+            "backtracks": self.backtracks,
+            "solver_calls": self.solver_calls,
+        }
 
 
 class SearchState:
@@ -155,6 +187,16 @@ class SearchState:
             reason, list(self.location), side_condition,
             self.gamma.resolved_facts(self.subst), self.function)
 
+    def _prove_timed(self, facts, phi):
+        """Call the pure solver, attributing its wall time to the solver
+        phase of the driver metrics (the search/solver split of §7)."""
+        t0 = time.perf_counter()
+        try:
+            return self.solver.prove(facts, phi)
+        finally:
+            self.stats.solver_time += time.perf_counter() - t0
+            self.stats.solver_calls += 1
+
     # ------------------------------------------------------------
     # The interpreter.
     # ------------------------------------------------------------
@@ -188,7 +230,7 @@ class SearchState:
             if isinstance(phi, Lit) and phi.value is True:
                 self.stats.side_conditions_auto += 1
                 continue
-            result = self.solver.prove(gamma.resolved_facts(self.subst), phi)
+            result = self._prove_timed(gamma.resolved_facts(self.subst), phi)
             if result.outcome is Outcome.FAILED:
                 raise VerificationError(
                     "the default solver and the registered tactics cannot "
@@ -365,7 +407,7 @@ class SearchState:
             self.stats.side_conditions_auto += 1
             return
         facts = self.gamma.resolved_facts(self.subst)
-        result = self.solver.prove(facts, phi)
+        result = self._prove_timed(facts, phi)
         if result.outcome is Outcome.FAILED:
             self.fail(
                 f"the default solver and the registered tactics cannot "

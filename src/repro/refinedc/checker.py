@@ -50,6 +50,11 @@ class TypedProgram:
     specs: dict[str, FunctionSpec] = field(default_factory=dict)
     globals: dict[str, GlobalSpec] = field(default_factory=dict)
     source_lines: dict[str, int] = field(default_factory=dict)  # impl LoC
+    # Raw annotation text, kept for the driver's content-addressed result
+    # cache: per-function spec text plus the shared unit context (struct
+    # annotations, globals) every verification depends on.
+    spec_texts: dict[str, str] = field(default_factory=dict)
+    context_text: str = ""
 
 
 @dataclass
@@ -367,13 +372,48 @@ def _with_globals(tp: TypedProgram, sigma: FnCtx, state: SearchState,
     return goal
 
 
+def verification_targets(tp: TypedProgram) -> tuple[list[str], list[str]]:
+    """Split the spec'd functions into work items, in spec order.
+
+    Returns ``(to_check, missing_body)``: functions with a spec and a body
+    to verify, and functions with a spec but *no* body that are not marked
+    ``rc::trusted``.  The latter are verification failures — silently
+    skipping them would let an unproved spec be assumed by every caller.
+    Trusted specs (axiomatised externals) belong to neither list."""
+    to_check: list[str] = []
+    missing: list[str] = []
+    for name, spec in tp.specs.items():
+        if spec.trusted:
+            continue
+        if name in tp.program.functions:
+            to_check.append(name)
+        else:
+            missing.append(name)
+    return to_check, missing
+
+
+def missing_body_result(name: str) -> FunctionResult:
+    """The explicit failure reported for a spec'd function without a body
+    (and without ``rc::trusted``)."""
+    error = VerificationError(
+        f"function has a specification but no body; its spec would be "
+        f"assumed unproven by every caller.  Provide a definition or mark "
+        f"it [[rc::trusted]] to axiomatise it",
+        function=name)
+    return FunctionResult(name, False, Stats(), error)
+
+
 def check_program(tp: TypedProgram) -> ProgramResult:
     """Verify every function that has a spec and a body.  Functions marked
     ``rc::trusted`` (specs without verified bodies) are skipped, like
-    axiomatised externals."""
+    axiomatised externals; spec'd functions with *no* body and no
+    ``rc::trusted`` marker are reported as explicit failures."""
     result = ProgramResult()
-    for name, spec in tp.specs.items():
-        if spec.trusted or name not in tp.program.functions:
-            continue
-        result.functions[name] = check_function(tp, name)
+    to_check, missing = verification_targets(tp)
+    check_set, missing_set = set(to_check), set(missing)
+    for name in tp.specs:
+        if name in missing_set:
+            result.functions[name] = missing_body_result(name)
+        elif name in check_set:
+            result.functions[name] = check_function(tp, name)
     return result

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
 
-from .frontend import VerificationOutcome, verify_file
+from .frontend import VerificationOutcome, verify_file, verify_files
 from .lang.parser import parse
 from .proofs.manual import LEMMAS_BY_STUDY, pure_line_count
 
@@ -52,6 +52,10 @@ class StudyReport:
     annot_loop: int = 0
     annot_other: int = 0
     pure_lines: int = 0
+    # Driver metrics (new columns next to the paper's):
+    wall_s: float = 0.0           # checking wall time for the unit
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def overhead(self) -> float:
@@ -73,6 +77,9 @@ class StudyReport:
                       f"{self.annot_loop}/{self.annot_other})"),
             "pure": self.pure_lines,
             "ovh": round(self.overhead, 1),
+            "time": f"{self.wall_s * 1e3:.0f}ms",
+            "cache": (f"{self.cache_hits}h/{self.cache_misses}m"
+                      if self.cache_hits or self.cache_misses else "-"),
         }
 
 
@@ -108,13 +115,15 @@ def _count_loop_annots(stmts) -> int:
     return count
 
 
-def study_report(path, outcome: Optional[VerificationOutcome] = None
-                 ) -> StudyReport:
+def study_report(path, outcome: Optional[VerificationOutcome] = None, *,
+                 jobs: int = 1, cache: bool = False,
+                 cache_dir=None) -> StudyReport:
     """Compute the Figure 7 row for one case-study file."""
     path = Path(path)
     source = path.read_text()
     if outcome is None:
-        outcome = verify_file(path)
+        outcome = verify_file(path, jobs=jobs, cache=cache,
+                              cache_dir=cache_dir)
     report = StudyReport(path.stem, outcome.ok)
     report.types_used = [label for needle, label in _SALIENT_TYPES
                          if needle in source]
@@ -134,6 +143,11 @@ def study_report(path, outcome: Optional[VerificationOutcome] = None
     report.annot_other = other
     report.annot_lines = struct + loop + other
     report.pure_lines = pure_line_count(path.stem)
+    if outcome.metrics is not None:
+        m = outcome.metrics
+        report.wall_s = m.wall_s
+        report.cache_hits = m.cache_hits
+        report.cache_misses = m.cache_misses
     return report
 
 
@@ -161,19 +175,25 @@ def casestudies_dir() -> Path:
     return Path(__file__).resolve().parents[2] / "examples" / "casestudies"
 
 
-def figure7_table(include_extra: bool = True) -> list[StudyReport]:
-    """Regenerate the Figure 7 table over all case studies."""
+def figure7_table(include_extra: bool = True, *, jobs: int = 1,
+                  cache: bool = False, cache_dir=None) -> list[StudyReport]:
+    """Regenerate the Figure 7 table over all case studies.
+
+    With ``jobs>1`` every (study, function) pair is scheduled on one
+    shared process pool; with ``cache=True`` unchanged studies are cache
+    hits (see :mod:`repro.driver`)."""
     base = casestudies_dir()
-    rows = []
     studies = FIGURE7_STUDIES + (EXTRA_STUDIES if include_extra else [])
-    for stem, _cls in studies:
-        rows.append(study_report(base / f"{stem}.c"))
-    return rows
+    paths = [base / f"{stem}.c" for stem, _cls in studies]
+    outcomes = verify_files(paths, jobs=jobs, cache=cache,
+                            cache_dir=cache_dir)
+    return [study_report(path, outcomes[path.stem]) for path in paths]
 
 
 def format_table(rows: list[StudyReport]) -> str:
     header = (f"{'Test':<18} {'Rules':>9} {'∃':>4} {'⌜φ⌝':>8} {'Impl':>5} "
-              f"{'Spec':>5} {'Annot':>14} {'Pure':>5} {'Ovh':>5}  Types")
+              f"{'Spec':>5} {'Annot':>14} {'Pure':>5} {'Ovh':>5} "
+              f"{'Time':>7} {'Cache':>6}  Types")
     lines = [header, "-" * len(header)]
     for r in rows:
         d = r.row()
@@ -181,6 +201,6 @@ def format_table(rows: list[StudyReport]) -> str:
         lines.append(
             f"{d['study']:<18} {d['rules']:>9} {d['exists']:>4} "
             f"{d['side_conditions']:>8} {d['impl']:>5} {d['spec']:>5} "
-            f"{d['annot']:>14} {d['pure']:>5} {d['ovh']:>5}  "
-            f"{d['types']}{mark}")
+            f"{d['annot']:>14} {d['pure']:>5} {d['ovh']:>5} "
+            f"{d['time']:>7} {d['cache']:>6}  {d['types']}{mark}")
     return "\n".join(lines)

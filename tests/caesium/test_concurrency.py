@@ -115,6 +115,7 @@ class TestScheduler:
         results = run_concurrently(prog, [], seeds=range(3), setup=setup)
         assert len(results) == 3
 
+    @pytest.mark.slow
     def test_step_budget(self):
         loop = Function("spin", [], None, [], {
             "entry": Block([], Goto("entry")),

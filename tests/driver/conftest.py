@@ -1,0 +1,21 @@
+"""Shared helpers for the verification-driver tests."""
+
+from repro.report import casestudies_dir
+
+
+def fingerprint(outcome):
+    """The deterministic contents of a ProgramResult: function order,
+    outcome, Stats counters and exact error text."""
+    return [(name, fr.ok, fr.stats.counters(), fr.format_error())
+            for name, fr in outcome.result.functions.items()]
+
+
+def study_path(stem: str):
+    return casestudies_dir() / f"{stem}.c"
+
+
+ALL_STUDIES = [
+    "alloc", "alloc_from_start", "free_list", "linked_list", "queue",
+    "binary_search", "page_alloc", "bst_direct", "bst_layered", "hashmap",
+    "mpool", "spinlock", "barrier", "threadsafe_alloc",
+]

@@ -1,0 +1,76 @@
+"""The driver metrics layer: per-phase timings, counters, JSON export."""
+
+import json
+
+from repro.driver import merge_metrics
+from repro.frontend import verify_file
+
+from .conftest import study_path
+
+
+def test_phase_timings_recorded():
+    out = verify_file(study_path("mpool"))
+    m = out.metrics
+    assert m is not None
+    assert m.phases.parse_s > 0
+    assert m.phases.elaborate_s > 0
+    assert m.phases.search_s > 0
+    assert m.phases.solver_s >= 0
+    assert m.wall_s > 0
+
+
+def test_solver_time_is_part_of_check_time():
+    out = verify_file(study_path("free_list"))
+    for f in out.metrics.functions:
+        assert 0 <= f.solver_s <= f.wall_s + 1e-6
+    for fr in out.result.functions.values():
+        assert fr.stats.solver_calls > 0
+
+
+def test_function_metrics_match_results():
+    out = verify_file(study_path("mpool"))
+    assert [f.name for f in out.metrics.functions] \
+        == list(out.result.functions)
+    for f in out.metrics.functions:
+        fr = out.result.functions[f.name]
+        assert f.ok == fr.ok
+        assert f.counters == fr.stats.counters()
+
+
+def test_json_export_schema():
+    out = verify_file(study_path("mpool"))
+    data = json.loads(out.metrics.to_json())
+    assert data["schema_version"] == 1
+    assert data["jobs"] == 1
+    assert set(data["phases"]) == {"parse_s", "elaborate_s", "search_s",
+                                   "solver_s"}
+    assert isinstance(data["functions"], list)
+    fn = data["functions"][0]
+    assert {"name", "ok", "cache", "wall_s", "solver_s",
+            "counters"} <= set(fn)
+    assert fn["counters"]["backtracks"] == 0
+
+
+def test_report_renders_metrics():
+    out = verify_file(study_path("mpool"))
+    report = out.report()
+    assert "driver: jobs=1" in report
+    assert "phases: parse" in report
+
+
+def test_merge_metrics_aggregates():
+    a = verify_file(study_path("mpool")).metrics
+    b = verify_file(study_path("spinlock")).metrics
+    total = merge_metrics([a, b])
+    assert len(total.functions) == len(a.functions) + len(b.functions)
+    assert abs(total.phases.search_s
+               - (a.phases.search_s + b.phases.search_s)) < 1e-9
+    assert total.cache_hits == 0 and total.cache_misses == 0
+
+
+def test_cache_hit_rate():
+    from repro.driver import DriverMetrics
+    m = DriverMetrics()
+    assert m.cache_hit_rate == 0.0
+    m.cache_hits, m.cache_misses = 3, 1
+    assert m.cache_hit_rate == 0.75

@@ -1,0 +1,73 @@
+"""Parallel scheduling: process-pool results equal serial results.
+
+Per-function verification is spec-modular (each function is checked
+against its callees' *specs*), so the driver may verify functions in any
+order, in any process — these tests pin down that doing so changes
+nothing observable."""
+
+import os
+
+import pytest
+
+from repro.frontend import verify_file, verify_files
+
+from .conftest import ALL_STUDIES, fingerprint, study_path
+
+JOBS = int(os.environ.get("RC_TEST_JOBS", "2"))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("study", ALL_STUDIES)
+def test_parallel_equals_serial_every_study(study):
+    serial = verify_file(study_path(study), jobs=1)
+    parallel = verify_file(study_path(study), jobs=JOBS)
+    assert serial.ok and parallel.ok
+    assert fingerprint(serial) == fingerprint(parallel)
+
+
+def test_parallel_equals_serial_quick():
+    """The fast inner-loop version over two representative studies."""
+    for study in ("mpool", "hashmap"):
+        serial = verify_file(study_path(study), jobs=1)
+        parallel = verify_file(study_path(study), jobs=JOBS)
+        assert fingerprint(serial) == fingerprint(parallel)
+
+
+def test_parallel_preserves_function_order():
+    serial = verify_file(study_path("mpool"), jobs=1)
+    parallel = verify_file(study_path("mpool"), jobs=JOBS)
+    assert list(serial.result.functions) == list(parallel.result.functions)
+
+
+def test_parallel_keeps_derivations():
+    out = verify_file(study_path("mpool"), jobs=JOBS)
+    for fr in out.result.functions.values():
+        assert fr.derivations, "worker results must carry derivations"
+        assert fr.derivations[0].count("rule") > 0
+
+
+def test_parallel_failure_reporting():
+    src = study_path("alloc").read_text().replace(
+        "{n <= a} @ optional", "{n < a} @ optional")
+    from repro.frontend import verify_source
+    serial = verify_source(src, jobs=1)
+    parallel = verify_source(src, jobs=JOBS)
+    assert not serial.ok and not parallel.ok
+    assert fingerprint(serial) == fingerprint(parallel)
+    assert "Cannot prove side condition" in parallel.report()
+
+
+def test_verify_files_shared_pool():
+    paths = [study_path(s) for s in ("mpool", "spinlock", "barrier")]
+    serial = verify_files(paths, jobs=1)
+    parallel = verify_files(paths, jobs=JOBS)
+    assert list(serial) == list(parallel) == ["mpool", "spinlock",
+                                              "barrier"]
+    for study in serial:
+        assert fingerprint(serial[study]) == fingerprint(parallel[study])
+
+
+def test_jobs_zero_means_cpu_count():
+    out = verify_file(study_path("spinlock"), jobs=0)
+    assert out.ok
+    assert out.metrics.jobs == (os.cpu_count() or 1)

@@ -240,6 +240,38 @@ class TestControlFlow:
         [[rc::returns("{n * 2} @ int<size_t>")]]
         size_t caller(size_t x) { return magic(x); }''')
 
+    def test_spec_without_body_not_trusted_fails(self):
+        # Regression: a spec'd function with no body and no rc::trusted
+        # used to be silently skipped — its (unproved) spec was assumed
+        # by every caller.  It must be an explicit failure.
+        out = fails('''
+        [[rc::parameters("n: nat")]]
+        [[rc::args("n @ int<size_t>")]]
+        [[rc::returns("{n * 2} @ int<size_t>")]]
+        size_t magic(size_t x);
+
+        [[rc::parameters("n: nat")]]
+        [[rc::args("n @ int<size_t>")]]
+        [[rc::returns("{n * 2} @ int<size_t>")]]
+        size_t caller(size_t x) { return magic(x); }''',
+                    "no body")
+        fr = out.result.functions["magic"]
+        assert not fr.ok
+        assert "rc::trusted" in fr.format_error()
+        # The caller itself still verifies against the assumed spec.
+        assert out.result.functions["caller"].ok
+
+    def test_missing_body_reported_identically_by_driver_paths(self):
+        src = '''
+        [[rc::returns("{7} @ int<size_t>")]]
+        size_t ghost(void);'''
+        from repro.frontend import verify_source as vs
+        serial = vs(src, jobs=1)
+        parallel = vs(src, jobs=2)
+        assert not serial.ok and not parallel.ok
+        assert serial.result.functions["ghost"].format_error() \
+            == parallel.result.functions["ghost"].format_error()
+
 
 class TestStatistics:
     def test_no_backtracking_counter(self):
