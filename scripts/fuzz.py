@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Run soundness-fuzzing campaigns against the RefinedC reproduction.
+
+Examples:
+
+    # a seeded 60-second campaign on two driver workers
+    PYTHONPATH=src python scripts/fuzz.py --budget 60 --seed 0 --jobs 2
+
+    # exactly 200 programs, stats to JSON, prove the run replays
+    PYTHONPATH=src python scripts/fuzz.py --count 200 --stats fuzz.json \\
+        --verify-replay
+
+    # replay the regression corpus
+    PYTHONPATH=src python scripts/fuzz.py --replay
+
+Exit status: 0 — clean campaign / replay; 1 — findings (soundness or
+robustness bugs) or corpus replay failures; 2 — a budget campaign did
+not replay byte-identically from its seed.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.fuzz import (CampaignConfig, DEFAULT_TEMPLATES, load_corpus,
+                        replay_entry, run_campaign)
+from repro.fuzz.corpus import DEFAULT_CORPUS_DIR
+
+
+def parse_args(argv):
+    ap = argparse.ArgumentParser(
+        description="soundness fuzzing: checker vs. Caesium interpreter")
+    budget = ap.add_mutually_exclusive_group()
+    budget.add_argument("--budget", type=float, metavar="SECONDS",
+                        help="time-budgeted campaign")
+    budget.add_argument("--count", type=int, metavar="N",
+                        help="fixed-count campaign (default: 32)")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--jobs", type=int, default=1,
+                    help="driver process-pool width")
+    ap.add_argument("--trials", type=int, default=6,
+                    help="execution trials per accepted program")
+    ap.add_argument("--mutants", type=int, default=None, metavar="N",
+                    help="mutants per program (default: all)")
+    ap.add_argument("--templates", type=str, default=None,
+                    help="comma-separated template subset")
+    ap.add_argument("--fuel", type=int, default=1_000_000)
+    ap.add_argument("--no-shrink", action="store_true",
+                    help="do not minimise findings")
+    ap.add_argument("--stats", type=Path, default=None, metavar="PATH",
+                    help="write campaign stats JSON here")
+    ap.add_argument("--write-corpus", action="store_true",
+                    help="persist findings to the regression corpus")
+    ap.add_argument("--corpus", type=Path, default=None, metavar="DIR",
+                    help=f"corpus directory (default: {DEFAULT_CORPUS_DIR})")
+    ap.add_argument("--verify-replay", action="store_true",
+                    help="re-run the campaign from its seed and require "
+                         "byte-identical deterministic stats")
+    ap.add_argument("--replay", action="store_true",
+                    help="replay the corpus instead of fuzzing")
+    ap.add_argument("--list-templates", action="store_true")
+    return ap.parse_args(argv)
+
+
+def do_replay(args) -> int:
+    entries = load_corpus(args.corpus)
+    if not entries:
+        print("corpus is empty — nothing to replay")
+        return 0
+    failures = 0
+    for path, entry in entries:
+        res = replay_entry(entry)
+        status = "ok" if res.ok else "FAIL"
+        print(f"{status:4} {path.name}: " +
+              ("; ".join(res.checks) if res.ok else res.detail))
+        failures += not res.ok
+    print(f"{len(entries) - failures}/{len(entries)} corpus entries replayed")
+    return 1 if failures else 0
+
+
+def do_campaign(args) -> int:
+    templates = args.templates.split(",") if args.templates else None
+    cfg = CampaignConfig(
+        seed=args.seed, budget_s=args.budget,
+        count=args.count if args.budget is None else None,
+        jobs=args.jobs, trials=args.trials, mutant_limit=args.mutants,
+        shrink=not args.no_shrink, write_corpus=args.write_corpus,
+        corpus_dir=args.corpus, templates=templates, fuel=args.fuel)
+    stats = run_campaign(cfg)
+    print(stats.summary())
+    for tname, counts in sorted(stats.per_template.items()):
+        print(f"  {tname:14} " + " ".join(
+            f"{k}={v}" for k, v in sorted(counts.items())))
+    for f in stats.findings:
+        print(f"FINDING [{f.kind}] {f.template} params={f.params} "
+              f"mutant={f.mutant} ub={f.ub_class}"
+              + (f" shrunk_to={f.shrunk_params}" if f.shrunk_params else "")
+              + (f" corpus={f.corpus_path}" if f.corpus_path else ""))
+        print(f"  {f.detail[:400]}")
+
+    if args.stats:
+        args.stats.parent.mkdir(parents=True, exist_ok=True)
+        args.stats.write_text(stats.to_json() + "\n")
+        print(f"stats written to {args.stats}")
+
+    rc = 0 if stats.ok else 1
+    if args.verify_replay:
+        replay_cfg = CampaignConfig(
+            seed=args.seed, count=stats.programs, jobs=args.jobs,
+            trials=args.trials, mutant_limit=args.mutants,
+            shrink=not args.no_shrink, templates=templates, fuel=args.fuel)
+        replay = run_campaign(replay_cfg)
+        if replay.to_json(deterministic=True) == \
+                stats.to_json(deterministic=True):
+            print(f"verify-replay: byte-identical over {stats.programs} "
+                  "programs")
+        else:
+            print("verify-replay: MISMATCH — campaign is not a pure "
+                  "function of its seed")
+            rc = max(rc, 2)
+    return rc
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    if args.list_templates:
+        print("\n".join(DEFAULT_TEMPLATES))
+        return 0
+    if args.replay:
+        return do_replay(args)
+    return do_campaign(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

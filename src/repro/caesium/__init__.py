@@ -6,16 +6,17 @@ with undefined-behaviour checking, and a randomised thread scheduler with
 dynamic data-race detection.
 """
 
-from .eval import EvalError, Machine
+from .eval import EvalError, FuelExhausted, Machine
 from .layout import (ArrayLayout, IntLayout, IntType, Layout, LayoutError,
                      PtrLayout, StructLayout, INT_TYPES_BY_NAME)
 from .memory import AllocKind, Memory, RaceDetector
-from .values import (NULL, MByte, POISON, Pointer, UndefinedBehavior, VFn,
-                     VInt, VPtr, Value)
+from .values import (NULL, MByte, POISON, Pointer, UBClass,
+                     UndefinedBehavior, VFn, VInt, VPtr, Value)
 
 __all__ = [
-    "AllocKind", "ArrayLayout", "EvalError", "INT_TYPES_BY_NAME",
-    "IntLayout", "IntType", "Layout", "LayoutError", "MByte", "Machine",
-    "Memory", "NULL", "POISON", "Pointer", "PtrLayout", "RaceDetector",
-    "StructLayout", "UndefinedBehavior", "VFn", "VInt", "VPtr", "Value",
+    "AllocKind", "ArrayLayout", "EvalError", "FuelExhausted",
+    "INT_TYPES_BY_NAME", "IntLayout", "IntType", "Layout", "LayoutError",
+    "MByte", "Machine", "Memory", "NULL", "POISON", "Pointer", "PtrLayout",
+    "RaceDetector", "StructLayout", "UBClass", "UndefinedBehavior", "VFn",
+    "VInt", "VPtr", "Value",
 ]

@@ -24,14 +24,23 @@ from .syntax import (Assign, BinOpE, Block, CallE, CASE, CastE, CondGoto,
                      Expr, ExprS, FieldOffset, FnPtrE, Function, GlobalAddr,
                      Goto, IntConst, NullE, Program, Ret, SizeOfE, Stmt,
                      Switch, Terminator, UnOpE, Use, ValE, VarAddr)
-from .values import (NULL, Pointer, UndefinedBehavior, VFn, VInt, VPtr, Value,
-                     decode_int, decode_ptr, encode_value, value_truthy)
+from .values import (NULL, Pointer, UBClass, UndefinedBehavior, VFn, VInt,
+                     VPtr, Value, decode_int, decode_ptr, encode_value,
+                     value_truthy)
 
 _DEFAULT_FUEL = 1_000_000
 
 
 class EvalError(Exception):
     """An internal interpreter error (ill-formed program, not UB)."""
+
+
+class FuelExhausted(EvalError):
+    """The machine ran out of fuel: the program *may* diverge.
+
+    This is neither undefined behaviour nor a successful run — clients such
+    as the soundness fuzzer must treat it as *inconclusive*.  It subclasses
+    :class:`EvalError` for backwards compatibility."""
 
 
 @dataclass
@@ -99,7 +108,8 @@ class Machine:
             term = block.term
             self.fuel -= 1
             if self.fuel <= 0:
-                raise EvalError("out of fuel (possible non-termination)")
+                raise FuelExhausted(
+                    "out of fuel (possible non-termination)")
             if isinstance(term, Goto):
                 label = term.target
             elif isinstance(term, CondGoto):
@@ -108,7 +118,8 @@ class Machine:
             elif isinstance(term, Switch):
                 v = yield from self._eval(frame, term.scrutinee, tid)
                 if not isinstance(v, VInt):
-                    raise UndefinedBehavior("switch on non-integer")
+                    raise UndefinedBehavior("switch on non-integer",
+                                            UBClass.TYPE_CONFUSION)
                 label = term.default
                 for case_val, case_label in term.cases:
                     if case_val == v.value:
@@ -140,7 +151,8 @@ class Machine:
                   ) -> Generator[None, None, Pointer]:
         v = yield from self._eval(frame, e, tid)
         if not isinstance(v, VPtr):
-            raise UndefinedBehavior(f"expected a location, got {v!r}")
+            raise UndefinedBehavior(f"expected a location, got {v!r}",
+                                    UBClass.TYPE_CONFUSION)
         return v.ptr
 
     def _eval(self, frame: _Frame, e: Expr, tid: int,
@@ -150,7 +162,8 @@ class Machine:
         if isinstance(e, IntConst):
             if not e.int_type.in_range(e.n):
                 raise UndefinedBehavior(
-                    f"constant {e.n} out of range for {e.int_type.name}")
+                    f"constant {e.n} out of range for {e.int_type.name}",
+                    UBClass.SIGNED_OVERFLOW)
             return VInt(e.n, e.int_type)
         if isinstance(e, NullE):
             return VPtr(NULL)
@@ -177,12 +190,14 @@ class Machine:
         if isinstance(e, FieldOffset):
             loc = yield from self._eval_loc(frame, e.e, tid)
             if loc.is_null:
-                raise UndefinedBehavior("field access through NULL")
+                raise UndefinedBehavior("field access through NULL",
+                                        UBClass.NULL_DEREF)
             return VPtr(loc + e.struct.offset_of(e.fld))
         if isinstance(e, CastE):
             v = yield from self._eval(frame, e.e, tid)
             if not isinstance(v, VInt):
-                raise UndefinedBehavior(f"integer cast of non-integer {v!r}")
+                raise UndefinedBehavior(f"integer cast of non-integer {v!r}",
+                                        UBClass.TYPE_CONFUSION)
             return VInt(e.to.wrap(v.value), e.to)
         if isinstance(e, UnOpE):
             v = yield from self._eval(frame, e.e, tid)
@@ -197,7 +212,8 @@ class Machine:
             for a in e.args:
                 argv.append((yield from self._eval(frame, a, tid)))
             if not isinstance(fv, VFn):
-                raise UndefinedBehavior(f"call of non-function {fv!r}")
+                raise UndefinedBehavior(f"call of non-function {fv!r}",
+                                        UBClass.TYPE_CONFUSION)
             result = yield from self.call_gen(fv.name, argv, tid)
             if result is None:
                 # void call in expression position: produce a dummy value;
@@ -212,7 +228,8 @@ class Machine:
             exp_bytes = self.memory.load(expected, e.layout.size,
                                          e.layout.align, tid)
             if any(not isinstance(b, int) for b in exp_bytes):
-                raise UndefinedBehavior("CAS expected operand is poison")
+                raise UndefinedBehavior("CAS expected operand is poison",
+                                        UBClass.POISON)
             success, old = self.memory.compare_exchange(
                 atom, exp_bytes, encode_value(desired), e.layout.align, tid)
             if not success:
@@ -229,12 +246,14 @@ class Machine:
             v = decode_int(data, layout.int_type)
             if v is None:
                 raise UndefinedBehavior(
-                    f"load of poison at {loc!r} (type {layout.int_type.name})")
+                    f"load of poison at {loc!r} (type {layout.int_type.name})",
+                    UBClass.POISON)
             return v
         if isinstance(layout, PtrLayout):
             v = decode_ptr(data)
             if v is None:
-                raise UndefinedBehavior(f"load of poison pointer at {loc!r}")
+                raise UndefinedBehavior(f"load of poison pointer at {loc!r}",
+                                        UBClass.POISON)
             return v
         raise EvalError(f"cannot load composite layout {layout!r}")
 
@@ -243,7 +262,8 @@ class Machine:
         if op == "!":
             return VInt(0 if value_truthy(v) else 1, INT)
         if not isinstance(v, VInt):
-            raise UndefinedBehavior(f"unary {op} on non-integer {v!r}")
+            raise UndefinedBehavior(f"unary {op} on non-integer {v!r}",
+                                    UBClass.TYPE_CONFUSION)
         if op == "-":
             return _arith_result(-v.value, v.int_type)
         if op == "~":
@@ -254,9 +274,12 @@ class Machine:
     def _binop(op: str, v1: Value, v2: Value) -> Value:
         if op == "ptr_offset":
             if not isinstance(v1, VPtr) or not isinstance(v2, VInt):
-                raise UndefinedBehavior(f"bad pointer arithmetic {v1!r} {op} {v2!r}")
+                raise UndefinedBehavior(
+                    f"bad pointer arithmetic {v1!r} {op} {v2!r}",
+                    UBClass.PTR_ARITH)
             if v1.ptr.is_null and v2.value != 0:
-                raise UndefinedBehavior("arithmetic on NULL pointer")
+                raise UndefinedBehavior("arithmetic on NULL pointer",
+                                        UBClass.PTR_ARITH)
             return VPtr(v1.ptr + v2.value)
         if isinstance(v1, (VPtr, VFn)) or isinstance(v2, (VPtr, VFn)):
             return _ptr_compare(op, v1, v2)
@@ -274,12 +297,14 @@ class Machine:
             return _arith_result(a * b, ty)
         if op in ("/", "%"):
             if b == 0:
-                raise UndefinedBehavior("division by zero")
+                raise UndefinedBehavior("division by zero",
+                                        UBClass.DIV_BY_ZERO)
             q = abs(a) // abs(b)
             if (a >= 0) != (b > 0):
                 q = -q
             if ty.signed and not ty.in_range(q):
-                raise UndefinedBehavior("signed division overflow")
+                raise UndefinedBehavior("signed division overflow",
+                                        UBClass.SIGNED_OVERFLOW)
             r = a - b * q
             return VInt(q if op == "/" else r, ty)
         if op in ("&", "|", "^", "<<", ">>"):
@@ -294,14 +319,16 @@ class Machine:
 def _arith_result(n: int, ty: IntType) -> VInt:
     if ty.signed:
         if not ty.in_range(n):
-            raise UndefinedBehavior(f"signed overflow: {n} at {ty.name}")
+            raise UndefinedBehavior(f"signed overflow: {n} at {ty.name}",
+                                    UBClass.SIGNED_OVERFLOW)
         return VInt(n, ty)
     return VInt(ty.wrap(n), ty)
 
 
 def _bitwise(op: str, a: int, b: int, ty: IntType) -> VInt:
     if op in ("<<", ">>") and not (0 <= b < ty.bits):
-        raise UndefinedBehavior(f"shift amount {b} out of range")
+        raise UndefinedBehavior(f"shift amount {b} out of range",
+                                UBClass.SHIFT_RANGE)
     mask = (1 << ty.bits) - 1
     au = a & mask
     bu = b & mask
@@ -326,7 +353,8 @@ def _ptr_compare(op: str, v1: Value, v2: Value) -> VInt:
             return ("f", v.name, 0)
         if isinstance(v, VInt) and v.value == 0:
             return ("p", 0, 0)  # integer constant 0 compares as NULL
-        raise UndefinedBehavior(f"pointer comparison with {v!r}")
+        raise UndefinedBehavior(f"pointer comparison with {v!r}",
+                                    UBClass.PTR_ARITH)
 
     k1, k2 = key(v1), key(v2)
     if op == "==":
@@ -336,7 +364,9 @@ def _ptr_compare(op: str, v1: Value, v2: Value) -> VInt:
     if op in ("<", "<=", ">", ">="):
         # Relational comparison is only defined within one allocation.
         if k1[0] != "p" or k2[0] != "p" or k1[1] != k2[1]:
-            raise UndefinedBehavior("relational comparison of unrelated pointers")
+            raise UndefinedBehavior(
+                "relational comparison of unrelated pointers",
+                UBClass.PTR_ARITH)
         a, b = k1[2], k2[2]
         res = {"<": a < b, "<=": a <= b, ">": a > b, ">=": a >= b}[op]
         return VInt(1 if res else 0, INT)

@@ -19,7 +19,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
-from .values import MByte, POISON, Pointer, UndefinedBehavior
+from .values import MByte, POISON, Pointer, UBClass, UndefinedBehavior
 
 
 class AllocKind(enum.Enum):
@@ -107,7 +107,7 @@ class RaceDetector:
             if st.write is not None and not vc.dominates_epoch(*st.write):
                 raise UndefinedBehavior(
                     f"data race: non-atomic read of {key} races with write "
-                    f"by thread {st.write[0]}")
+                    f"by thread {st.write[0]}", UBClass.DATA_RACE)
             st.reads[tid] = vc.get(tid)
 
     def non_atomic_write(self, tid: int, locs: Iterable[tuple[int, int]]) -> None:
@@ -117,12 +117,12 @@ class RaceDetector:
             if st.write is not None and not vc.dominates_epoch(*st.write):
                 raise UndefinedBehavior(
                     f"data race: write of {key} races with write by thread "
-                    f"{st.write[0]}")
+                    f"{st.write[0]}", UBClass.DATA_RACE)
             for rtid, rclock in st.reads.items():
                 if not vc.dominates_epoch(rtid, rclock):
                     raise UndefinedBehavior(
                         f"data race: write of {key} races with read by "
-                        f"thread {rtid}")
+                        f"thread {rtid}", UBClass.DATA_RACE)
             st.write = (tid, vc.get(tid))
             st.reads = {}
 
@@ -140,7 +140,8 @@ class RaceDetector:
             if st.write is not None and not vc.dominates_epoch(*st.write):
                 raise UndefinedBehavior(
                     f"data race: atomic access of {key} races with "
-                    f"non-atomic write by thread {st.write[0]}")
+                    f"non-atomic write by thread {st.write[0]}",
+                    UBClass.DATA_RACE)
             st.write = (tid, vc.get(tid))
             st.reads = {}
         vc.tick(tid)
@@ -158,7 +159,8 @@ class Memory:
     def allocate(self, size: int, kind: AllocKind = AllocKind.HEAP,
                  init: Optional[Sequence[MByte]] = None) -> Pointer:
         if size < 0:
-            raise UndefinedBehavior("negative allocation size")
+            raise UndefinedBehavior("negative allocation size",
+                                    UBClass.OTHER)
         data: list[MByte] = list(init) if init is not None else [POISON] * size
         if len(data) != size:
             raise ValueError("init data has wrong length")
@@ -170,7 +172,8 @@ class Memory:
     def deallocate(self, ptr: Pointer) -> None:
         alloc = self._allocation(ptr)
         if ptr.offset != 0:
-            raise UndefinedBehavior("free of non-start-of-allocation pointer")
+            raise UndefinedBehavior(
+                "free of non-start-of-allocation pointer", UBClass.PTR_ARITH)
         alloc.live = False
 
     def allocation_size(self, ptr: Pointer) -> int:
@@ -182,12 +185,15 @@ class Memory:
 
     def _allocation(self, ptr: Pointer) -> Allocation:
         if ptr.is_null:
-            raise UndefinedBehavior("access through NULL pointer")
+            raise UndefinedBehavior("access through NULL pointer",
+                                    UBClass.NULL_DEREF)
         alloc = self._allocations.get(ptr.alloc_id)
         if alloc is None:
-            raise UndefinedBehavior(f"access to unknown allocation {ptr!r}")
+            raise UndefinedBehavior(f"access to unknown allocation {ptr!r}",
+                                    UBClass.USE_AFTER_FREE)
         if not alloc.live:
-            raise UndefinedBehavior(f"use after free: {ptr!r}")
+            raise UndefinedBehavior(f"use after free: {ptr!r}",
+                                    UBClass.USE_AFTER_FREE)
         return alloc
 
     def _check_range(self, ptr: Pointer, size: int) -> Allocation:
@@ -195,14 +201,15 @@ class Memory:
         if ptr.offset < 0 or ptr.offset + size > alloc.size:
             raise UndefinedBehavior(
                 f"out-of-bounds access at {ptr!r} (+{size}, "
-                f"allocation size {alloc.size})")
+                f"allocation size {alloc.size})", UBClass.OUT_OF_BOUNDS)
         return alloc
 
     @staticmethod
     def _check_align(ptr: Pointer, align: int) -> None:
         if align > 1 and ptr.offset % align != 0:
             raise UndefinedBehavior(
-                f"misaligned access at {ptr!r} (requires {align})")
+                f"misaligned access at {ptr!r} (requires {align})",
+                UBClass.MISALIGNED)
 
     # ------------------------------------------------------------
     def load(self, ptr: Pointer, size: int, align: int = 1,
@@ -244,7 +251,8 @@ class Memory:
             self.races.atomic_access(tid, keys)
         old = list(alloc.data[ptr.offset:ptr.offset + size])
         if any(not isinstance(b, int) for b in old):
-            raise UndefinedBehavior("CAS on poison or pointer bytes")
+            raise UndefinedBehavior("CAS on poison or pointer bytes",
+                                    UBClass.POISON)
         success = old == list(expected)
         if success:
             alloc.data[ptr.offset:ptr.offset + size] = list(desired)

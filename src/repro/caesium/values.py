@@ -24,8 +24,34 @@ from typing import Optional, Sequence, Union
 from .layout import IntType, Layout, PtrLayout, PTR_SIZE
 
 
+class UBClass(enum.Enum):
+    """The classes of undefined behaviour Caesium distinguishes (§3).
+
+    Every :class:`UndefinedBehavior` carries one of these, so tests and the
+    soundness fuzzer can assert *which* UB a program exhibits rather than
+    matching on message text."""
+
+    OUT_OF_BOUNDS = "out-of-bounds"
+    MISALIGNED = "misaligned"
+    POISON = "poison"                  # use of an uninitialised value
+    SIGNED_OVERFLOW = "signed-overflow"
+    DIV_BY_ZERO = "div-by-zero"
+    NULL_DEREF = "null-deref"
+    DATA_RACE = "data-race"
+    USE_AFTER_FREE = "use-after-free"
+    PTR_ARITH = "ptr-arith"            # invalid pointer arithmetic/compare
+    TYPE_CONFUSION = "type-confusion"  # value used at the wrong kind
+    SHIFT_RANGE = "shift-range"
+    OTHER = "other"
+
+
 class UndefinedBehavior(Exception):
     """Raised by the Caesium interpreter on any source of UB."""
+
+    def __init__(self, msg: str,
+                 category: UBClass = UBClass.OTHER) -> None:
+        super().__init__(msg)
+        self.category = category
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,371 @@
+"""Budgeted fuzzing campaigns on the verification driver.
+
+A campaign is a deterministic stream of generated programs: program
+``i`` of campaign seed ``s`` depends only on ``(s, i)``, never on
+batching or timing.  Rounds of programs are verified as one driver batch
+(``run_units`` on the process pool), accepted programs are executed by
+the oracle, and their mutants are batch-checked and graded.
+
+Two budgets:
+
+* ``count=N`` — exactly N programs; byte-identical stats on every run;
+* ``budget_s=T`` — rounds run until the clock passes T.  The stats
+  record how many programs were processed, so ``count=<that>`` replays
+  the very same campaign byte-identically (wall-clock fields are
+  excluded from the deterministic view).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+from .corpus import CorpusEntry, write_entry
+from .generator import (DEFAULT_FUEL, DEFAULT_TEMPLATES, GenProgram,
+                        TEMPLATES, generate_program)
+from .mutator import MutantVerdict, evaluate_mutants
+from .oracle import (CheckVerdict, ExecStatus, check_batch, check_program,
+                     execute_program, run_witness)
+from .shrink import shrink_params
+
+FUZZ_SCHEMA_VERSION = 1
+
+
+@dataclass
+class CampaignConfig:
+    seed: int = 0
+    budget_s: Optional[float] = None   # time budget …
+    count: Optional[int] = None        # … or exact program count
+    jobs: int = 1
+    trials: int = 6                    # execution trials per accepted program
+    mutant_limit: Optional[int] = None  # per program; None = all
+    shrink: bool = True
+    write_corpus: bool = False
+    corpus_dir: Optional[Path] = None
+    templates: Optional[list[str]] = None
+    fuel: int = DEFAULT_FUEL
+
+    def template_names(self) -> list[str]:
+        return list(self.templates) if self.templates \
+            else list(DEFAULT_TEMPLATES)
+
+
+@dataclass
+class Finding:
+    kind: str                    # soundness-ub | soundness-spec |
+    #                              checker-crash | mutant-survivor |
+    #                              exec-error
+    template: str
+    params: dict
+    index: int
+    mutant: Optional[str] = None
+    ub_class: Optional[str] = None
+    detail: str = ""
+    shrunk_params: Optional[dict] = None
+    shrink_checks: int = 0
+    corpus_path: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "template": self.template,
+                "params": self.params, "index": self.index,
+                "mutant": self.mutant, "ub_class": self.ub_class,
+                "detail": self.detail, "shrunk_params": self.shrunk_params,
+                "shrink_checks": self.shrink_checks,
+                "corpus_path": self.corpus_path}
+
+
+@dataclass
+class CampaignStats:
+    """Per-campaign statistics, in the metrics-JSON house style."""
+
+    seed: int = 0
+    mode: str = "count"
+    jobs: int = 1
+    trials: int = 0
+    templates: list[str] = field(default_factory=list)
+    mutant_limit: Optional[int] = None
+
+    programs: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    checker_crashes: int = 0
+
+    exec_trials: int = 0
+    exec_passes: int = 0
+    exec_inconclusive: int = 0
+    exec_errors: int = 0
+    ub_violations: int = 0
+    spec_violations: int = 0
+
+    mutants: int = 0
+    mutants_killed: int = 0
+    survivors_demonstrated: int = 0
+    survivors_undemonstrated: int = 0
+    mutant_crashes: int = 0
+
+    shrink_checks: int = 0
+    corpus_written: int = 0
+    per_template: dict = field(default_factory=dict)
+    findings: list[Finding] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def accept_rate(self) -> float:
+        return self.accepted / self.programs if self.programs else 0.0
+
+    @property
+    def kill_rate(self) -> float:
+        return self.mutants_killed / self.mutants if self.mutants else 1.0
+
+    @property
+    def soundness_violations(self) -> int:
+        return (self.ub_violations + self.spec_violations +
+                self.survivors_demonstrated)
+
+    @property
+    def ok(self) -> bool:
+        return (self.soundness_violations == 0
+                and self.checker_crashes == 0 and self.mutant_crashes == 0)
+
+    def to_dict(self, deterministic: bool = False) -> dict:
+        d = {
+            "schema_version": FUZZ_SCHEMA_VERSION,
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "trials": self.trials,
+            "templates": list(self.templates),
+            "mutant_limit": self.mutant_limit,
+            "programs": self.programs,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "checker_crashes": self.checker_crashes,
+            "accept_rate": round(self.accept_rate, 6),
+            "exec_trials": self.exec_trials,
+            "exec_passes": self.exec_passes,
+            "exec_inconclusive": self.exec_inconclusive,
+            "exec_errors": self.exec_errors,
+            "ub_violations": self.ub_violations,
+            "spec_violations": self.spec_violations,
+            "mutants": self.mutants,
+            "mutants_killed": self.mutants_killed,
+            "kill_rate": round(self.kill_rate, 6),
+            "survivors_demonstrated": self.survivors_demonstrated,
+            "survivors_undemonstrated": self.survivors_undemonstrated,
+            "mutant_crashes": self.mutant_crashes,
+            "soundness_violations": self.soundness_violations,
+            "shrink_checks": self.shrink_checks,
+            "corpus_written": self.corpus_written,
+            "per_template": {k: dict(sorted(v.items()))
+                             for k, v in sorted(self.per_template.items())},
+            "findings": [f.to_dict() for f in self.findings],
+            "ok": self.ok,
+        }
+        if not deterministic:
+            # How the budget was specified and how long it took are facts
+            # about the run, not about the computed campaign — a budget
+            # run and its count replay must agree on everything else.
+            d["mode"] = self.mode
+            d["wall_s"] = round(self.wall_s, 3)
+        return d
+
+    def to_json(self, deterministic: bool = False, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(deterministic), indent=indent)
+
+    def summary(self) -> str:
+        return (f"fuzz campaign seed={self.seed}: {self.programs} programs "
+                f"({self.accepted} accepted, {self.rejected} rejected, "
+                f"{self.checker_crashes} crashes), "
+                f"{self.exec_trials} exec trials "
+                f"({self.ub_violations} UB, {self.spec_violations} spec "
+                f"violations, {self.exec_inconclusive} inconclusive), "
+                f"{self.mutants} mutants "
+                f"({self.mutants_killed} killed, "
+                f"kill rate {self.kill_rate:.1%}), "
+                f"{len(self.findings)} findings, {self.wall_s:.1f}s")
+
+
+def _tally(per_template: dict, template: str, key: str, n: int = 1) -> None:
+    per_template.setdefault(template, {})
+    per_template[template][key] = per_template[template].get(key, 0) + n
+
+
+# ---------------------------------------------------------------------
+# Shrink predicates: does the failure still reproduce at these params?
+# ---------------------------------------------------------------------
+
+def _rebuild(template: str, params: dict,
+             mutant: Optional[str]) -> Optional[GenProgram]:
+    prog = TEMPLATES[template].build(params)
+    if mutant is None:
+        return prog
+    match = [m for m in prog.mutants if m.name == mutant]
+    if not match:
+        return None
+    return GenProgram(template=prog.template, params=prog.params,
+                      index=prog.index, source=match[0].source,
+                      entry=prog.entry, concurrent=prog.concurrent)
+
+
+def _fail_predicate(kind: str, template: str, mutant: Optional[str],
+                    exec_seed: str, trials: int,
+                    fuel: int) -> Callable[[dict], bool]:
+    def still_fails(params: dict) -> bool:
+        prog = _rebuild(template, params, mutant)
+        if prog is None:
+            return False
+        check = check_program(prog)
+        if kind == "checker-crash":
+            return check.verdict is CheckVerdict.CRASH
+        if check.verdict is not CheckVerdict.ACCEPTED or check.tp is None:
+            return False
+        if kind == "mutant-survivor":
+            return run_witness(template, mutant, params, check.tp,
+                               fuel=fuel) is not None
+        res = execute_program(prog, check.tp, random.Random(exec_seed),
+                              trials=trials, fuel=fuel)
+        if kind == "soundness-ub":
+            return res.status is ExecStatus.UB
+        if kind == "soundness-spec":
+            return res.status is ExecStatus.SPEC_VIOLATION
+        if kind == "exec-error":
+            return res.status is ExecStatus.EXEC_ERROR
+        return False
+    return still_fails
+
+
+_EXPECTED: dict[str, Callable[[Finding], dict]] = {
+    # Corpus entries state the *desired* behaviour (see corpus.py): a
+    # fresh finding keeps the replay suite red until the bug is fixed.
+    "soundness-ub": lambda f: {"check": "accept", "exec": "pass"},
+    "soundness-spec": lambda f: {"check": "accept", "exec": "pass"},
+    "exec-error": lambda f: {"check": "accept", "exec": "pass"},
+    "checker-crash": lambda f: {"check": "no-crash"},
+    "mutant-survivor": lambda f: {"check": "reject"},
+}
+
+
+def _record_finding(stats: CampaignStats, cfg: CampaignConfig,
+                    finding: Finding) -> None:
+    exec_seed = f"{cfg.seed}:{finding.index}:exec"
+    if cfg.shrink:
+        pred = _fail_predicate(finding.kind, finding.template,
+                               finding.mutant, exec_seed, cfg.trials,
+                               cfg.fuel)
+        shrunk, checks = shrink_params(finding.template, finding.params,
+                                       pred)
+        finding.shrunk_params = shrunk
+        finding.shrink_checks = checks
+        stats.shrink_checks += checks
+    if cfg.write_corpus:
+        entry = CorpusEntry(
+            template=finding.template,
+            params=finding.shrunk_params or finding.params,
+            mutant=finding.mutant,
+            expect=_EXPECTED[finding.kind](finding),
+            exec_seed=exec_seed, trials=cfg.trials, fuel=cfg.fuel,
+            note=f"campaign seed={cfg.seed} program={finding.index}: "
+                 f"{finding.kind} — {finding.detail[:200]}")
+        finding.corpus_path = str(write_entry(entry, cfg.corpus_dir))
+        stats.corpus_written += 1
+    stats.findings.append(finding)
+
+
+# ---------------------------------------------------------------------
+# The campaign driver.
+# ---------------------------------------------------------------------
+
+def run_campaign(cfg: Optional[CampaignConfig] = None) -> CampaignStats:
+    cfg = cfg or CampaignConfig()
+    if cfg.count is None and cfg.budget_s is None:
+        cfg = CampaignConfig(**{**cfg.__dict__, "count": 32})
+    names = cfg.template_names()
+    stats = CampaignStats(
+        seed=cfg.seed, mode="budget" if cfg.count is None else "count",
+        jobs=cfg.jobs, trials=cfg.trials, templates=names,
+        mutant_limit=cfg.mutant_limit)
+    t0 = time.perf_counter()
+    batch = max(8, 4 * cfg.jobs)
+    idx = 0
+
+    while True:
+        if cfg.count is not None and idx >= cfg.count:
+            break
+        if cfg.count is None and time.perf_counter() - t0 >= cfg.budget_s:
+            break
+        k = batch if cfg.count is None else min(batch, cfg.count - idx)
+        programs = [generate_program(cfg.seed, idx + i, names)
+                    for i in range(k)]
+        checks = check_batch([(f"g{p.index}", p) for p in programs],
+                             jobs=cfg.jobs)
+
+        accepted: list[GenProgram] = []
+        for prog in programs:
+            check = checks[f"g{prog.index}"]
+            _tally(stats.per_template, prog.template, "programs")
+            if check.verdict is CheckVerdict.CRASH:
+                stats.checker_crashes += 1
+                _tally(stats.per_template, prog.template, "crashes")
+                _record_finding(stats, cfg, Finding(
+                    "checker-crash", prog.template, prog.params,
+                    prog.index, detail=check.detail))
+                continue
+            if check.verdict is CheckVerdict.REJECTED:
+                stats.rejected += 1
+                _tally(stats.per_template, prog.template, "rejected")
+                continue
+            stats.accepted += 1
+            _tally(stats.per_template, prog.template, "accepted")
+            accepted.append(prog)
+
+            rng = random.Random(f"{cfg.seed}:{prog.index}:exec")
+            res = execute_program(prog, check.tp, rng, trials=cfg.trials,
+                                  fuel=cfg.fuel)
+            stats.exec_trials += res.trials
+            stats.exec_passes += res.passes
+            stats.exec_inconclusive += res.inconclusive
+            if res.status is ExecStatus.UB:
+                stats.ub_violations += 1
+                _record_finding(stats, cfg, Finding(
+                    "soundness-ub", prog.template, prog.params, prog.index,
+                    ub_class=res.ub_class, detail=res.detail))
+            elif res.status is ExecStatus.SPEC_VIOLATION:
+                stats.spec_violations += 1
+                _record_finding(stats, cfg, Finding(
+                    "soundness-spec", prog.template, prog.params,
+                    prog.index, detail=res.detail))
+            elif res.status is ExecStatus.EXEC_ERROR:
+                stats.exec_errors += 1
+                _record_finding(stats, cfg, Finding(
+                    "exec-error", prog.template, prog.params, prog.index,
+                    detail=res.detail))
+
+        for mr in evaluate_mutants(accepted, jobs=cfg.jobs,
+                                   limit=cfg.mutant_limit):
+            stats.mutants += 1
+            _tally(stats.per_template, mr.template, "mutants")
+            if mr.verdict is MutantVerdict.KILLED:
+                stats.mutants_killed += 1
+                _tally(stats.per_template, mr.template, "killed")
+            elif mr.verdict is MutantVerdict.CRASH:
+                stats.mutant_crashes += 1
+                _record_finding(stats, cfg, Finding(
+                    "checker-crash", mr.template, mr.params, mr.index,
+                    mutant=mr.mutant.name, detail=mr.detail))
+            elif mr.verdict is MutantVerdict.SURVIVED_DEMONSTRATED:
+                stats.survivors_demonstrated += 1
+                _record_finding(stats, cfg, Finding(
+                    "mutant-survivor", mr.template, mr.params, mr.index,
+                    mutant=mr.mutant.name, ub_class=mr.ub_class,
+                    detail=mr.detail))
+            else:
+                stats.survivors_undemonstrated += 1
+
+        idx += k
+
+    stats.programs = idx
+    stats.wall_s = time.perf_counter() - t0
+    return stats

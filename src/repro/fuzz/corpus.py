@@ -1,0 +1,172 @@
+"""The counterexample corpus: deterministic regression fixtures.
+
+Corpus entries live in ``tests/fuzz/corpus/`` as small JSON files.  An
+entry never stores generated source — it stores ``(template, params,
+mutant?, seed)`` and *regenerates* the program on replay, so a fixture
+is deterministic by construction and survives formatting churn.
+
+Every entry's ``expect`` block states the **desired** behaviour:
+
+* ``{"check": "accept", "exec": "pass"}`` — a designed-sound program the
+  checker must accept and the machine must run UB-free;
+* ``{"check": "reject", "witness_ub": "<class>"}`` — a designed-unsound
+  mutant the checker must kill, whose witness inputs demonstrably reach
+  that UB class on the machine (both sides of the differential);
+* ``{"check": "no-crash"}`` — any verdict is fine as long as only
+  ``VerificationError`` is ever raised.
+
+Campaign findings are written in the same vocabulary, so a fresh finding
+makes the replay suite red until the underlying bug is fixed — after
+which the entry keeps guarding the fix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from .generator import DEFAULT_FUEL, TEMPLATES
+from .oracle import (CheckVerdict, ExecStatus, check_program,
+                     execute_program, run_witness)
+
+CORPUS_SCHEMA = 1
+
+#: default location, next to the pytest module that replays it
+DEFAULT_CORPUS_DIR = \
+    Path(__file__).resolve().parents[3] / "tests" / "fuzz" / "corpus"
+
+
+@dataclass
+class CorpusEntry:
+    template: str
+    params: dict
+    expect: dict
+    mutant: Optional[str] = None
+    exec_seed: str = "corpus"
+    trials: int = 4
+    fuel: int = DEFAULT_FUEL
+    note: str = ""
+    schema: int = CORPUS_SCHEMA
+
+    def to_dict(self) -> dict:
+        return {"schema": self.schema, "template": self.template,
+                "params": self.params, "mutant": self.mutant,
+                "expect": self.expect, "exec_seed": self.exec_seed,
+                "trials": self.trials, "fuel": self.fuel, "note": self.note}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CorpusEntry":
+        return cls(template=d["template"], params=d["params"],
+                   expect=d["expect"], mutant=d.get("mutant"),
+                   exec_seed=d.get("exec_seed", "corpus"),
+                   trials=d.get("trials", 4),
+                   fuel=d.get("fuel", DEFAULT_FUEL),
+                   note=d.get("note", ""), schema=d.get("schema", 1))
+
+
+@dataclass
+class ReplayResult:
+    ok: bool
+    detail: str = ""
+    checks: list[str] = field(default_factory=list)
+
+
+def entry_digest(entry: CorpusEntry) -> str:
+    blob = json.dumps(entry.to_dict(), sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:10]
+
+
+def write_entry(entry: CorpusEntry,
+                corpus_dir: Optional[Path] = None) -> Path:
+    corpus_dir = Path(corpus_dir) if corpus_dir else DEFAULT_CORPUS_DIR
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    name = "-".join(filter(None, [entry.template, entry.mutant,
+                                  entry_digest(entry)])) + ".json"
+    path = corpus_dir / name
+    path.write_text(json.dumps(entry.to_dict(), indent=2,
+                               sort_keys=True) + "\n")
+    return path
+
+
+def load_corpus(corpus_dir: Optional[Path] = None) -> list[tuple[Path,
+                                                                 CorpusEntry]]:
+    corpus_dir = Path(corpus_dir) if corpus_dir else DEFAULT_CORPUS_DIR
+    out = []
+    if corpus_dir.is_dir():
+        for path in sorted(corpus_dir.glob("*.json")):
+            out.append((path, CorpusEntry.from_dict(
+                json.loads(path.read_text()))))
+    return out
+
+
+def replay_entry(entry: CorpusEntry) -> ReplayResult:
+    """Regenerate the entry's program and assert its desired behaviour."""
+    template = TEMPLATES.get(entry.template)
+    if template is None:
+        return ReplayResult(False, f"unknown template {entry.template!r}")
+    prog = template.build(entry.params)
+    if entry.mutant is not None:
+        match = [m for m in prog.mutants if m.name == entry.mutant]
+        if not match:
+            return ReplayResult(
+                False, f"mutant {entry.mutant!r} not generated for "
+                f"params {entry.params}")
+        prog = prog.__class__(template=prog.template, params=prog.params,
+                              index=prog.index, source=match[0].source,
+                              entry=prog.entry, concurrent=prog.concurrent)
+
+    checks: list[str] = []
+    check = check_program(prog)
+    want = entry.expect.get("check")
+    if want == "no-crash":
+        if check.verdict is CheckVerdict.CRASH:
+            return ReplayResult(False, f"checker crashed:\n{check.detail}",
+                                checks)
+        checks.append(f"check: {check.verdict.value} (no crash)")
+    elif want == "accept":
+        if check.verdict is not CheckVerdict.ACCEPTED:
+            return ReplayResult(
+                False, f"expected accept, got {check.verdict.value}: "
+                f"{check.detail}", checks)
+        checks.append("check: accepted")
+    elif want == "reject":
+        if check.verdict is not CheckVerdict.REJECTED:
+            return ReplayResult(
+                False, f"expected reject, got {check.verdict.value} "
+                f"(a designed-unsound mutant was admitted)", checks)
+        checks.append("check: rejected")
+    elif want is not None:
+        return ReplayResult(False, f"bad expectation {want!r}", checks)
+
+    want_exec = entry.expect.get("exec")
+    if want_exec is not None:
+        if check.tp is None:
+            return ReplayResult(False, "no elaborated program to execute",
+                               checks)
+        rng = random.Random(entry.exec_seed)
+        res = execute_program(prog, check.tp, rng, trials=entry.trials,
+                              fuel=entry.fuel)
+        if res.status.value != want_exec:
+            return ReplayResult(
+                False, f"expected exec {want_exec}, got {res.status.value}"
+                f" ({res.ub_class or res.detail})", checks)
+        checks.append(f"exec: {res.status.value} ({res.trials} trials)")
+
+    want_ub = entry.expect.get("witness_ub")
+    if want_ub is not None:
+        if check.tp is None:
+            return ReplayResult(False, "no elaborated program for witness",
+                               checks)
+        got = run_witness(entry.template, entry.mutant, entry.params,
+                          check.tp, fuel=entry.fuel)
+        if got != want_ub:
+            return ReplayResult(
+                False, f"witness expected UB {want_ub!r}, got {got!r}",
+                checks)
+        checks.append(f"witness: {got}")
+
+    return ReplayResult(True, "", checks)

@@ -1,0 +1,60 @@
+"""Counterexample shrinking.
+
+A finding is a ``(template, params)`` pair (possibly plus a mutant name)
+whose failure is re-checkable by regenerating the program.  Shrinking
+walks the integer-valued parameters toward their template-declared
+floors — halving the distance, then stepping — keeping every candidate
+that still fails.  Because programs are pure functions of their params,
+the shrunk finding replays forever.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .generator import TEMPLATES
+
+
+def _candidates(value: int, floor: int) -> list[int]:
+    """Smaller values to try, nearest-to-floor first."""
+    out = []
+    if value > floor:
+        out.append(floor)
+        mid = floor + (value - floor) // 2
+        if mid not in (floor, value):
+            out.append(mid)
+        if value - 1 not in (floor, mid):
+            out.append(value - 1)
+    return out
+
+
+def shrink_params(template_name: str, params: dict,
+                  still_fails: Callable[[dict], bool],
+                  max_checks: int = 48) -> tuple[dict, int]:
+    """Greedily minimise ``params`` while ``still_fails`` holds.
+
+    Only int-valued keys shrink; string parameters (type names, operator
+    choices) are part of the failure's identity.  Returns the smallest
+    failing params found and the number of candidate checks spent."""
+    floors = TEMPLATES[template_name].param_floors
+    current = dict(params)
+    checks = 0
+    progress = True
+    while progress and checks < max_checks:
+        progress = False
+        for key in sorted(current):
+            value = current[key]
+            if not isinstance(value, int) or isinstance(value, bool):
+                continue
+            floor = floors.get(key, 0)
+            for cand in _candidates(value, floor):
+                if checks >= max_checks:
+                    break
+                trial = dict(current)
+                trial[key] = cand
+                checks += 1
+                if still_fails(trial):
+                    current = trial
+                    progress = True
+                    break
+    return current, checks

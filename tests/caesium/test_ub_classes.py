@@ -1,0 +1,112 @@
+"""One targeted negative test per UB class.
+
+Every :class:`UndefinedBehavior` carries a :class:`UBClass` category;
+these tests pin the *exact* category per trigger so the fuzzing oracle
+(and any user of ``exc.category``) can rely on the classification, not
+on message text.
+"""
+
+import pytest
+
+from repro.caesium.eval import Machine
+from repro.caesium.memory import AllocKind, Memory
+from repro.caesium.values import NULL, UBClass, UndefinedBehavior, VInt, VPtr
+from repro.caesium.layout import INT_TYPES_BY_NAME
+from repro.lang.elaborate import elaborate_source
+
+
+def _ub(excinfo) -> UBClass:
+    return excinfo.value.category
+
+
+def _call(src: str, fname: str, args):
+    tp = elaborate_source(src)
+    return Machine(tp.program).call(fname, args)
+
+
+class TestLanguageLevel:
+    """UB reached from elaborated C programs."""
+
+    def test_signed_overflow(self):
+        i32 = INT_TYPES_BY_NAME["int32_t"]
+        with pytest.raises(UndefinedBehavior) as e:
+            _call("int f(int a, int b) { return a + b; }", "f",
+                  [VInt(i32.max_value, i32), VInt(1, i32)])
+        assert _ub(e) is UBClass.SIGNED_OVERFLOW
+
+    def test_div_by_zero(self):
+        i32 = INT_TYPES_BY_NAME["int32_t"]
+        with pytest.raises(UndefinedBehavior) as e:
+            _call("int f(int a, int b) { return a / b; }", "f",
+                  [VInt(7, i32), VInt(0, i32)])
+        assert _ub(e) is UBClass.DIV_BY_ZERO
+
+    def test_poison_read_of_uninitialised_local(self):
+        with pytest.raises(UndefinedBehavior) as e:
+            _call("int f() { int x; return x; }", "f", [])
+        assert _ub(e) is UBClass.POISON
+
+    def test_null_dereference(self):
+        with pytest.raises(UndefinedBehavior) as e:
+            _call("int f(int *p) { return *p; }", "f", [VPtr(NULL)])
+        assert _ub(e) is UBClass.NULL_DEREF
+
+
+class TestMemoryLevel:
+    """UB raised directly by the Caesium memory model."""
+
+    def test_out_of_bounds(self):
+        mem = Memory()
+        p = mem.allocate(4, AllocKind.HEAP)
+        with pytest.raises(UndefinedBehavior) as e:
+            mem.load(p, 8)
+        assert _ub(e) is UBClass.OUT_OF_BOUNDS
+
+    def test_misaligned_access(self):
+        mem = Memory()
+        p = mem.allocate(8, AllocKind.HEAP, init=[0] * 8)
+        with pytest.raises(UndefinedBehavior) as e:
+            mem.load(p + 1, 4, align=4)
+        assert _ub(e) is UBClass.MISALIGNED
+
+    def test_use_after_free(self):
+        mem = Memory()
+        p = mem.allocate(4, AllocKind.HEAP, init=[0] * 4)
+        mem.deallocate(p)
+        with pytest.raises(UndefinedBehavior) as e:
+            mem.load(p, 4)
+        assert _ub(e) is UBClass.USE_AFTER_FREE
+
+    def test_free_of_interior_pointer_is_ptr_arith(self):
+        mem = Memory()
+        p = mem.allocate(4, AllocKind.HEAP, init=[0] * 4)
+        with pytest.raises(UndefinedBehavior) as e:
+            mem.deallocate(p + 1)
+        assert _ub(e) is UBClass.PTR_ARITH
+
+    def test_data_race_between_plain_stores(self):
+        mem = Memory(detect_races=True)
+        p = mem.allocate(4, AllocKind.HEAP, init=[0] * 4)
+        mem.store(p, [1, 0, 0, 0], tid=1)
+        with pytest.raises(UndefinedBehavior) as e:
+            mem.store(p, [2, 0, 0, 0], tid=2)
+        assert _ub(e) is UBClass.DATA_RACE
+
+    def test_atomic_access_does_not_race_with_itself(self):
+        mem = Memory(detect_races=True)
+        p = mem.allocate(4, AllocKind.HEAP, init=[0] * 4)
+        mem.store(p, [1, 0, 0, 0], tid=1, atomic=True)
+        mem.store(p, [2, 0, 0, 0], tid=2, atomic=True)  # no raise
+        assert mem.load(p, 4, tid=2, atomic=True) == [2, 0, 0, 0]
+
+    def test_cas_on_poison_is_poison(self):
+        mem = Memory(detect_races=True)
+        p = mem.allocate(4, AllocKind.HEAP)  # uninitialised: poison bytes
+        with pytest.raises(UndefinedBehavior) as e:
+            mem.compare_exchange(p, [0, 0, 0, 0], [1, 0, 0, 0])
+        assert _ub(e) is UBClass.POISON
+
+
+def test_every_category_is_distinct_string():
+    values = [c.value for c in UBClass]
+    assert len(values) == len(set(values))

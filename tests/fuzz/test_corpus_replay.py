@@ -1,0 +1,41 @@
+"""Deterministic replay of the regression corpus.
+
+Every entry under ``tests/fuzz/corpus/`` states the *desired* behavior
+for one (template, params[, mutant]) triple.  A fresh fuzzing finding
+written here stays red until the underlying bug is fixed; after the fix
+the entry keeps guarding against regression.  This module is fast and
+unmarked so it runs in the tier-1 inner loop.
+"""
+
+import pytest
+
+from repro.fuzz.corpus import CorpusEntry, entry_digest, load_corpus
+from repro.fuzz import replay_entry
+
+ENTRIES = load_corpus()
+
+
+def test_corpus_is_seeded():
+    # The shipped corpus pins at least the curated baseline entries.
+    assert len(ENTRIES) >= 20
+
+
+@pytest.mark.parametrize(
+    "path,entry", ENTRIES, ids=[p.name for p, _ in ENTRIES])
+def test_corpus_entry_replays(path, entry):
+    res = replay_entry(entry)
+    assert res.ok, f"{path.name}: {res.detail}"
+    assert res.checks  # every entry asserts at least one behavior
+
+
+def test_entry_roundtrip_and_digest_stability():
+    entry = CorpusEntry(template="arith",
+                        params={"it": "int32_t", "op": "add", "m": 7},
+                        expect={"check": "accept", "exec": "pass"})
+    again = CorpusEntry.from_dict(entry.to_dict())
+    assert again == entry
+    assert entry_digest(entry) == entry_digest(again)
+    # digest ignores dict ordering
+    shuffled = CorpusEntry.from_dict(
+        dict(reversed(list(entry.to_dict().items()))))
+    assert entry_digest(shuffled) == entry_digest(entry)

@@ -1,0 +1,118 @@
+"""Oracle tests: verdict classification and witness execution."""
+
+import random
+
+import pytest
+
+from repro.caesium import FuelExhausted, UndefinedBehavior
+from repro.caesium.eval import Machine
+from repro.fuzz.generator import TEMPLATES, GenProgram
+from repro.fuzz.oracle import (CheckVerdict, ExecStatus, check_batch,
+                               check_program, execute_program, run_witness)
+from repro.fuzz.generator import generate_program
+from repro.lang.elaborate import elaborate_source
+
+
+def _base(name, seed="oracle"):
+    template = TEMPLATES[name]
+    params = template.sample_params(random.Random(f"{seed}:{name}"))
+    return template.build(params)
+
+
+def _mutated(prog, mutant):
+    return GenProgram(template=prog.template, params=prog.params,
+                      index=prog.index, source=mutant.source,
+                      entry=prog.entry, concurrent=prog.concurrent)
+
+
+class TestCheckVerdicts:
+    def test_sound_program_accepted(self):
+        res = check_program(_base("arith"))
+        assert res.verdict is CheckVerdict.ACCEPTED
+        assert res.tp is not None
+
+    def test_unsound_mutant_rejected(self):
+        prog = _base("div")
+        mutant = next(m for m in prog.mutants if m.name == "drop-req-bpos")
+        res = check_program(_mutated(prog, mutant))
+        assert res.verdict is CheckVerdict.REJECTED
+        # elaboration succeeded, only the proof failed — tp survives so
+        # witnesses can still run on the rejected source
+        assert res.tp is not None
+
+    def test_garbage_source_never_escapes_classifier(self):
+        # Whatever the toolchain does with unparsable input, the oracle
+        # must fold it into a verdict — CRASH for a non-VerificationError.
+        junk = GenProgram(template="arith", params={}, index=0,
+                          source="int f(int a { return a;", entry="f",
+                          concurrent=False)
+        res = check_program(junk)
+        assert res.verdict in (CheckVerdict.CRASH, CheckVerdict.REJECTED)
+        assert res.detail
+
+    def test_batch_matches_serial(self):
+        progs = [generate_program(0, i) for i in range(4)]
+        batch = check_batch([(f"p{i}", p) for i, p in enumerate(progs)],
+                            jobs=1)
+        for i, p in enumerate(progs):
+            assert batch[f"p{i}"].verdict is check_program(p).verdict
+
+
+class TestExecution:
+    def test_accepted_program_passes(self):
+        prog = _base("ptr_inc")
+        res = check_program(prog)
+        assert res.verdict is CheckVerdict.ACCEPTED
+        out = execute_program(prog, res.tp, random.Random("exec"), trials=4)
+        assert out.status is ExecStatus.PASS
+        assert out.passes == 4
+
+    def test_fuel_exhaustion_is_inconclusive(self):
+        # With almost no fuel no trial can finish; the oracle must say
+        # "inconclusive", never "pass" and never "bug".
+        template = TEMPLATES["loop_sum"]
+        prog = template.build({"k": 3, "h": 64})
+        res = check_program(prog)
+        assert res.verdict is CheckVerdict.ACCEPTED
+        out = execute_program(prog, res.tp, random.Random("fuel-exec"),
+                              trials=3, fuel=2)
+        assert out.status is ExecStatus.INCONCLUSIVE
+        assert out.inconclusive == 3
+        assert out.passes == 0
+
+    def test_diverging_loop_raises_fuel_not_ub(self):
+        # Divergence is not undefined behavior: the machine must surface
+        # FuelExhausted (an EvalError outside the UndefinedBehavior
+        # hierarchy) so the oracle can classify it as inconclusive.
+        tp = elaborate_source("""
+        int f() {
+            while (1) { }
+            return 0;
+        }
+        """)
+        with pytest.raises(FuelExhausted):
+            Machine(tp.program, fuel=500).call("f", [])
+        assert not issubclass(FuelExhausted, UndefinedBehavior)
+
+
+class TestWitness:
+    def test_witness_demonstrates_signed_overflow(self):
+        template = TEMPLATES["arith"]
+        params = template.sample_params(random.Random("wit:arith"))
+        prog = template.build(params)
+        mutant = next(m for m in prog.mutants if m.name == "drop-req-hi")
+        assert mutant.has_witness
+        res = check_program(_mutated(prog, mutant))
+        # The checker kills this mutant, but the witness must still show
+        # the mutant *would* hit UB had it been accepted.
+        assert res.tp is not None
+        ub = run_witness("arith", "drop-req-hi", params, res.tp)
+        assert ub == "signed-overflow"
+
+    def test_witnessless_mutants_are_marked(self):
+        template = TEMPLATES["loop_sum"]
+        params = template.sample_params(random.Random("wit:loop"))
+        for mutant in template.build(params).mutants:
+            # unsigned wrap-around is defined behavior: no runtime UB
+            # witness exists for any loop_sum mutant
+            assert not mutant.has_witness

@@ -1,0 +1,138 @@
+"""Property-based tests for the pure solvers.
+
+Both properties are *soundness against brute force*: whatever the
+Fourier–Motzkin entailment checker claims, and whatever the simplifier
+rewrites, must agree with directly evaluating the terms over every
+assignment of a small domain.  Completeness is deliberately not tested —
+the solver is allowed to say "don't know" (return ``False``), never
+allowed to claim a false entailment.
+"""
+
+import itertools
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.pure import evaluate, simplify, simplify_hyp  # noqa: E402
+from repro.pure import terms as T  # noqa: E402
+from repro.pure.eval import EvalError  # noqa: E402
+from repro.pure.linarith import implies_linear  # noqa: E402
+
+VARS = ("a", "b", "c")
+DOMAIN = range(-4, 5)
+
+# ---------------------------------------------------------------------
+# term strategies
+
+_leaf = st.one_of(
+    st.integers(-4, 4).map(T.intlit),
+    st.sampled_from(VARS).map(T.var),
+)
+
+
+def _int_nodes(child):
+    return st.one_of(
+        st.tuples(child, child).map(lambda ab: T.add(*ab)),
+        st.tuples(child, child).map(lambda ab: T.sub(*ab)),
+        st.tuples(st.integers(-3, 3).map(T.intlit), child)
+          .map(lambda ab: T.mul(*ab)),
+        child.map(T.neg),
+    )
+
+
+int_terms = st.recursive(_leaf, _int_nodes, max_leaves=6)
+
+
+def _cmp(pair_to_term):
+    return st.tuples(int_terms, int_terms).map(lambda ab: pair_to_term(*ab))
+
+
+_atoms = st.one_of(_cmp(T.le), _cmp(T.lt), _cmp(T.eq))
+
+
+def _bool_nodes(child):
+    return st.one_of(
+        st.tuples(child, child).map(lambda ab: T.and_(*ab)),
+        st.tuples(child, child).map(lambda ab: T.or_(*ab)),
+        child.map(T.not_),
+    )
+
+
+bool_terms = st.recursive(_atoms, _bool_nodes, max_leaves=4)
+
+
+def _assignments(*terms):
+    names = sorted({v.name for t in terms for v in t.free_vars()})
+    for values in itertools.product(DOMAIN, repeat=len(names)):
+        yield dict(zip(names, values))
+
+
+# ---------------------------------------------------------------------
+# linarith soundness
+
+@settings(max_examples=60, deadline=None)
+@given(hyps=st.lists(bool_terms, max_size=3), goal=bool_terms)
+def test_implies_linear_is_sound(hyps, goal):
+    """A claimed entailment must hold in every small-domain model."""
+    if not implies_linear(hyps, goal):
+        return  # "don't know" is always allowed
+    for env in _assignments(goal, *hyps):
+        try:
+            if not all(evaluate(h, env) for h in hyps):
+                continue
+            assert evaluate(goal, env), \
+                f"claimed {hyps} |= {goal}, refuted by {env}"
+        except EvalError:
+            continue
+
+
+@settings(max_examples=30, deadline=None)
+@given(goal=bool_terms)
+def test_implies_linear_from_nothing_means_valid(goal):
+    if not implies_linear([], goal):
+        return
+    for env in _assignments(goal):
+        try:
+            assert evaluate(goal, env), f"claimed valid: {goal}, env {env}"
+        except EvalError:
+            continue
+
+
+# ---------------------------------------------------------------------
+# simplify soundness
+
+@settings(max_examples=80, deadline=None)
+@given(t=st.one_of(int_terms, bool_terms))
+def test_simplify_preserves_semantics(t):
+    s = simplify(t)
+    for env in _assignments(t, s):
+        try:
+            want = evaluate(t, env)
+        except EvalError:
+            continue
+        assert evaluate(s, env) == want, f"{t} -> {s} differs at {env}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(t=st.one_of(int_terms, bool_terms))
+def test_simplify_is_idempotent(t):
+    s = simplify(t)
+    assert simplify(s) == s
+
+
+@settings(max_examples=40, deadline=None)
+@given(phi=bool_terms)
+def test_simplify_hyp_is_sound(phi):
+    """Every fact extracted from a hypothesis must be implied by it."""
+    facts = simplify_hyp(phi)
+    for env in _assignments(phi, *facts):
+        try:
+            if not evaluate(phi, env):
+                continue
+            for f in facts:
+                assert evaluate(f, env), f"{phi} -/-> {f} at {env}"
+        except EvalError:
+            continue
