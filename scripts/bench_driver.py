@@ -15,6 +15,11 @@ reference; on a single-core machine only the cache speedup is physically
 available, and the parallel assertion is skipped (reported as such).
 
 Run:  PYTHONPATH=src python scripts/bench_driver.py [--jobs N] [--repeat K]
+                                                    [--json PATH]
+
+``--json`` writes a ``BENCH_driver.json`` artifact in the shared
+benchmark schema (see ``repro.driver.benchio`` and
+``scripts/bench_solver.py``).
 """
 
 import argparse
@@ -41,12 +46,14 @@ def fingerprint(outcomes):
     return fp
 
 
-def run(paths, label, repeat, **kwargs):
+def run(paths, label, repeat, samples_out=None, **kwargs):
     best, outcomes = None, None
     for _ in range(repeat):
         t0 = time.perf_counter()
         outcomes = verify_files(paths, **kwargs)
         dt = time.perf_counter() - t0
+        if samples_out is not None:
+            samples_out.append(dt)
         best = dt if best is None else min(best, dt)
     ok = all(o.ok for o in outcomes.values())
     print(f"  {label:<28} {best * 1e3:8.1f}ms   "
@@ -59,6 +66,8 @@ def main(argv=None) -> int:
     ap.add_argument("--jobs", type=int, default=4)
     ap.add_argument("--repeat", type=int, default=3,
                     help="take the best of K runs (warm-machine timing)")
+    ap.add_argument("--json", dest="json_path", default="",
+                    help="write a BENCH_driver.json artifact to PATH")
     args = ap.parse_args(argv)
 
     base = casestudies_dir()
@@ -68,16 +77,19 @@ def main(argv=None) -> int:
     print(f"bench_driver: {len(paths)} case studies, "
           f"{cores} CPU core(s), jobs={args.jobs}")
 
-    t_serial, serial = run(paths, "serial (jobs=1)", args.repeat, jobs=1)
+    s_serial, s_par, s_warm = [], [], []
+    t_serial, serial = run(paths, "serial (jobs=1)", args.repeat, jobs=1,
+                           samples_out=s_serial)
     t_par, parallel = run(paths, f"parallel (jobs={args.jobs})",
-                          args.repeat, jobs=args.jobs)
+                          args.repeat, jobs=args.jobs, samples_out=s_par)
 
     cache_dir = tempfile.mkdtemp(prefix="rc-cache-bench-")
     try:
         run(paths, "cold cache (jobs=1)", 1, jobs=1, cache=True,
             cache_dir=cache_dir)
         t_warm, warm = run(paths, "warm cache (jobs=1)", args.repeat,
-                           jobs=1, cache=True, cache_dir=cache_dir)
+                           jobs=1, cache=True, cache_dir=cache_dir,
+                           samples_out=s_warm)
         hits = sum(o.metrics.cache_hits for o in warm.values())
         misses = sum(o.metrics.cache_misses for o in warm.values())
     finally:
@@ -108,6 +120,34 @@ def main(argv=None) -> int:
     else:
         print("  (single core: the >=2x parallel target needs >=2 cores; "
               "equality still asserted)")
+
+    if args.json_path:
+        from repro.driver.benchio import (bench_envelope, sample_stats,
+                                          write_bench_json)
+        payload = bench_envelope(
+            "driver", [stem for stem, _cls in
+                       FIGURE7_STUDIES + EXTRA_STUDIES], args.repeat)
+        payload["configs"] = {
+            "serial": {"total_wall_s": sample_stats(s_serial)},
+            f"parallel_jobs{args.jobs}":
+                {"total_wall_s": sample_stats(s_par)},
+            "warm_cache": {"total_wall_s": sample_stats(s_warm),
+                           "cache_hits": hits, "cache_misses": misses},
+        }
+        payload["speedup"] = {
+            "basis": "min-of-repetitions",
+            "parallel": round(speedup_par, 3),
+            "warm_cache": round(speedup_warm, 3),
+        }
+        payload["checks"] = {
+            "fingerprint_identical":
+                fingerprint(serial) == fingerprint(parallel)
+                and fingerprint(serial) == fingerprint(warm),
+            "all_verified": all(o.ok for o in serial.values()),
+            "passed": not failures,
+        }
+        path = write_bench_json(args.json_path, payload)
+        print(f"  wrote {path}")
 
     if failures:
         print("\nFAILED:")

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Benchmark the memoized pure-solver pipeline: caches on vs. off.
+
+Verifies the Figure-7 case-study suite twice — once with every pure-stack
+cache disabled (``set_cache_enabled(False)``, the reference semantics) and
+once with them enabled (hash-consed terms feeding the simplify / linarith
+/ lists / sets / prove memo tables) — and
+
+  1. asserts the two modes are *observationally identical*: per-function
+     outcome, ``Stats.counters()`` and exact error text match byte for
+     byte (the caches may only change speed, never results);
+  2. reports the wall-clock speedup and asserts it meets the threshold
+     (default >=2x, skipped under ``--quick``);
+  3. writes a ``BENCH_solver.json`` artifact (schema shared with
+     ``bench_driver.py`` — see ``repro.driver.benchio``).
+
+The asserted ratio is measured on the *checking-phase* wall
+(``search_s + solver_s``) — the phase the caches operate in; parsing and
+elaboration are identical work in both modes.  The total process wall is
+reported alongside.  Every cached repetition starts cold
+(``clear_pure_caches()``), so the ratio reflects within-suite redundancy
+only, not warm re-runs.
+
+Run:  PYTHONPATH=src python scripts/bench_solver.py [--quick] [--json PATH]
+"""
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.driver.benchio import bench_envelope, sample_stats  # noqa: E402
+from repro.driver.benchio import write_bench_json              # noqa: E402
+from repro.frontend import verify_file                         # noqa: E402
+from repro.pure.memo import (cache_enabled, clear_pure_caches,  # noqa: E402
+                             set_cache_enabled)
+from repro.report import (EXTRA_STUDIES, FIGURE7_STUDIES,      # noqa: E402
+                          casestudies_dir)
+
+
+def fingerprint(outcomes):
+    """The deterministic contents of every ProgramResult: function order,
+    outcome, Stats counters and exact error text."""
+    fp = {}
+    for study, out in outcomes.items():
+        fp[study] = [(name, fr.ok, fr.stats.counters(), fr.format_error())
+                     for name, fr in out.result.functions.items()]
+    return fp
+
+
+def run_suite(paths, cached):
+    """One cold pass over the suite; returns (total_wall, check_wall,
+    outcomes)."""
+    set_cache_enabled(cached)
+    if cached:
+        clear_pure_caches()
+    t0 = time.perf_counter()
+    check = 0.0
+    outcomes = {}
+    for p in paths:
+        out = verify_file(p)
+        check += out.metrics.phases.search_s + out.metrics.phases.solver_s
+        outcomes[p.stem] = out
+    return time.perf_counter() - t0, check, outcomes
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="2 repetitions, correctness assertions only "
+                         "(no speedup threshold) — the CI smoke mode")
+    ap.add_argument("--repeat", type=int, default=None,
+                    help="repetitions per mode (default 5; 2 with --quick)")
+    ap.add_argument("--threshold", type=float, default=2.0,
+                    help="minimum required checking-phase speedup")
+    ap.add_argument("--extras", action="store_true",
+                    help="also measure the non-Figure-7 extra studies")
+    ap.add_argument("--json", dest="json_path", default="BENCH_solver.json",
+                    help="where to write the benchmark artifact "
+                         "('' disables)")
+    args = ap.parse_args(argv)
+    repeat = args.repeat or (2 if args.quick else 5)
+
+    studies = [stem for stem, _cls in FIGURE7_STUDIES]
+    if args.extras:
+        studies += [stem for stem, _cls in EXTRA_STUDIES]
+    base = casestudies_dir()
+    paths = [base / f"{stem}.c" for stem in studies]
+    print(f"bench_solver: {len(paths)} case studies, "
+          f"{repeat} repetition(s) per mode"
+          f"{' (quick)' if args.quick else ''}")
+
+    previous = cache_enabled()
+    try:
+        # Warmup pass per mode (interpreter/import effects), capturing the
+        # fingerprints and the cached-mode telemetry outside the timing.
+        _, _, out_off = run_suite(paths, cached=False)
+        _, _, out_on = run_suite(paths, cached=True)
+        fp_off, fp_on = fingerprint(out_off), fingerprint(out_on)
+        identical = fp_off == fp_on
+        hits = sum(f.solver_cache_hits
+                   for o in out_on.values() for f in o.metrics.functions)
+        interned = sum(f.terms_interned
+                       for o in out_on.values() for f in o.metrics.functions)
+        nfunctions = sum(len(o.result.functions) for o in out_off.values())
+
+        off_total, off_check, on_total, on_check = [], [], [], []
+        for _ in range(repeat):
+            t, c, _ = run_suite(paths, cached=False)
+            off_total.append(t)
+            off_check.append(c)
+            t, c, _ = run_suite(paths, cached=True)
+            on_total.append(t)
+            on_check.append(c)
+    finally:
+        set_cache_enabled(previous)
+
+    speedup_check = min(off_check) / min(on_check)
+    speedup_total = min(off_total) / min(on_total)
+
+    print(f"  cache off: check {min(off_check) * 1e3:8.1f}ms   "
+          f"total {min(off_total) * 1e3:8.1f}ms   (best of {repeat})")
+    print(f"  cache on:  check {min(on_check) * 1e3:8.1f}ms   "
+          f"total {min(on_total) * 1e3:8.1f}ms")
+    print(f"  speedup:   check {speedup_check:5.2f}x   "
+          f"total {speedup_total:5.2f}x")
+    print(f"  telemetry: {hits} solver-cache hits, "
+          f"{interned} terms interned, {nfunctions} functions")
+
+    failures = []
+    if not identical:
+        diffs = [s for s in fp_off if fp_off[s] != fp_on.get(s)]
+        failures.append("cached results differ from cache-free results "
+                        f"in: {', '.join(diffs)}")
+    if not all(o.ok for o in out_off.values()):
+        failures.append("reference run has verification failures")
+    if not args.quick and speedup_check < args.threshold:
+        failures.append(f"checking-phase speedup {speedup_check:.2f}x "
+                        f"< {args.threshold:.1f}x")
+
+    if args.json_path:
+        payload = bench_envelope("solver", studies, repeat)
+        payload["configs"] = {
+            "cache_off": {
+                "total_wall_s": sample_stats(off_total),
+                "check_wall_s": sample_stats(off_check),
+            },
+            "cache_on": {
+                "total_wall_s": sample_stats(on_total),
+                "check_wall_s": sample_stats(on_check),
+                "solver_cache_hits": hits,
+                "terms_interned": interned,
+            },
+        }
+        payload["speedup"] = {
+            "basis": "min-of-repetitions",
+            "primary": "check_wall",
+            "check_wall": round(speedup_check, 3),
+            "total_wall": round(speedup_total, 3),
+            "threshold": args.threshold if not args.quick else None,
+        }
+        payload["checks"] = {
+            "fingerprint_identical": identical,
+            "all_verified": all(o.ok for o in out_off.values()),
+            "functions": nfunctions,
+            "speedup_asserted": not args.quick,
+        }
+        path = write_bench_json(args.json_path, payload)
+        print(f"  wrote {path}")
+
+    if failures:
+        print("\nFAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nOK: cached and cache-free runs are observationally identical"
+          + ("." if args.quick
+             else f"; speedup {speedup_check:.2f}x >= "
+                  f"{args.threshold:.1f}x."))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

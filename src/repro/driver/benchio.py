@@ -1,0 +1,73 @@
+"""Shared JSON schema for the benchmark scripts.
+
+``scripts/bench_solver.py`` and ``scripts/bench_driver.py`` both emit a
+``BENCH_*.json`` artifact with the same envelope, so downstream tooling
+(CI trend plots, the README performance table) can parse either file with
+one reader:
+
+.. code-block:: json
+
+    {
+      "bench_schema_version": 1,
+      "bench": "solver",                 // which script produced it
+      "python": "3.11.7",
+      "platform": "Linux-...",
+      "suite": ["alloc", "..."],         // case-study stems measured
+      "repetitions": 5,
+      "configs": { "<name>": { "total_wall_s": {"samples": [...],
+                                                "min": ..., "median": ...,
+                                                "mean": ...}, ... } },
+      "speedup": { "...": ... },         // script-specific ratios
+      "checks": { "...": true }          // the assertions the run made
+    }
+
+Timing fields are :func:`sample_stats` dicts — raw samples plus the
+derived statistics, with ``min`` (the least scheduler-contaminated
+estimate, used for every asserted ratio) first.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Sequence
+
+BENCH_SCHEMA_VERSION = 1
+
+
+def sample_stats(samples: Sequence[float]) -> dict:
+    """Raw timing samples plus min/median/mean, seconds."""
+    ordered = sorted(samples)
+    n = len(ordered)
+    median = (ordered[n // 2] if n % 2
+              else (ordered[n // 2 - 1] + ordered[n // 2]) / 2)
+    return {
+        "samples": [round(s, 6) for s in samples],
+        "min": round(ordered[0], 6),
+        "median": round(median, 6),
+        "mean": round(sum(ordered) / n, 6),
+    }
+
+
+def bench_envelope(bench: str, suite: Sequence[str],
+                   repetitions: int) -> dict:
+    """The common header every ``BENCH_*.json`` starts from."""
+    return {
+        "bench_schema_version": BENCH_SCHEMA_VERSION,
+        "bench": bench,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "suite": list(suite),
+        "repetitions": repetitions,
+        "configs": {},
+        "speedup": {},
+        "checks": {},
+    }
+
+
+def write_bench_json(path: str | Path, payload: dict) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return path

@@ -18,7 +18,12 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field
 
-METRICS_SCHEMA_VERSION = 1
+# Schema history:
+#   1 — initial per-phase metrics.
+#   2 — adds per-function and per-unit ``solver_cache_hits`` (pure-solver
+#       memoization hits) and ``terms_interned`` (hash-consed term nodes
+#       allocated during the check).
+METRICS_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -50,6 +55,10 @@ class FunctionMetrics:
     wall_s: float = 0.0           # check wall time (original, if cached)
     solver_s: float = 0.0
     counters: dict = field(default_factory=dict)  # Stats.counters()
+    # Engine telemetry (schema v2).  Not part of ``counters`` — these vary
+    # with the cache configuration while counters stay byte-identical.
+    solver_cache_hits: int = 0
+    terms_interned: int = 0
 
 
 @dataclass
@@ -62,19 +71,26 @@ class DriverMetrics:
     cache_hits: int = 0
     cache_misses: int = 0
     wall_s: float = 0.0           # elapsed checking time (excl. front end)
+    solver_cache_hits: int = 0    # summed over live (non-"hit") functions
+    terms_interned: int = 0
     phases: PhaseTimings = field(default_factory=PhaseTimings)
     functions: list[FunctionMetrics] = field(default_factory=list)
 
     # ------------------------------------------------------------
     def add_function(self, name: str, ok: bool, cache: str, wall_s: float,
-                     solver_s: float, counters: dict) -> None:
+                     solver_s: float, counters: dict,
+                     solver_cache_hits: int = 0,
+                     terms_interned: int = 0) -> None:
         self.functions.append(
-            FunctionMetrics(name, ok, cache, wall_s, solver_s, counters))
+            FunctionMetrics(name, ok, cache, wall_s, solver_s, counters,
+                            solver_cache_hits, terms_interned))
         if cache != "hit":
             # Cached entries report the *original* run's times; only live
             # checks contribute to this unit's phase totals.
             self.phases.search_s += max(0.0, wall_s - solver_s)
             self.phases.solver_s += solver_s
+            self.solver_cache_hits += solver_cache_hits
+            self.terms_interned += terms_interned
 
     @property
     def cache_hit_rate(self) -> float:
@@ -107,6 +123,10 @@ class DriverMetrics:
             f"search {p.search_s * 1e3:.1f}ms, "
             f"solver {p.solver_s * 1e3:.1f}ms",
         ]
+        if self.solver_cache_hits or self.terms_interned:
+            lines.append(
+                f"engine: {self.solver_cache_hits} solver-cache hit(s), "
+                f"{self.terms_interned} term(s) interned")
         return "\n".join(lines)
 
 
@@ -120,6 +140,8 @@ def merge_metrics(per_unit: list[DriverMetrics]) -> DriverMetrics:
         total.cache_hits += m.cache_hits
         total.cache_misses += m.cache_misses
         total.wall_s += m.wall_s
+        total.solver_cache_hits += m.solver_cache_hits
+        total.terms_interned += m.terms_interned
         total.phases.parse_s += m.phases.parse_s
         total.phases.elaborate_s += m.phases.elaborate_s
         total.phases.search_s += m.phases.search_s

@@ -56,6 +56,15 @@ def reset_fresh_counters() -> None:
     _search._FRESH_VAR_COUNTER = itertools.count(1)
     _terms._EVAR_COUNTER = itertools.count()
     _checker.FnCtx._slot_counter = itertools.count(1)
+    # Drop the term intern tables so the per-function terms_interned
+    # metric only counts this function's constructions.  The semantic
+    # memo caches (simplify/linarith/lists/sets) deliberately survive:
+    # they map term structure to term structure, equality is structural,
+    # and the checked conditions repeat heavily across the functions of a
+    # unit — cross-function hits are where most of the cached-mode
+    # speedup comes from.  Verification results are unaffected either
+    # way; only hit-rate telemetry varies with schedule.
+    _terms.clear_term_caches()
 
 
 @dataclass
@@ -201,7 +210,9 @@ def run_units(units: Sequence[Unit], config: Optional[DriverConfig] = None
             fr, wall, state = item
             result.functions[name] = fr
             m.add_function(name, fr.ok, state, wall, fr.stats.solver_time,
-                           fr.stats.counters())
+                           fr.stats.counters(),
+                           solver_cache_hits=fr.stats.solver_cache_hits,
+                           terms_interned=fr.stats.terms_interned)
         # Elapsed time is shared by every unit on the pool; a unit's own
         # checking cost is the sum of its live function walls.
         m.wall_s = elapsed if len(units) == 1 else \

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from ..pure.memo import MEMO
 from ..pure.terms import Subst, Term, Var
 from .goals import Atom
 
@@ -26,6 +27,13 @@ class Gamma:
 
     variables: list[Var] = field(default_factory=list)
     facts: list[Term] = field(default_factory=list)
+    # Incremental resolved_facts cache: (subst, subst.generation,
+    # resolved list, number of facts resolved).  ``facts`` is append-only
+    # (see add_fact) and a Subst's resolutions only change when its
+    # generation bumps, so the cached prefix stays valid and only the
+    # tail of new facts needs resolving.
+    _rf_state: Optional[tuple] = field(default=None, init=False,
+                                       repr=False, compare=False)
 
     def copy(self) -> "Gamma":
         return Gamma(list(self.variables), list(self.facts))
@@ -38,7 +46,21 @@ class Gamma:
             self.facts.append(phi)
 
     def resolved_facts(self, subst: Subst) -> list[Term]:
-        return [subst.resolve(f) for f in self.facts]
+        if not MEMO.enabled:
+            return [subst.resolve(f) for f in self.facts]
+        state = self._rf_state
+        if state is not None and state[0] is subst \
+                and state[1] == subst.generation:
+            resolved, n = state[2], state[3]
+            if n < len(self.facts):
+                resolved.extend(subst.resolve(f) for f in self.facts[n:])
+                self._rf_state = (subst, subst.generation, resolved,
+                                  len(self.facts))
+        else:
+            resolved = [subst.resolve(f) for f in self.facts]
+            self._rf_state = (subst, subst.generation, resolved,
+                              len(self.facts))
+        return list(resolved)
 
 
 @dataclass

@@ -115,6 +115,13 @@ class Stats:
     backtracks: int = 0   # must stay 0 — asserted by the benchmarks
     solver_calls: int = 0
     solver_time: float = 0.0   # wall seconds spent inside PureSolver.prove
+    # Cache/engine telemetry.  Deliberately NOT part of counters(): the
+    # values depend on whether the pure caches are enabled, while
+    # counters() must stay byte-identical between cached and cache-free
+    # runs (it feeds the fuzz-corpus fingerprints and the driver's
+    # on-disk result cache).
+    solver_cache_hits: int = 0
+    terms_interned: int = 0
 
     def counters(self) -> dict:
         """The deterministic portion of the statistics: every counter, but
@@ -191,11 +198,14 @@ class SearchState:
         """Call the pure solver, attributing its wall time to the solver
         phase of the driver metrics (the search/solver split of §7)."""
         t0 = time.perf_counter()
+        hits0 = getattr(self.solver, "cache_hits", 0)
         try:
             return self.solver.prove(facts, phi)
         finally:
             self.stats.solver_time += time.perf_counter() - t0
             self.stats.solver_calls += 1
+            self.stats.solver_cache_hits += \
+                getattr(self.solver, "cache_hits", 0) - hits0
 
     # ------------------------------------------------------------
     # The interpreter.

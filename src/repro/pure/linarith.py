@@ -19,11 +19,24 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable, Optional
 
+from .memo import MEMO, register_cache, trim_cache
 from .terms import App, Lit, Sort, Term, Var, sub
 
 # A linear expression is a mapping from opaque INT atoms to coefficients plus
 # a constant; it denotes  sum(coeff * atom) + const.
 LinMap = dict[Term, Fraction]
+
+# Memoization over interned terms.  Linearisation and constraint extraction
+# are pure up to their ``atoms`` out-parameter, so each cache entry stores
+# the result together with the frozenset of atoms the computation would have
+# added; a hit replays the set union.  Entailment results are plain bools
+# keyed on (hyps tuple, goal).
+_LINEARISE_CACHE: dict = register_cache({})
+_CONSTRAINT_CACHE: dict = register_cache({})
+_IMPLIES_CACHE: dict = register_cache({})
+_AXIOM_CACHE: dict = register_cache({})
+_FM_CACHE: dict = register_cache({})
+_MISS = object()
 
 
 @dataclass
@@ -64,6 +77,23 @@ class _NonLinear(Exception):
 
 def linearise(t: Term, atoms: set[Term]) -> LinExpr:
     """Turn an INT term into a linear expression, collecting opaque atoms."""
+    if not MEMO.enabled:
+        return _linearise(t, atoms)
+    hit = _LINEARISE_CACHE.get(t)
+    if hit is None:
+        local: set[Term] = set()
+        e = _linearise(t, local)
+        trim_cache(_LINEARISE_CACHE)
+        hit = (e, frozenset(local))
+        _LINEARISE_CACHE[t] = hit
+    atoms |= hit[1]
+    # Fresh coeff dict per call: downstream arithmetic never mutates a
+    # LinExpr in place, but sharing one dict across calls would make that
+    # invariant load-bearing for correctness rather than just hygiene.
+    return LinExpr(dict(hit[0].coeffs), hit[0].const)
+
+
+def _linearise(t: Term, atoms: set[Term]) -> LinExpr:
     if isinstance(t, Lit):
         return LinExpr({}, Fraction(int(t.value)))
     if isinstance(t, App):
@@ -132,6 +162,21 @@ def _to_constraints(prop: Term, atoms: set[Term]) -> Optional[list[Constraint]]:
     Returns ``None`` if the proposition is not (a conjunction of) linear
     atoms -- such hypotheses are simply not visible to this solver.
     """
+    if not MEMO.enabled:
+        return _to_constraints_impl(prop, atoms)
+    hit = _CONSTRAINT_CACHE.get(prop, _MISS)
+    if hit is _MISS:
+        local: set[Term] = set()
+        cs = _to_constraints_impl(prop, local)
+        trim_cache(_CONSTRAINT_CACHE)
+        hit = (tuple(cs) if cs is not None else None, frozenset(local))
+        _CONSTRAINT_CACHE[prop] = hit
+    atoms |= hit[1]
+    return list(hit[0]) if hit[0] is not None else None
+
+
+def _to_constraints_impl(prop: Term, atoms: set[Term]
+                         ) -> Optional[list[Constraint]]:
     if isinstance(prop, Lit):
         if prop.value is True:
             return []
@@ -268,37 +313,85 @@ def _fourier_motzkin(ineqs: list[LinExpr]) -> bool:
 
     Complete over the rationals; with the integer tightening performed during
     translation this is a sound (if incomplete) integer unsat check.
-    """
-    ineqs = [_normalise_int(e) for e in ineqs]
+
+    The elimination runs on an integer representation: after the initial
+    :func:`_normalise_int` pass every coefficient is integral, and the
+    positive combination ``|c_n|·p + c_p·n`` spans the same half-space as
+    the rational ``p/c_p - n/c_n`` combination, so after gcd reduction the
+    normalised constraints — and hence every pivot choice, size cutoff,
+    and the final verdict — are identical to the rational-arithmetic
+    formulation, while avoiding ~5 Fraction allocations per coefficient.
+    Only the constant term stays a Fraction (Gaussian elimination upstream
+    can make it non-integral)."""
+    if MEMO.enabled:
+        # Keys hash the Fraction constants as (numerator, denominator)
+        # int pairs — Fraction.__hash__ computes a modular inverse and
+        # shows up in profiles at this call volume.
+        key = tuple((tuple(e.coeffs.items()),
+                     e.const.numerator, e.const.denominator) for e in ineqs)
+        hit = _FM_CACHE.get(key)
+        if hit is None:
+            hit = _fourier_motzkin_impl(ineqs)
+            trim_cache(_FM_CACHE)
+            _FM_CACHE[key] = hit
+        return hit
+    return _fourier_motzkin_impl(ineqs)
+
+
+def _fourier_motzkin_impl(ineqs: list[LinExpr]) -> bool:
+    # (coeffs: dict[Term, int], const: Fraction), mirroring LinExpr.
+    work: list[tuple[dict, Fraction]] = []
+    for e in ineqs:
+        e = _normalise_int(e)
+        work.append(({k: int(v) for k, v in e.coeffs.items()}, e.const))
+    from math import floor, gcd
     for _round in range(_FM_VAR_LIMIT):
-        consts = [e for e in ineqs if e.is_const()]
-        if any(e.const > 0 for e in consts):
+        if any(const > 0 for coeffs, const in work if not coeffs):
             return True
-        ineqs = [e for e in ineqs if not e.is_const()]
-        if not ineqs:
+        work = [(coeffs, const) for coeffs, const in work if coeffs]
+        if not work:
             return False
         # Choose the variable minimising the pos*neg product (Bland-ish).
         occurrence: dict[Term, tuple[int, int]] = {}
-        for e in ineqs:
-            for k, v in e.coeffs.items():
+        for coeffs, _const in work:
+            for k, v in coeffs.items():
                 p, n = occurrence.get(k, (0, 0))
                 occurrence[k] = (p + (v > 0), n + (v < 0))
         pivot = min(occurrence, key=lambda k: occurrence[k][0] * occurrence[k][1])
-        with_pos = [e for e in ineqs if e.coeffs.get(pivot, Fraction(0)) > 0]
-        with_neg = [e for e in ineqs if e.coeffs.get(pivot, Fraction(0)) < 0]
-        without = [e for e in ineqs if pivot not in e.coeffs]
-        new: list[LinExpr] = list(without)
-        for p in with_pos:
-            for n in with_neg:
-                # p: c_p * x + r_p <= 0  (c_p>0)  =>  x <= -r_p / c_p
-                # n: c_n * x + r_n <= 0  (c_n<0)  =>  x >= -r_n / c_n
-                combined = p.scale(Fraction(-1) / p.coeffs[pivot]) \
-                    - n.scale(Fraction(-1) / n.coeffs[pivot])
-                # combined <= 0 must hold:  lower_bound - upper_bound <= 0
-                new.append(_normalise_int(combined.scale(Fraction(-1))))
+        with_pos = [e for e in work if e[0].get(pivot, 0) > 0]
+        with_neg = [e for e in work if e[0].get(pivot, 0) < 0]
+        new = [e for e in work if pivot not in e[0]]
+        for pc, pconst in with_pos:
+            a = pc[pivot]
+            for nc, nconst in with_neg:
+                b = nc[pivot]
+                # p: a*x + r_p <= 0 (a>0) and n: b*x + r_n <= 0 (b<0)
+                # combine positively to eliminate x:  -b*p + a*n <= 0.
+                out = {k: -b * v for k, v in pc.items()}
+                for k, v in nc.items():
+                    s = out.get(k, 0) + a * v
+                    if s == 0:
+                        out.pop(k, None)
+                    else:
+                        out[k] = s
+                const = -b * pconst + a * nconst
+                # Normalise (same algebra as _normalise_int): make the
+                # constant integral, divide by the coefficient gcd, floor.
+                if out:
+                    lcm = const.denominator
+                    if lcm != 1:
+                        out = {k: v * lcm for k, v in out.items()}
+                        const = const * lcm
+                    g = 0
+                    for v in out.values():
+                        g = gcd(g, abs(v))
+                    if g > 1:
+                        out = {k: v // g for k, v in out.items()}
+                        const = -Fraction(floor(-const / g))
+                new.append((out, const))
         if len(new) > _FM_SIZE_LIMIT:
             return False  # give up (incomplete, but sound: "not proved")
-        ineqs = new
+        work = new
     return False
 
 
@@ -352,8 +445,46 @@ def _div_axioms(hyp_constraints: list[Constraint], atoms: set[Term]
     return out
 
 
+def _axioms_for(hyps: tuple[Term, ...], hyp_constraints: list[Constraint],
+                atoms: set[Term]) -> list[Constraint]:
+    """Bounding axioms for every opaque atom (mutates ``atoms``), memoized
+    on (hyps, atoms) — ``hyp_constraints`` is a function of ``hyps``."""
+    if not MEMO.enabled:
+        out: list[Constraint] = []
+        for a in list(atoms):
+            out.extend(_atom_axioms(a, atoms))
+        out.extend(_div_axioms(hyp_constraints, atoms))
+        return out
+    key = (tuple(hyps), frozenset(atoms))
+    hit = _AXIOM_CACHE.get(key)
+    if hit is None:
+        local = set(atoms)
+        axioms: list[Constraint] = []
+        for a in list(local):
+            axioms.extend(_atom_axioms(a, local))
+        axioms.extend(_div_axioms(hyp_constraints, local))
+        trim_cache(_AXIOM_CACHE)
+        hit = (tuple(axioms), frozenset(local - atoms))
+        _AXIOM_CACHE[key] = hit
+    atoms |= hit[1]
+    return list(hit[0])
+
+
 def implies_linear(hyps: Iterable[Term], goal: Term) -> bool:
     """Decide whether the linear fragment of ``hyps`` entails ``goal``."""
+    hyps = tuple(hyps)
+    if not MEMO.enabled:
+        return _implies_linear(hyps, goal)
+    key = (hyps, goal)
+    hit = _IMPLIES_CACHE.get(key, _MISS)
+    if hit is _MISS:
+        hit = _implies_linear(hyps, goal)
+        trim_cache(_IMPLIES_CACHE)
+        _IMPLIES_CACHE[key] = hit
+    return hit
+
+
+def _implies_linear(hyps: tuple[Term, ...], goal: Term) -> bool:
     if isinstance(goal, App) and goal.op == "and":
         hyps = list(hyps)
         return all(implies_linear(hyps, g) for g in goal.args)
@@ -382,11 +513,11 @@ def implies_linear(hyps: Iterable[Term], goal: Term) -> bool:
     neg_sets = _negate_to_constraint_sets(goal, atoms)
     if neg_sets is None:
         return False
-    # Lazy axioms for every opaque atom seen anywhere.
-    axioms: list[Constraint] = []
-    for a in list(atoms):
-        axioms.extend(_atom_axioms(a, atoms))
-    axioms.extend(_div_axioms(hyp_constraints, atoms))
+    # Lazy axioms for every opaque atom seen anywhere.  The axiom set —
+    # including the nested entailment queries of _div_axioms — depends
+    # only on (hyps, atoms), and consecutive queries under one Γ share
+    # their hypotheses, so this is one of the hottest memoization points.
+    axioms = _axioms_for(hyps, hyp_constraints, atoms)
     for neg in neg_sets:
         system = hyp_constraints + axioms + neg
         remaining = _gauss_eliminate(system)

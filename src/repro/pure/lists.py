@@ -11,8 +11,12 @@ from __future__ import annotations
 from typing import Iterable
 
 from . import linarith
+from .memo import MEMO, register_cache, trim_cache
 from .simplify import _list_parts, simplify
 from .terms import App, Lit, Sort, Term, eq
+
+_LIST_CACHE: dict = register_cache({})
+_MISS = object()
 
 
 class ListSolver:
@@ -112,5 +116,18 @@ class ListSolver:
 
 
 def list_solver(hyps: Iterable[Term], goal: Term) -> bool:
+    hyps = tuple(hyps)
+    if not MEMO.enabled:
+        return _list_solver(hyps, goal)
+    key = (hyps, goal)
+    hit = _LIST_CACHE.get(key, _MISS)
+    if hit is _MISS:
+        hit = _list_solver(hyps, goal)
+        trim_cache(_LIST_CACHE)
+        _LIST_CACHE[key] = hit
+    return hit
+
+
+def _list_solver(hyps: tuple[Term, ...], goal: Term) -> bool:
     hyps = list(hyps)
     return ListSolver(hyps).prove(simplify(goal), hyps)

@@ -19,8 +19,32 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from . import linarith
+from .memo import MEMO, register_cache, trim_cache
 from .simplify import _mset_parts, simplify
 from .terms import App, Lit, Sort, Term, and_, eq, le, mall_ge, mall_le, not_
+
+_MSET_CACHE: dict = register_cache({})
+# The member-split search re-derives the same (hyps, goal, arith) subproofs
+# along different branches of the case tree; caching them turns the
+# exponential exploration into a DAG walk.
+_MSET_PROVE_CACHE: dict = register_cache({})
+# Saturation (``_ingest``) is itself deterministic in the constructor
+# arguments and solver instances are immutable afterwards, so equal
+# hypothesis tuples can share one instance.
+_MSET_SOLVER_CACHE: dict = register_cache({})
+_MISS = object()
+
+
+def _get_solver(hyps: Iterable[Term]) -> "MultisetSolver":
+    hyps = tuple(hyps)
+    if not MEMO.enabled:
+        return MultisetSolver(hyps)
+    s = _MSET_SOLVER_CACHE.get(hyps)
+    if s is None:
+        s = MultisetSolver(hyps)
+        trim_cache(_MSET_SOLVER_CACHE)
+        _MSET_SOLVER_CACHE[hyps] = s
+    return s
 
 _SATURATION_ROUNDS = 4
 
@@ -29,6 +53,11 @@ class MultisetSolver:
     """Decide multiset goals under a hypothesis set."""
 
     def __init__(self, hyps: Iterable[Term]) -> None:
+        hyps = list(hyps)
+        # Instances are immutable after ``_ingest``; the constructor
+        # arguments fully determine every later ``prove`` answer, so they
+        # double as the memoization key.
+        self._memo_key = tuple(hyps)
         self.rewrites: dict[Term, Term] = {}
         self.facts: list[Term] = []
         self._ingest(hyps)
@@ -123,6 +152,18 @@ class MultisetSolver:
 
     def prove(self, goal: Term, arith_hyps: Iterable[Term] = ()) -> bool:
         """Try to prove a (multi)set goal."""
+        extra = tuple(arith_hyps)
+        if not MEMO.enabled:
+            return self._prove(goal, extra)
+        key = (self._memo_key, goal, extra)
+        hit = _MSET_PROVE_CACHE.get(key, _MISS)
+        if hit is _MISS:
+            hit = self._prove(goal, extra)
+            trim_cache(_MSET_PROVE_CACHE)
+            _MSET_PROVE_CACHE[key] = hit
+        return hit
+
+    def _prove(self, goal: Term, arith_hyps: Iterable[Term]) -> bool:
         arith = list(arith_hyps) + self._arith_hyps()
         goal = self.normalise(goal)
         if isinstance(goal, Lit):
@@ -136,7 +177,7 @@ class MultisetSolver:
                 return True
             return self._prove_by_member_split(goal, arith)
         if isinstance(goal, App) and goal.op == "implies":
-            return MultisetSolver(list(self.facts) + [goal.args[0]]).prove(
+            return _get_solver(list(self.facts) + [goal.args[0]]).prove(
                 goal.args[1], arith + [goal.args[0]])
         if isinstance(goal, App) and goal.op == "eq" \
                 and goal.args[0].sort is Sort.BOOL:
@@ -271,7 +312,7 @@ class MultisetSolver:
             ok = True
             for case_hyp in cases:
                 sub_hyps = [h for h in self.facts if h != f] + [case_hyp]
-                sub = MultisetSolver(sub_hyps)
+                sub = _get_solver(sub_hyps)
                 sub_arith = [h for h in arith if h != f] + [case_hyp]
                 if sub.prove(goal, sub_arith):
                     continue
@@ -299,8 +340,21 @@ class MultisetSolver:
 
 def multiset_solver(hyps: Iterable[Term], goal: Term) -> bool:
     """Entry point matching std++'s ``multiset_solver`` tactic."""
+    hyps = tuple(hyps)
+    if not MEMO.enabled:
+        return _multiset_solver(hyps, goal)
+    key = (hyps, goal)
+    hit = _MSET_CACHE.get(key, _MISS)
+    if hit is _MISS:
+        hit = _multiset_solver(hyps, goal)
+        trim_cache(_MSET_CACHE)
+        _MSET_CACHE[key] = hit
+    return hit
+
+
+def _multiset_solver(hyps: tuple[Term, ...], goal: Term) -> bool:
     hyps = list(hyps)
-    return MultisetSolver(hyps).prove(simplify(goal), hyps)
+    return _get_solver(hyps).prove(simplify(goal), hyps)
 
 
 def set_solver(hyps: Iterable[Term], goal: Term) -> bool:

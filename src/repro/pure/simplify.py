@@ -21,24 +21,40 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Optional
 
+from .memo import MEMO, register_cache, trim_cache
 from .terms import (App, Lit, Sort, Term, add, and_, app, eq, intlit, le,
                     mall_ge, mall_le, msize, not_, sub)
+
+# Memoization over interned terms: simplify is a pure function of its
+# (immutable, hash-consed) argument, so caching term -> normal form is
+# observationally invisible.  The cache is registered with the central
+# registry and cleared per function check by the driver.
+_SIMPLIFY_CACHE: dict[Term, Term] = register_cache({})
+_HYP_CACHE: dict[Term, tuple[Term, ...]] = register_cache({})
 
 
 def simplify(t: Term) -> Term:
     """Normalise a term bottom-up.  Idempotent and semantics-preserving."""
     if not isinstance(t, App):
         return t
+    if MEMO.enabled:
+        hit = _SIMPLIFY_CACHE.get(t)
+        if hit is not None:
+            return hit
     args = tuple(simplify(a) for a in t.args)
     if t.op.startswith("fn:") or t.op == "list_lit":
         t2: Term = App(t.op, args, t.result_sort)
     else:
         t2 = app(t.op, *args, sort=t.result_sort)
-    if not isinstance(t2, App):
-        return t2
-    out = _simplify_node(t2)
-    if out is not t2:
-        return simplify(out)
+    if isinstance(t2, App):
+        out = _simplify_node(t2)
+        if out is not t2:
+            out = simplify(out)
+    else:
+        out = t2
+    if MEMO.enabled:
+        trim_cache(_SIMPLIFY_CACHE)
+        _SIMPLIFY_CACHE[t] = out
     return out
 
 
@@ -259,10 +275,24 @@ def register_hyp_rule(rule: HypRule) -> None:
     the user deliberately opts into implications (the paper's escape hatch).
     """
     _HYP_RULES.append(rule)
+    # Cached decompositions may be stale w.r.t. the new rule set.
+    _HYP_CACHE.clear()
 
 
 def simplify_hyp(phi: Term) -> list[Term]:
     """Normalise a hypothesis into a list of simpler hypotheses."""
+    if MEMO.enabled:
+        hit = _HYP_CACHE.get(phi)
+        if hit is not None:
+            return list(hit)
+    out = _simplify_hyp(phi)
+    if MEMO.enabled:
+        trim_cache(_HYP_CACHE)
+        _HYP_CACHE[phi] = tuple(out)
+    return out
+
+
+def _simplify_hyp(phi: Term) -> list[Term]:
     phi = simplify(phi)
     if isinstance(phi, Lit) and phi.value is True:
         return []

@@ -25,6 +25,7 @@ from typing import Iterable, Optional, Sequence
 
 from . import linarith
 from .lists import ListSolver
+from .memo import MEMO, register_cache, trim_cache
 from .sets import multiset_solver, set_solver
 from .simplify import simplify, simplify_hyp
 from .terms import App, Lit, Sort, Term, Var, subst_vars
@@ -104,9 +105,29 @@ _NAMED_SOLVERS = {
     "set_solver": set_solver,
 }
 
+# The default solver uses no per-function state (no lemmas, no tactics),
+# so its memo lives at module level and persists across function checks.
+_DEFAULT_CACHE: dict = register_cache({})
+# Full prove() results and hypothesis expansion are likewise module-level:
+# a query's answer is determined by (tactics, lemmas, hyps, goal) — Lemma
+# is a frozen dataclass of terms, so the configuration is hashable — and
+# the functions of a unit share many side conditions verbatim.
+_PROVE_CACHE: dict = register_cache({})
+_EXPAND_CACHE: dict = register_cache({})
+
 
 class PureSolver:
-    """Solve pure side conditions; records per-proof statistics."""
+    """Solve pure side conditions; records per-proof statistics.
+
+    ``prove`` results are memoized on the *resolved, expanded*
+    ``(tactics, lemmas, frozenset(hyps), goal)`` query (evar instantiation
+    changes the resolved terms and hence the key, so entries can never go
+    stale), and hypothesis expansion is memoized on the raw hypothesis
+    tuple.  ``cache_hits`` counts prove-cache hits observed by *this*
+    instance; the Lithium search layer surfaces it as the
+    ``solver_cache_hits`` metric (deliberately *not* a ``Stats`` counter —
+    those stay byte-identical to the cache-free run).
+    """
 
     def __init__(self, tactics: Sequence[str] = (), lemmas: Sequence[Lemma] = ()) -> None:
         self.tactics = [t for t in tactics if t]
@@ -114,11 +135,26 @@ class PureSolver:
         unknown = [t for t in self.tactics if t not in _NAMED_SOLVERS]
         if unknown:
             raise ValueError(f"unknown solver tactic(s): {unknown}")
+        self._config_key = (tuple(self.tactics), tuple(self.lemmas))
+        self.cache_hits = 0
 
     # -----------------------------------------------------------------
     def prove(self, hyps: Iterable[Term], goal: Term) -> ProveResult:
         hyps = self._expand_hyps(hyps)
         goal = simplify(goal)
+        if MEMO.enabled:
+            key = (self._config_key, frozenset(hyps), goal)
+            hit = _PROVE_CACHE.get(key)
+            if hit is not None:
+                self.cache_hits += 1
+                return hit
+            result = self._prove(hyps, goal)
+            trim_cache(_PROVE_CACHE)
+            _PROVE_CACHE[key] = result
+            return result
+        return self._prove(hyps, goal)
+
+    def _prove(self, hyps: list[Term], goal: Term) -> ProveResult:
         if self._default(hyps, goal):
             return ProveResult(Outcome.DEFAULT)
         for name in self.tactics:
@@ -131,16 +167,43 @@ class PureSolver:
         return ProveResult(Outcome.FAILED)
 
     # -----------------------------------------------------------------
-    @staticmethod
-    def _expand_hyps(hyps: Iterable[Term]) -> list[Term]:
+    def _expand_hyps(self, hyps: Iterable[Term]) -> list[Term]:
+        hyps = tuple(hyps)
+        if MEMO.enabled:
+            hit = _EXPAND_CACHE.get(hyps)
+            if hit is not None:
+                return list(hit)
         out: list[Term] = []
+        seen: set[Term] = set()
         for h in hyps:
-            out.extend(simplify_hyp(h))
+            for s in simplify_hyp(h):
+                # Γ routinely re-introduces the same fact (loop invariants,
+                # unfolded owned types); duplicates only bloat every
+                # downstream linarith call.
+                if s not in seen:
+                    seen.add(s)
+                    out.append(s)
+        if MEMO.enabled:
+            trim_cache(_EXPAND_CACHE)
+            _EXPAND_CACHE[hyps] = tuple(out)
         return out
 
     def _default(self, hyps: list[Term], goal: Term) -> bool:
         """The default solver: recursive goal decomposition over
-        simplification + linarith + lists."""
+        simplification + linarith + lists.  Memoized per (hyps, goal)
+        subproblem — the decomposition revisits the same subgoals across
+        lemma-hypothesis discharge and case splits."""
+        if not MEMO.enabled:
+            return self._default_impl(hyps, goal)
+        key = (tuple(hyps), goal)
+        hit = _DEFAULT_CACHE.get(key)
+        if hit is None:
+            hit = self._default_impl(hyps, goal)
+            trim_cache(_DEFAULT_CACHE)
+            _DEFAULT_CACHE[key] = hit
+        return hit
+
+    def _default_impl(self, hyps: list[Term], goal: Term) -> bool:
         goal = simplify(goal)
         # A hypothesis is literally False, or a pair of contradictory
         # hypotheses exists: anything follows.
@@ -176,10 +239,17 @@ class PureSolver:
             return True
         # Normalise with the list theory (rewriting by list equations in
         # the hypotheses) and retry — the default solver covers "linear
-        # arithmetic and Coq lists" (§7).
-        ls = ListSolver(hyps)
-        goal2 = ls.normalise(goal)
-        hyps2 = [ls.normalise(h) for h in hyps]
+        # arithmetic and Coq lists" (§7).  ListSolver orients rewrites only
+        # from (simplified) equality hypotheses; with none present its
+        # normalise() degenerates to simplify(), so skip building it.
+        simplified = [simplify(h) for h in hyps]
+        if any(isinstance(h, App) and h.op == "eq" for h in simplified):
+            ls = ListSolver(hyps)
+            goal2 = ls.normalise(goal)
+            hyps2 = [ls.normalise(h) for h in hyps]
+        else:
+            goal2 = goal  # already simplified above
+            hyps2 = simplified
         if goal2 != goal or hyps2 != hyps:
             if self._default(hyps2, goal2):
                 return True
@@ -234,16 +304,18 @@ class PureSolver:
         conclusions, and retry the default solver."""
         from .terms import Subst, fresh_evar
         from .unify import unify
+        triggered = [(lemma, lemma.trigger_patterns())
+                     for lemma in self.lemmas]
+        triggered = [(lemma, pats) for lemma, pats in triggered if pats]
+        if not triggered:
+            return False
         pool: list[Term] = []
         for t in hyps + [goal]:
             for s in t.subterms():
                 if isinstance(s, App) and s not in pool:
                     pool.append(s)
         derived: list[Term] = []
-        for lemma in self.lemmas:
-            patterns = lemma.trigger_patterns()
-            if not patterns:
-                continue
+        for lemma, patterns in triggered:
             for inst in self._instantiations(lemma, patterns, pool):
                 inst_hyps = [subst_vars(h, inst) for h in lemma.hyps]
                 if any(h.has_evars() for h in inst_hyps):

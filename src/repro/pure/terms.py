@@ -11,8 +11,21 @@ first-order term language with
 * multisets of integers (``MSET``) -- the paper's ``gmultiset nat``,
 * lists of integers (``LIST``) -- used for array/functional specs.
 
-Terms are immutable and hash-consed *structurally* (frozen dataclasses), so
-they can be used as dictionary keys by the solvers and by Lithium's context.
+Terms are immutable and **hash-consed**: constructing a term that is
+structurally equal to a live one returns the very same object (interned in
+per-class tables), so structural equality is usually pointer identity and
+terms are cheap dictionary keys for the solvers and Lithium's context.
+Per-node attributes that the solvers used to recompute by traversal —
+``has_evars``, ``size``, the hash, and (lazily) ``free_vars``/``evars`` —
+are cached on the node and computed once at construction from the
+children's caches.
+
+Interning is an *allocation* optimization, never a semantic one: ``==``
+and ``hash`` keep their historical structural definitions (in particular
+``Lit(True) == Lit(1)`` still holds, mirroring Python's ``True == 1``,
+while the two stay distinct interned objects so their ``sort``/``repr``
+differ).  Pickling reconstructs through the constructors, so unpickled
+terms re-intern into the local tables.
 
 Existential metavariables (:class:`EVar`) implement the paper's *evars*
 (Section 5, "Handling of evars"): they are created by the ``∃`` case of the
@@ -24,8 +37,9 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Optional, Sequence, Union
+
+from .memo import MEMO, register_clearer
 
 
 class Sort(enum.Enum):
@@ -45,39 +59,137 @@ class TermError(Exception):
     """Raised on ill-sorted term construction or malformed substitution."""
 
 
-@dataclass(frozen=True)
+# ------------------------------------------------------------------
+# Intern tables.  Keys never collide across semantically distinct nodes:
+# Lit keys carry the value's type (bool vs int), and App keys are built
+# from the children's intern ids (``_iid``), which are unique for the
+# process lifetime and never reused — so clearing the tables mid-run can
+# cost identity, never correctness.
+# ------------------------------------------------------------------
+
+_set = object.__setattr__
+
+_VAR_TABLE: dict = {}
+_EVAR_TABLE: dict = {}
+_LIT_TABLE: dict = {}
+_APP_TABLE: dict = {}
+
+_IID_COUNTER = itertools.count(1)
+_TERMS_INTERNED = 0
+
+
+def intern_count() -> int:
+    """Total number of distinct term nodes interned so far (monotonic).
+
+    The driver snapshots this around each function check to report the
+    ``terms_interned`` metric."""
+    return _TERMS_INTERNED
+
+
+def intern_table_sizes() -> dict:
+    """Current table sizes (diagnostics / benchmarks)."""
+    return {"var": len(_VAR_TABLE), "evar": len(_EVAR_TABLE),
+            "lit": len(_LIT_TABLE), "app": len(_APP_TABLE)}
+
+
+def _intern(table: dict, key, node):
+    global _TERMS_INTERNED
+    _TERMS_INTERNED += 1
+    table[key] = node
+    return node
+
+
+def clear_term_caches() -> None:
+    """Drop the intern tables (and re-seed the module singletons).
+
+    Live terms stay valid — equality is structural, so two copies of one
+    term merely stop being pointer-identical until re-interned."""
+    _VAR_TABLE.clear()
+    _EVAR_TABLE.clear()
+    _LIT_TABLE.clear()
+    _APP_TABLE.clear()
+    for lit in (TRUE, FALSE, ZERO, ONE):
+        _LIT_TABLE.setdefault((lit.value.__class__, lit.value), lit)
+
+
 class Term:
-    """Base class of all terms.  Instances are immutable."""
+    """Base class of all terms.  Instances are immutable and interned."""
+
+    __slots__ = ()
+
+    def __setattr__(self, name, value):
+        raise TermError(f"terms are immutable ({name!r})")
+
+    def __delattr__(self, name):
+        raise TermError(f"terms are immutable ({name!r})")
 
     @property
     def sort(self) -> Sort:
         raise NotImplementedError
+
+    @property
+    def size(self) -> int:
+        """Number of nodes in the term (cached; O(1))."""
+        return 1
 
     def subterms(self) -> Iterator["Term"]:
         """Yield this term and all its subterms, pre-order."""
         yield self
 
     def free_vars(self) -> frozenset["Var"]:
-        return frozenset(t for t in self.subterms() if isinstance(t, Var))
+        return _EMPTY_VARS
 
     def evars(self) -> frozenset["EVar"]:
-        return frozenset(t for t in self.subterms() if isinstance(t, EVar))
+        return _EMPTY_EVARS
 
     def has_evars(self) -> bool:
-        return any(isinstance(t, EVar) for t in self.subterms())
+        return False
 
 
-@dataclass(frozen=True)
+_EMPTY_VARS: frozenset = frozenset()
+_EMPTY_EVARS: frozenset = frozenset()
+
+
 class Var(Term):
     """A universally quantified (rigid) variable, e.g. a ``rc::parameters``
     entry or a loop-invariant ``rc::exists`` binder after introduction."""
 
-    name: str
-    var_sort: Sort
+    __slots__ = ("name", "var_sort", "_hash", "_iid", "_fvs")
+
+    def __new__(cls, name: str, var_sort: Sort) -> "Var":
+        key = (name, var_sort)
+        cached = _VAR_TABLE.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        _set(self, "name", name)
+        _set(self, "var_sort", var_sort)
+        _set(self, "_hash", hash(key))
+        _set(self, "_iid", next(_IID_COUNTER))
+        _set(self, "_fvs", None)
+        return _intern(_VAR_TABLE, key, self)
 
     @property
     def sort(self) -> Sort:
         return self.var_sort
+
+    def free_vars(self) -> frozenset["Var"]:
+        fvs = self._fvs
+        if fvs is None:
+            fvs = frozenset((self,))
+            _set(self, "_fvs", fvs)
+        return fvs
+
+    def __eq__(self, other) -> bool:
+        return self is other or (type(other) is Var
+                                 and other.name == self.name
+                                 and other.var_sort is self.var_sort)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (Var, (self.name, self.var_sort))
 
     def __repr__(self) -> str:
         return self.name
@@ -86,7 +198,6 @@ class Var(Term):
 _EVAR_COUNTER = itertools.count()
 
 
-@dataclass(frozen=True)
 class EVar(Term):
     """An existential metavariable (paper: *evar*).
 
@@ -95,13 +206,47 @@ class EVar(Term):
     which tracks the set of currently sealed evar ids.
     """
 
-    eid: int
-    var_sort: Sort
-    hint: str = ""
+    __slots__ = ("eid", "var_sort", "hint", "_hash", "_iid", "_evs")
+
+    def __new__(cls, eid: int, var_sort: Sort, hint: str = "") -> "EVar":
+        key = (eid, var_sort, hint)
+        cached = _EVAR_TABLE.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        _set(self, "eid", eid)
+        _set(self, "var_sort", var_sort)
+        _set(self, "hint", hint)
+        _set(self, "_hash", hash(key))
+        _set(self, "_iid", next(_IID_COUNTER))
+        _set(self, "_evs", None)
+        return _intern(_EVAR_TABLE, key, self)
 
     @property
     def sort(self) -> Sort:
         return self.var_sort
+
+    def evars(self) -> frozenset["EVar"]:
+        evs = self._evs
+        if evs is None:
+            evs = frozenset((self,))
+            _set(self, "_evs", evs)
+        return evs
+
+    def has_evars(self) -> bool:
+        return True
+
+    def __eq__(self, other) -> bool:
+        return self is other or (type(other) is EVar
+                                 and other.eid == self.eid
+                                 and other.var_sort is self.var_sort
+                                 and other.hint == self.hint)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (EVar, (self.eid, self.var_sort, self.hint))
 
     def __repr__(self) -> str:
         suffix = f":{self.hint}" if self.hint else ""
@@ -113,19 +258,42 @@ def fresh_evar(sort: Sort, hint: str = "") -> EVar:
     return EVar(next(_EVAR_COUNTER), sort, hint)
 
 
-@dataclass(frozen=True)
 class Lit(Term):
-    """An integer or boolean literal."""
+    """An integer or boolean literal.
 
-    value: Union[int, bool]
+    Interned with a type-tagged key, so ``Lit(True)`` and ``Lit(1)`` stay
+    distinct objects (different ``sort``/``repr``) while — exactly as the
+    historical structural equality did via Python's ``True == 1`` —
+    remaining ``==``/hash-equal."""
 
-    def __post_init__(self) -> None:
-        if not isinstance(self.value, (int, bool)):
-            raise TermError(f"bad literal {self.value!r}")
+    __slots__ = ("value", "_hash", "_iid")
+
+    def __new__(cls, value: Union[int, bool]) -> "Lit":
+        key = (value.__class__, value)
+        cached = _LIT_TABLE.get(key)
+        if cached is not None:
+            return cached
+        if not isinstance(value, (int, bool)):
+            raise TermError(f"bad literal {value!r}")
+        self = object.__new__(cls)
+        _set(self, "value", value)
+        _set(self, "_hash", hash((value,)))
+        _set(self, "_iid", next(_IID_COUNTER))
+        return _intern(_LIT_TABLE, key, self)
 
     @property
     def sort(self) -> Sort:
         return Sort.BOOL if isinstance(self.value, bool) else Sort.INT
+
+    def __eq__(self, other) -> bool:
+        return self is other or (type(other) is Lit
+                                 and other.value == self.value)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (Lit, (self.value,))
 
     def __repr__(self) -> str:
         return repr(self.value)
@@ -176,7 +344,6 @@ _OPS: dict[str, tuple[Optional[tuple[Optional[Sort], ...]], Sort]] = {
 }
 
 
-@dataclass(frozen=True)
 class App(Term):
     """An operator or uninterpreted-function application.
 
@@ -184,18 +351,77 @@ class App(Term):
     have ``op`` of the form ``"fn:<name>"`` and carry their result sort.
     """
 
-    op: str
-    args: tuple[Term, ...]
-    result_sort: Sort
+    __slots__ = ("op", "args", "result_sort", "_hash", "_iid",
+                 "_hevars", "_size", "_fvs", "_evs")
+
+    def __new__(cls, op: str, args: Sequence[Term],
+                result_sort: Sort) -> "App":
+        args = tuple(args)
+        # The intern ids of the children identify them *exactly* (stricter
+        # than ``==``, which conflates Lit(True)/Lit(1)), so the key can
+        # never merge Apps whose reprs or child sorts differ.
+        key = (op, tuple(a._iid for a in args), result_sort)
+        cached = _APP_TABLE.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        _set(self, "op", op)
+        _set(self, "args", args)
+        _set(self, "result_sort", result_sort)
+        _set(self, "_hash", hash((op, args, result_sort)))
+        _set(self, "_iid", next(_IID_COUNTER))
+        _set(self, "_hevars", any(a.has_evars() for a in args))
+        _set(self, "_size", 1 + sum(a.size for a in args))
+        _set(self, "_fvs", None)
+        _set(self, "_evs", None)
+        return _intern(_APP_TABLE, key, self)
 
     @property
     def sort(self) -> Sort:
         return self.result_sort
 
+    @property
+    def size(self) -> int:
+        return self._size
+
     def subterms(self) -> Iterator[Term]:
         yield self
         for a in self.args:
             yield from a.subterms()
+
+    def free_vars(self) -> frozenset[Var]:
+        fvs = self._fvs
+        if fvs is None:
+            fvs = _EMPTY_VARS.union(*(a.free_vars() for a in self.args)) \
+                if self.args else _EMPTY_VARS
+            _set(self, "_fvs", fvs)
+        return fvs
+
+    def evars(self) -> frozenset[EVar]:
+        evs = self._evs
+        if evs is None:
+            evs = _EMPTY_EVARS.union(*(a.evars() for a in self.args)) \
+                if self.args else _EMPTY_EVARS
+            _set(self, "_evs", evs)
+        return evs
+
+    def has_evars(self) -> bool:
+        return self._hevars
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        return (type(other) is App
+                and other._hash == self._hash
+                and other.op == self.op
+                and other.result_sort is self.result_sort
+                and other.args == self.args)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (App, (self.op, self.args, self.result_sort))
 
     def __repr__(self) -> str:
         if not self.args:
@@ -369,6 +595,8 @@ FALSE = Lit(False)
 ZERO = Lit(0)
 ONE = Lit(1)
 
+register_clearer(clear_term_caches)
+
 
 def intlit(n: int) -> Lit:
     return Lit(int(n))
@@ -503,10 +731,19 @@ class Subst:
 
     Evar bindings are added by unification during Lithium proof search and
     never removed (no backtracking!), so a plain mutable dict suffices.
+
+    ``generation`` counts bindings: it bumps on every :meth:`bind_evar`
+    and never otherwise, so any value derived from resolving terms
+    (e.g. :meth:`~repro.lithium.context.Gamma.resolved_facts`) can be
+    cached against it.  Resolution itself is memoized per generation, and
+    evar-free terms resolve to themselves in O(1) via the interned
+    ``has_evars`` bit.
     """
 
     def __init__(self) -> None:
         self._evar: dict[int, Term] = {}
+        self.generation = 0
+        self._resolve_memo: dict[Term, Term] = {}
 
     def bind_evar(self, ev: EVar, t: Term) -> None:
         if ev.eid in self._evar:
@@ -517,6 +754,8 @@ class Subst:
         if t.sort is not ev.sort:
             raise TermError(f"sort mismatch binding {ev!r} to {t!r}")
         self._evar[ev.eid] = t
+        self.generation += 1
+        self._resolve_memo.clear()
 
     def lookup(self, ev: EVar) -> Optional[Term]:
         return self._evar.get(ev.eid)
@@ -526,6 +765,8 @@ class Subst:
 
     def resolve(self, t: Term) -> Term:
         """Fully apply the substitution to ``t`` (with re-canonicalisation)."""
+        if not t.has_evars():
+            return t
         if isinstance(t, EVar):
             bound = self._evar.get(t.eid)
             if bound is None:
@@ -535,12 +776,20 @@ class Subst:
                 self._evar[t.eid] = resolved  # path compression
             return resolved
         if isinstance(t, App):
+            if MEMO.enabled:
+                hit = self._resolve_memo.get(t)
+                if hit is not None:
+                    return hit
             new_args = tuple(self.resolve(a) for a in t.args)
             if new_args == t.args:
-                return t
-            if t.op.startswith("fn:") or t.op == "list_lit":
-                return App(t.op, new_args, t.result_sort)
-            return app(t.op, *new_args, sort=t.result_sort)
+                out: Term = t
+            elif t.op.startswith("fn:") or t.op == "list_lit":
+                out = App(t.op, new_args, t.result_sort)
+            else:
+                out = app(t.op, *new_args, sort=t.result_sort)
+            if MEMO.enabled:
+                self._resolve_memo[t] = out
+            return out
         return t
 
     def snapshot(self) -> dict[int, Term]:

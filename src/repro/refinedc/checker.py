@@ -21,7 +21,8 @@ from ..lithium.goals import (Atom, BasicGoal, GBasic, GExists, GSep, GTrue,
                              GWand, Goal, HAtom, HPure)
 from ..lithium.search import SearchState, Stats, VerificationError
 from ..pure.solver import Lemma, PureSolver
-from ..pure.terms import Sort, Subst, Term, Var, eq, intlit, var
+from ..pure.terms import (Sort, Subst, Term, Var, eq, intern_count, intlit,
+                          var)
 from .judgments import (CASJ, HookJ, LocType, StmtsJ, SubsumeLocJ,
                         SubsumeValJ, TokenAtom, ValType)
 from .ownership import intro_loc_goal, locate
@@ -316,6 +317,7 @@ def check_function(tp: TypedProgram, name: str) -> FunctionResult:
         return SearchState(REGISTRY, solver, _make_subsume_factory(sigma),
                            function=name, stats=stats, subst=subst)
 
+    interned0 = intern_count()
     try:
         state = new_state()
         goal = _entry_goal(tp, sigma, state)
@@ -328,8 +330,21 @@ def check_function(tp: TypedProgram, name: str) -> FunctionResult:
             goal2 = _with_param_facts(sigma, goal2)
             derivations.append(st2.run(goal2))
     except VerificationError as exc:
+        _record_cache_stats(stats, solver, interned0)
         return FunctionResult(name, False, stats, exc, derivations)
+    _record_cache_stats(stats, solver, interned0)
     return FunctionResult(name, True, stats, None, derivations)
+
+
+def _record_cache_stats(stats: Stats, solver: PureSolver,
+                        interned0: int) -> None:
+    """Engine telemetry (not Stats counters — see Stats.counters()).
+
+    The solver instance lives for the whole function, so its cache_hits
+    total also covers prove calls made outside ``_prove_timed`` (e.g. the
+    ownership layer's direct side-condition checks)."""
+    stats.solver_cache_hits = solver.cache_hits
+    stats.terms_interned = intern_count() - interned0
 
 
 def _entry_goal(tp: TypedProgram, sigma: FnCtx, state: SearchState) -> Goal:

@@ -40,15 +40,18 @@ def test_function_metrics_match_results():
 def test_json_export_schema():
     out = verify_file(study_path("mpool"))
     data = json.loads(out.metrics.to_json())
-    assert data["schema_version"] == 1
+    assert data["schema_version"] == 2
     assert data["jobs"] == 1
     assert set(data["phases"]) == {"parse_s", "elaborate_s", "search_s",
                                    "solver_s"}
     assert isinstance(data["functions"], list)
     fn = data["functions"][0]
     assert {"name", "ok", "cache", "wall_s", "solver_s",
-            "counters"} <= set(fn)
+            "counters", "solver_cache_hits", "terms_interned"} <= set(fn)
     assert fn["counters"]["backtracks"] == 0
+    # The engine telemetry must never leak into the deterministic counters.
+    assert "solver_cache_hits" not in fn["counters"]
+    assert data["terms_interned"] > 0
 
 
 def test_report_renders_metrics():

@@ -1,0 +1,127 @@
+"""Observational purity of the memoized pure-solver pipeline.
+
+The hash-consed term engine and the MEMO-gated caches (simplify /
+linarith / lists / sets / prove) must be invisible: every cached answer
+must equal the answer a cache-free run computes.  These properties drive
+randomly generated terms (the strategies from ``test_properties``)
+through both modes and require agreement — plus structural ``==``/hash
+preservation through interning and ``Subst.resolve`` round-trips.
+"""
+
+import pickle
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.pure import simplify, simplify_hyp  # noqa: E402
+from repro.pure import terms as T  # noqa: E402
+from repro.pure.linarith import implies_linear  # noqa: E402
+from repro.pure.memo import (cache_enabled, caches_disabled,  # noqa: E402
+                             clear_pure_caches, set_cache_enabled)
+from repro.pure.solver import PureSolver  # noqa: E402
+from repro.pure.terms import Subst, fresh_evar  # noqa: E402
+
+from .test_properties import bool_terms, int_terms  # noqa: E402
+
+
+@pytest.fixture(autouse=True)
+def _caches_on():
+    """Each test starts cache-enabled with cold caches and restores the
+    ambient state afterwards."""
+    previous = set_cache_enabled(True)
+    clear_pure_caches()
+    yield
+    set_cache_enabled(previous)
+
+
+# ---------------------------------------------------------------------
+# memoized == cache-free
+
+@settings(max_examples=80, deadline=None)
+@given(t=st.one_of(int_terms, bool_terms))
+def test_simplify_agrees_with_cache_free(t):
+    cached = simplify(t)
+    with caches_disabled():
+        reference = simplify(t)
+    assert cached == reference
+    assert hash(cached) == hash(reference)
+
+
+@settings(max_examples=60, deadline=None)
+@given(t=bool_terms)
+def test_simplify_hyp_agrees_with_cache_free(t):
+    cached = simplify_hyp(t)
+    with caches_disabled():
+        reference = simplify_hyp(t)
+    assert cached == reference
+
+
+@settings(max_examples=60, deadline=None)
+@given(hyps=st.lists(bool_terms, max_size=3), goal=bool_terms)
+def test_implies_linear_agrees_with_cache_free(hyps, goal):
+    cached = implies_linear(hyps, goal)
+    with caches_disabled():
+        reference = implies_linear(hyps, goal)
+    assert cached is reference
+
+
+@settings(max_examples=40, deadline=None)
+@given(hyps=st.lists(bool_terms, max_size=2), goal=bool_terms)
+def test_prove_agrees_with_cache_free(hyps, goal):
+    cached = PureSolver().prove(hyps, goal)
+    with caches_disabled():
+        reference = PureSolver().prove(hyps, goal)
+    assert cached.outcome == reference.outcome
+    assert cached.solver == reference.solver
+
+
+@settings(max_examples=40, deadline=None)
+@given(t=bool_terms)
+def test_repeat_simplify_is_memoized(t):
+    """With the switch on, the second simplify of a compound term is a
+    cache hit — it returns the pointer-identical object."""
+    first = simplify(t)
+    second = simplify(t)
+    assert first == second
+    if isinstance(t, T.App):
+        assert first is second
+
+
+# ---------------------------------------------------------------------
+# interning: == / hash through Subst.resolve round-trips
+
+@settings(max_examples=80, deadline=None)
+@given(t=int_terms)
+def test_resolve_round_trip_preserves_identity(t):
+    ev = fresh_evar(T.Sort.INT, "n")
+    s = Subst()
+    s.bind_evar(ev, t)
+    assert s.resolve(ev) == t
+    assert hash(s.resolve(ev)) == hash(t)
+    # Resolving a compound containing the evar equals building the
+    # compound from the binding directly — interning keeps both routes on
+    # the same structural value (and the same object).
+    compound = T.add(ev, T.intlit(1))
+    expected = T.add(t, T.intlit(1))
+    resolved = s.resolve(compound)
+    assert resolved == expected
+    assert hash(resolved) == hash(expected)
+    assert resolved is expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(t=st.one_of(int_terms, bool_terms))
+def test_pickle_round_trip_reinterns(t):
+    """Un-pickling re-interns: the copy is equal, equi-hashed, and
+    pointer-identical to the original."""
+    copy = pickle.loads(pickle.dumps(t))
+    assert copy == t
+    assert hash(copy) == hash(t)
+    assert copy is t
+
+
+def test_fixture_restores_ambient_state():
+    assert cache_enabled() is True
