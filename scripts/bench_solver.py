@@ -12,7 +12,13 @@ once with them enabled (hash-consed terms feeding the simplify / linarith
   2. reports the wall-clock speedup and asserts it meets the threshold
      (default >=2x, skipped under ``--quick``);
   3. writes a ``BENCH_solver.json`` artifact (schema shared with
-     ``bench_driver.py`` — see ``repro.driver.benchio``).
+     ``bench_driver.py`` — see ``repro.driver.benchio``);
+  4. guards the no-op fast path of ``repro.trace``: with tracing *off*
+     (the default) the checking wall must not regress more than
+     ``--max-trace-overhead`` (2%) against the previously recorded
+     ``BENCH_solver.json`` — asserted only when that baseline was
+     recorded on the same platform, so CI runners skip it — and a
+     tracing-*on* pass is timed for information.
 
 The asserted ratio is measured on the *checking-phase* wall
 (``search_s + solver_s``) — the phase the caches operate in; parsing and
@@ -25,14 +31,16 @@ Run:  PYTHONPATH=src python scripts/bench_solver.py [--quick] [--json PATH]
 """
 
 import argparse
+import json
 import os
+import platform
 import sys
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.driver.benchio import bench_envelope, sample_stats  # noqa: E402
-from repro.driver.benchio import write_bench_json              # noqa: E402
+from repro.driver.benchio import (bench_envelope, sample_stats,  # noqa: E402
+                                  write_bench_json)
 from repro.frontend import verify_file                         # noqa: E402
 from repro.pure.memo import (cache_enabled, clear_pure_caches,  # noqa: E402
                              set_cache_enabled)
@@ -50,7 +58,7 @@ def fingerprint(outcomes):
     return fp
 
 
-def run_suite(paths, cached):
+def run_suite(paths, cached, traced=False):
     """One cold pass over the suite; returns (total_wall, check_wall,
     outcomes)."""
     set_cache_enabled(cached)
@@ -60,10 +68,19 @@ def run_suite(paths, cached):
     check = 0.0
     outcomes = {}
     for p in paths:
-        out = verify_file(p)
+        out = verify_file(p, trace=traced)
         check += out.metrics.phases.search_s + out.metrics.phases.solver_s
         outcomes[p.stem] = out
     return time.perf_counter() - t0, check, outcomes
+
+
+def load_baseline(path):
+    """The previously recorded artifact at ``path``, or None."""
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
 
 
 def main(argv=None) -> int:
@@ -80,6 +97,11 @@ def main(argv=None) -> int:
     ap.add_argument("--json", dest="json_path", default="BENCH_solver.json",
                     help="where to write the benchmark artifact "
                          "('' disables)")
+    ap.add_argument("--max-trace-overhead", type=float, default=2.0,
+                    metavar="PCT",
+                    help="max tracing-off checking-wall regression vs the "
+                         "existing artifact, in percent (same-platform "
+                         "baselines only; default 2.0)")
     args = ap.parse_args(argv)
     repeat = args.repeat or (2 if args.quick else 5)
 
@@ -114,6 +136,39 @@ def main(argv=None) -> int:
             t, c, _ = run_suite(paths, cached=True)
             on_total.append(t)
             on_check.append(c)
+        # Tracing-on cost, for information (same cache-free work, plus
+        # the event stream); the *off* path is what the baseline guards.
+        run_suite(paths, cached=False, traced=True)     # warmup
+        traced_check = []
+        for _ in range(repeat):
+            _, c, _ = run_suite(paths, cached=False, traced=True)
+            traced_check.append(c)
+
+        baseline = load_baseline(args.json_path) if args.json_path else None
+        trace_regress = None
+        baseline_comparable = (
+            baseline is not None
+            and baseline.get("platform") == platform.platform()
+            and "cache_off" in baseline.get("configs", {}))
+        if baseline_comparable:
+            # Best-of-now vs *median*-of-baseline: robust to the
+            # baseline having caught one lucky sample, still trips on a
+            # real slowdown of the instrumented-but-off fast path.  A
+            # pending failure gets extra cold passes first — on shared
+            # hardware a single load spike is far more likely than a
+            # genuine regression of a few `is None` checks.
+            stats = baseline["configs"]["cache_off"]["check_wall_s"]
+            base_check = stats.get("median", stats["min"])
+
+            def regress():
+                return (min(off_check) / base_check - 1.0) * 100.0
+
+            retries = 0
+            while regress() > args.max_trace_overhead and retries < 3:
+                _, c, _ = run_suite(paths, cached=False)
+                off_check.append(c)
+                retries += 1
+            trace_regress = regress()
     finally:
         set_cache_enabled(previous)
 
@@ -128,6 +183,15 @@ def main(argv=None) -> int:
           f"total {speedup_total:5.2f}x")
     print(f"  telemetry: {hits} solver-cache hits, "
           f"{interned} terms interned, {nfunctions} functions")
+    trace_cost = (min(traced_check) / min(off_check) - 1.0) * 100.0
+    print(f"  tracing:   on {min(traced_check) * 1e3:8.1f}ms   "
+          f"({trace_cost:+.1f}% vs off)")
+    if trace_regress is not None:
+        print(f"  trace-off overhead vs baseline: {trace_regress:+.1f}% "
+              f"(limit +{args.max_trace_overhead:.1f}%)")
+    else:
+        print("  trace-off overhead vs baseline: skipped "
+              "(no same-platform baseline artifact)")
 
     failures = []
     if not identical:
@@ -139,6 +203,11 @@ def main(argv=None) -> int:
     if not args.quick and speedup_check < args.threshold:
         failures.append(f"checking-phase speedup {speedup_check:.2f}x "
                         f"< {args.threshold:.1f}x")
+    if trace_regress is not None and trace_regress > args.max_trace_overhead:
+        failures.append(
+            f"tracing-off checking wall regressed {trace_regress:+.1f}% "
+            f"vs baseline (> +{args.max_trace_overhead:.1f}%): the no-op "
+            "fast path of repro.trace must stay free")
 
     if args.json_path:
         payload = bench_envelope("solver", studies, repeat)
@@ -153,6 +222,16 @@ def main(argv=None) -> int:
                 "solver_cache_hits": hits,
                 "terms_interned": interned,
             },
+            "trace_on": {
+                "check_wall_s": sample_stats(traced_check),
+            },
+        }
+        payload["trace_overhead"] = {
+            "on_vs_off_pct": round(trace_cost, 2),
+            "off_vs_baseline_pct": (round(trace_regress, 2)
+                                    if trace_regress is not None else None),
+            "limit_pct": args.max_trace_overhead,
+            "asserted": trace_regress is not None,
         }
         payload["speedup"] = {
             "basis": "min-of-repetitions",

@@ -2,10 +2,10 @@
 front end.  Kept as a debugging aid; the real pipeline goes through
 repro.lang."""
 
-from repro.caesium.layout import IntLayout, PtrLayout, SIZE_T, StructLayout
-from repro.caesium.syntax import (Assign, BinOpE, Block, CondGoto,
-                                  FieldOffset, Function, Goto, NullE,
-                                  Program, Ret, Use, VarAddr)
+from repro.caesium.layout import SIZE_T, IntLayout, PtrLayout, StructLayout
+from repro.caesium.syntax import (Assign, BinOpE, Block, CondGoto, FieldOffset,
+                                  Function, Goto, NullE, Program, Ret, Use,
+                                  VarAddr)
 from repro.refinedc import (RawFunctionAnnotations, RawStructAnnotations,
                             SpecContext, TypedProgram, build_function_spec,
                             check_function, define_struct_type)

@@ -25,9 +25,9 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.fuzz import (CampaignConfig, DEFAULT_TEMPLATES, load_corpus,
-                        replay_entry, run_campaign)
-from repro.fuzz.corpus import DEFAULT_CORPUS_DIR
+from repro.fuzz import (DEFAULT_TEMPLATES, CampaignConfig,  # noqa: E402
+                        load_corpus, replay_entry, run_campaign)
+from repro.fuzz.corpus import DEFAULT_CORPUS_DIR  # noqa: E402
 
 
 def parse_args(argv):

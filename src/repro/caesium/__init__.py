@@ -7,11 +7,11 @@ dynamic data-race detection.
 """
 
 from .eval import EvalError, FuelExhausted, Machine
-from .layout import (ArrayLayout, IntLayout, IntType, Layout, LayoutError,
-                     PtrLayout, StructLayout, INT_TYPES_BY_NAME)
+from .layout import (INT_TYPES_BY_NAME, ArrayLayout, IntLayout, IntType,
+                     Layout, LayoutError, PtrLayout, StructLayout)
 from .memory import AllocKind, Memory, RaceDetector
-from .values import (NULL, MByte, POISON, Pointer, UBClass,
-                     UndefinedBehavior, VFn, VInt, VPtr, Value)
+from .values import (NULL, POISON, MByte, Pointer, UBClass, UndefinedBehavior,
+                     Value, VFn, VInt, VPtr)
 
 __all__ = [
     "AllocKind", "ArrayLayout", "EvalError", "FuelExhausted",

@@ -11,7 +11,7 @@ races, detected by the vector-clock detector in the memory model).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Generator, Optional, Sequence
 
 from .eval import Machine

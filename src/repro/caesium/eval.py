@@ -15,17 +15,16 @@ program must never trigger it; the adequacy harness checks exactly that.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Iterator, Optional, Sequence
+from typing import Generator, Optional, Sequence
 
-from .layout import (BOOL_T, INT, IntLayout, IntType, Layout, PtrLayout,
-                     StructLayout)
+from .layout import BOOL_T, INT, IntLayout, IntType, Layout, PtrLayout
 from .memory import AllocKind, Memory
-from .syntax import (Assign, BinOpE, Block, CallE, CASE, CastE, CondGoto,
-                     Expr, ExprS, FieldOffset, FnPtrE, Function, GlobalAddr,
-                     Goto, IntConst, NullE, Program, Ret, SizeOfE, Stmt,
-                     Switch, Terminator, UnOpE, Use, ValE, VarAddr)
-from .values import (NULL, Pointer, UBClass, UndefinedBehavior, VFn, VInt,
-                     VPtr, Value, decode_int, decode_ptr, encode_value,
+from .syntax import (CASE, Assign, BinOpE, CallE, CastE, CondGoto, Expr, ExprS,
+                     FieldOffset, FnPtrE, Function, GlobalAddr, Goto, IntConst,
+                     NullE, Program, Ret, SizeOfE, Stmt, Switch, UnOpE, Use,
+                     ValE, VarAddr)
+from .values import (NULL, Pointer, UBClass, UndefinedBehavior, Value, VFn,
+                     VInt, VPtr, decode_int, decode_ptr, encode_value,
                      value_truthy)
 
 _DEFAULT_FUEL = 1_000_000

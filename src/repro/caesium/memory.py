@@ -19,7 +19,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
-from .values import MByte, POISON, Pointer, UBClass, UndefinedBehavior
+from .values import POISON, MByte, Pointer, UBClass, UndefinedBehavior
 
 
 class AllocKind(enum.Enum):

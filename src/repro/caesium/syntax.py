@@ -16,7 +16,7 @@ compilation or its runtime behavior", §2.1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from typing import Optional
 
 from .layout import IntType, Layout, StructLayout
 from .values import Value

@@ -21,7 +21,7 @@ import enum
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
-from .layout import IntType, Layout, PtrLayout, PTR_SIZE
+from .layout import PTR_SIZE, IntType
 
 
 class UBClass(enum.Enum):

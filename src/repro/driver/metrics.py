@@ -17,13 +17,20 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
+from typing import Optional
 
 # Schema history:
 #   1 — initial per-phase metrics.
 #   2 — adds per-function and per-unit ``solver_cache_hits`` (pure-solver
 #       memoization hits) and ``terms_interned`` (hash-consed term nodes
 #       allocated during the check).
-METRICS_SCHEMA_VERSION = 2
+#   3 — adds the per-unit ``units`` list (the unit names a merged record
+#       aggregates; empty for a single-unit record) and the *optional*
+#       ``trace`` summary block (per-rule counts/time, solver/memo
+#       roll-ups — see ``repro.trace.profile.trace_summary``).  The
+#       ``trace`` key is **absent** when tracing is off, so v2 consumers
+#       that ignore unknown keys keep working byte-for-byte.
+METRICS_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -75,6 +82,11 @@ class DriverMetrics:
     terms_interned: int = 0
     phases: PhaseTimings = field(default_factory=PhaseTimings)
     functions: list[FunctionMetrics] = field(default_factory=list)
+    # Schema v3: the unit names aggregated by ``merge_metrics`` (empty for
+    # a single-unit record) and the optional tracing summary — ``None``
+    # whenever the run was not traced (the JSON key is then omitted).
+    units: list[str] = field(default_factory=list)
+    trace: Optional[dict] = None
 
     # ------------------------------------------------------------
     def add_function(self, name: str, ok: bool, cache: str, wall_s: float,
@@ -102,6 +114,10 @@ class DriverMetrics:
         d = asdict(self)
         d["schema_version"] = METRICS_SCHEMA_VERSION
         d["cache_hit_rate"] = round(self.cache_hit_rate, 4)
+        if d.get("trace") is None:
+            # Absent, not null: an untraced v3 record differs from v2 only
+            # by the version number and the ``units`` list.
+            d.pop("trace", None)
         return d
 
     def to_json(self, indent: int = 2) -> str:
@@ -127,14 +143,29 @@ class DriverMetrics:
             lines.append(
                 f"engine: {self.solver_cache_hits} solver-cache hit(s), "
                 f"{self.terms_interned} term(s) interned")
+        if self.trace is not None:
+            solver = self.trace.get("solver", {})
+            lines.append(
+                f"trace: {self.trace.get('events', 0)} event(s), "
+                f"{len(self.trace.get('rules', {}))} rule kind(s), "
+                f"{solver.get('prove_calls', 0)} solver call(s)"
+                + (f", {self.trace.get('dropped', 0)} dropped"
+                   if self.trace.get("dropped") else ""))
         return "\n".join(lines)
 
 
 def merge_metrics(per_unit: list[DriverMetrics]) -> DriverMetrics:
     """Aggregate the metrics of several translation units (e.g. the whole
-    Figure 7 evaluation) into one summary record."""
+    Figure 7 evaluation) into one summary record.
+
+    The per-unit ``study`` names are preserved in ``units`` (in input
+    order), so a merged record still identifies what it aggregates;
+    ``cache_hit_rate`` needs no recomputation — it derives from the summed
+    hit/miss counters.  Trace summary blocks, when present, are merged
+    (counts and times summed per rule, slowest solver calls re-ranked)."""
     total = DriverMetrics(study="<all>")
     for m in per_unit:
+        total.units.append(m.study)
         total.jobs = max(total.jobs, m.jobs)
         total.cache_enabled = total.cache_enabled or m.cache_enabled
         total.cache_hits += m.cache_hits
@@ -147,4 +178,33 @@ def merge_metrics(per_unit: list[DriverMetrics]) -> DriverMetrics:
         total.phases.search_s += m.phases.search_s
         total.phases.solver_s += m.phases.solver_s
         total.functions.extend(m.functions)
+        if m.trace is not None:
+            total.trace = _merge_trace_blocks(total.trace, m.trace)
     return total
+
+
+def _merge_trace_blocks(into: Optional[dict], block: dict) -> dict:
+    """Merge one unit's ``trace`` summary block into the accumulator."""
+    if into is None:
+        into = {"events": 0, "dropped": 0, "rules": {},
+                "solver": {"prove_calls": 0, "prove_total_s": 0.0,
+                           "memo_hits": 0, "memo_misses": 0},
+                "slowest_prove": []}
+    into["events"] += block.get("events", 0)
+    into["dropped"] += block.get("dropped", 0)
+    for name, agg in block.get("rules", {}).items():
+        tot = into["rules"].setdefault(
+            name, {"count": 0, "total_s": 0.0, "self_s": 0.0})
+        tot["count"] += agg.get("count", 0)
+        tot["total_s"] = round(tot["total_s"] + agg.get("total_s", 0.0), 6)
+        tot["self_s"] = round(tot["self_s"] + agg.get("self_s", 0.0), 6)
+    solver = block.get("solver", {})
+    for key in ("prove_calls", "memo_hits", "memo_misses"):
+        into["solver"][key] += solver.get(key, 0)
+    into["solver"]["prove_total_s"] = round(
+        into["solver"]["prove_total_s"] + solver.get("prove_total_s", 0.0),
+        6)
+    merged = into["slowest_prove"] + list(block.get("slowest_prove", []))
+    merged.sort(key=lambda c: -c.get("dur_s", 0.0))
+    into["slowest_prove"] = merged[:5]
+    return into

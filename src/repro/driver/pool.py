@@ -39,10 +39,14 @@ from typing import Optional, Sequence
 
 from ..lithium import search as _search
 from ..pure import terms as _terms
+from ..pure.memo import clear_pure_caches
 from ..refinedc import checker as _checker
 from ..refinedc.checker import (FunctionResult, ProgramResult, TypedProgram,
                                 check_function, missing_body_result,
                                 verification_targets)
+from ..trace.profile import trace_summary
+from ..trace.tracer import (FunctionTrace, Tracer, merge_function_traces,
+                            set_current, trace_env_enabled)
 from .cache import DEFAULT_CACHE_DIR, ResultCache, function_cache_key
 from .metrics import DriverMetrics, PhaseTimings
 
@@ -75,11 +79,17 @@ class DriverConfig:
     jobs: int = 1                 # <=0 means "one per CPU"
     cache: bool = False
     cache_dir: Optional[Path] = None
+    trace: Optional[bool] = None  # None: defer to the RC_TRACE env var
 
     def resolved_jobs(self) -> int:
         if self.jobs > 0:
             return self.jobs
         return max(1, multiprocessing.cpu_count())
+
+    def resolved_trace(self) -> bool:
+        if self.trace is not None:
+            return bool(self.trace)
+        return trace_env_enabled()
 
     def open_cache(self) -> Optional[ResultCache]:
         if not self.cache and self.cache_dir is None:
@@ -98,6 +108,7 @@ class Unit:
     tp: TypedProgram
     lemmas: Optional[dict] = None
     timings: Optional[PhaseTimings] = None   # parse/elaborate, if measured
+    front_trace: Optional[FunctionTrace] = None  # parse/elaborate events
 
 
 # ---------------------------------------------------------------------
@@ -108,9 +119,10 @@ class Unit:
 _WORKER_STATE: dict = {}
 
 
-def _worker_init(units_blob: bytes) -> None:
+def _worker_init(units_blob: bytes, tracing: bool = False) -> None:
     _WORKER_STATE["units"] = pickle.loads(units_blob)
     _WORKER_STATE["programs"] = {}
+    _WORKER_STATE["tracing"] = tracing
 
 
 def _worker_check(unit_key: str, fn_name: str):
@@ -120,18 +132,53 @@ def _worker_check(unit_key: str, fn_name: str):
         source, lemmas = _WORKER_STATE["units"][unit_key]
         tp = elaborate_source(source, lemmas)
         _WORKER_STATE["programs"][unit_key] = tp
-    reset_fresh_counters()
-    t0 = time.perf_counter()
-    fr = check_function(tp, fn_name)
-    return unit_key, fn_name, fr, time.perf_counter() - t0
+    fr, wall, trace = _traced_check(tp, fn_name,
+                                    _WORKER_STATE.get("tracing", False))
+    return unit_key, fn_name, fr, wall, trace
 
 
-def _check_one(tp: TypedProgram, name: str) -> tuple[FunctionResult, float]:
+def _check_one(tp: TypedProgram, name: str, tracing: bool = False
+               ) -> tuple[FunctionResult, float, Optional[tuple]]:
     """The in-process reference path: reset counters, check, time it."""
+    return _traced_check(tp, name, tracing)
+
+
+def _traced_check(tp: TypedProgram, name: str, tracing: bool
+                  ) -> tuple[FunctionResult, float, Optional[tuple]]:
+    """Check one function, optionally under a fresh per-function tracer.
+
+    With tracing on, the *semantic* memo caches are also dropped before
+    the check: cross-function cache warmth depends on the schedule (which
+    worker checked what, in which order), and clearing it per function is
+    what makes the memo hit/miss event stream — and hence the whole trace
+    — byte-identical between serial and parallel runs.  Results never
+    depend on the caches either way; tracing trades some cross-function
+    speedup for a reproducible event stream.
+
+    Returns ``(result, wall, (events, dropped) | None)``."""
     reset_fresh_counters()
+    if not tracing:
+        t0 = time.perf_counter()
+        fr = check_function(tp, name)
+        return fr, time.perf_counter() - t0, None
+    clear_pure_caches()
+    tracer = Tracer(scope=name)
+    previous = set_current(tracer)
     t0 = time.perf_counter()
-    fr = check_function(tp, name)
-    return fr, time.perf_counter() - t0
+    try:
+        tracer.begin("check", name)
+        try:
+            fr = check_function(tp, name)
+        finally:
+            tracer.end()
+    finally:
+        wall = time.perf_counter() - t0
+        tracer.close()
+        set_current(previous)
+    if tracer.events:
+        # The check span's outcome is known only after the fact.
+        tracer.events[0].args["ok"] = fr.ok
+    return fr, wall, (tracer.events, tracer.dropped)
 
 
 def _pool_context():
@@ -154,6 +201,7 @@ def run_units(units: Sequence[Unit], config: Optional[DriverConfig] = None
     config = config or DriverConfig()
     jobs = config.resolved_jobs()
     store = config.open_cache()
+    tracing = config.resolved_trace()
 
     t_start = time.perf_counter()
     results: dict[str, ProgramResult] = {}
@@ -161,6 +209,7 @@ def run_units(units: Sequence[Unit], config: Optional[DriverConfig] = None
     # (unit_key, fn_name) -> bookkeeping for assembly.
     cache_keys: dict[tuple[str, str], str] = {}
     collected: dict[tuple[str, str], tuple[FunctionResult, float, str]] = {}
+    traces: dict[tuple[str, str], FunctionTrace] = {}
     pending: list[tuple[str, str]] = []
     units_by_key = {u.key: u for u in units}
 
@@ -189,10 +238,14 @@ def run_units(units: Sequence[Unit], config: Optional[DriverConfig] = None
             pending.append((unit.key, name))
 
     if pending:
-        live = _run_pending(pending, units_by_key, jobs)
-        for (ukey, name), (fr, wall) in live.items():
+        live = _run_pending(pending, units_by_key, jobs, tracing)
+        for (ukey, name), (fr, wall, trace) in live.items():
             state = "miss" if store is not None else "off"
             collected[(ukey, name)] = (fr, wall, state)
+            if trace is not None:
+                events, dropped = trace
+                traces[(ukey, name)] = FunctionTrace(ukey, name, events,
+                                                     dropped)
             if store is not None:
                 store.put(cache_keys[(ukey, name)], fr, wall)
 
@@ -217,32 +270,43 @@ def run_units(units: Sequence[Unit], config: Optional[DriverConfig] = None
         # checking cost is the sum of its live function walls.
         m.wall_s = elapsed if len(units) == 1 else \
             sum(f.wall_s for f in m.functions if f.cache != "hit")
+        if tracing:
+            # Deterministic merge: front end first, then the live-checked
+            # functions in spec order — independent of the schedule that
+            # produced the buffers.  Cache hits have no buffer (the
+            # function was not re-checked).
+            by_fn = {name: buf for (ukey, name), buf in traces.items()
+                     if ukey == unit.key}
+            unit_trace = merge_function_traces(
+                unit.key, unit.front_trace, by_fn, iter(unit.tp.specs))
+            result.trace = unit_trace
+            m.trace = trace_summary(unit_trace)
         out[unit.key] = (result, m)
     return out
 
 
 def _run_pending(pending: list[tuple[str, str]],
-                 units_by_key: dict[str, Unit], jobs: int
-                 ) -> dict[tuple[str, str], tuple[FunctionResult, float]]:
+                 units_by_key: dict[str, Unit], jobs: int, tracing: bool
+                 ) -> dict[tuple[str, str],
+                           tuple[FunctionResult, float, Optional[tuple]]]:
     if jobs > 1 and len(pending) > 1:
         try:
-            return _run_parallel(pending, units_by_key, jobs)
+            return _run_parallel(pending, units_by_key, jobs, tracing)
         except (pickle.PicklingError, AttributeError, TypeError):
             # Unpicklable user-supplied lemmas or results: fall back to
             # the deterministic serial path rather than failing the run.
             pass
-    return _run_serial(pending, units_by_key)
+    return _run_serial(pending, units_by_key, tracing)
 
 
-def _run_serial(pending, units_by_key):
+def _run_serial(pending, units_by_key, tracing):
     out = {}
     for ukey, name in pending:
-        fr, wall = _check_one(units_by_key[ukey].tp, name)
-        out[(ukey, name)] = (fr, wall)
+        out[(ukey, name)] = _check_one(units_by_key[ukey].tp, name, tracing)
     return out
 
 
-def _run_parallel(pending, units_by_key, jobs):
+def _run_parallel(pending, units_by_key, jobs, tracing):
     needed = {ukey for ukey, _ in pending}
     blob = pickle.dumps({k: (units_by_key[k].source, units_by_key[k].lemmas)
                          for k in needed})
@@ -251,12 +315,12 @@ def _run_parallel(pending, units_by_key, jobs):
     with ProcessPoolExecutor(max_workers=workers,
                              mp_context=_pool_context(),
                              initializer=_worker_init,
-                             initargs=(blob,)) as pool:
+                             initargs=(blob, tracing)) as pool:
         futures = [pool.submit(_worker_check, ukey, name)
                    for ukey, name in pending]
         for fut in as_completed(futures):
-            ukey, name, fr, wall = fut.result()
-            out[(ukey, name)] = (fr, wall)
+            ukey, name, fr, wall, trace = fut.result()
+            out[(ukey, name)] = (fr, wall, trace)
     return out
 
 
@@ -272,7 +336,8 @@ def run_program(tp: TypedProgram, *, source: Optional[str] = None,
     config = config or DriverConfig()
     if source is None:
         config = DriverConfig(jobs=1, cache=config.cache,
-                              cache_dir=config.cache_dir)
+                              cache_dir=config.cache_dir,
+                              trace=config.trace)
     unit = Unit(key=study or "<unit>", source=source or "", tp=tp,
                 lemmas=lemmas, timings=timings)
     return run_units([unit], config)[unit.key]

@@ -13,6 +13,13 @@ under ``.rc-cache/``, and every run records per-phase metrics
 (``VerificationOutcome.metrics``).  The defaults (``jobs=1``, cache off)
 keep the classic serial behaviour.
 
+``trace=True`` (or ``RC_TRACE=1``) additionally records a structured
+proof-search trace — front-end spans, per-function rule/solver/evar/
+context events — exposed as ``VerificationOutcome.trace`` (a
+:class:`repro.trace.tracer.UnitTrace`) and summarised in the metrics'
+``trace`` block.  Failing functions then carry a stuck-goal report
+(``VerificationError.stuck``) rendered by ``report()``.
+
 ``verify_files`` verifies several translation units under one shared
 scheduler — the way the Figure 7 evaluation runs — so pool startup is paid
 once and the units' functions load-balance together.
@@ -25,13 +32,14 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
-from .driver import DriverConfig, DriverMetrics, PhaseTimings, Unit, \
-    run_units
+from .driver import DriverConfig, DriverMetrics, PhaseTimings, Unit, run_units
 from .lang.elaborate import elaborate_unit
 from .lang.parser import parse
 from .proofs.manual import LEMMAS_BY_STUDY
 from .pure.solver import Lemma
 from .refinedc.checker import ProgramResult, TypedProgram
+from .trace.tracer import (FunctionTrace, Tracer, UnitTrace, set_current,
+                           trace_env_enabled)
 
 
 @dataclass
@@ -47,6 +55,12 @@ class VerificationOutcome:
     def ok(self) -> bool:
         return self.result.ok
 
+    @property
+    def trace(self) -> Optional[UnitTrace]:
+        """The merged proof-search trace, when the run was traced."""
+        tr = self.result.trace
+        return tr if isinstance(tr, UnitTrace) else None
+
     def report(self) -> str:
         lines = []
         for name, fr in self.result.functions.items():
@@ -57,23 +71,55 @@ class VerificationOutcome:
                          f"auto, {fr.stats.side_conditions_manual} manual)")
             if not fr.ok:
                 lines.append(fr.format_error())
+                stuck = getattr(fr.error, "stuck", None)
+                if stuck is not None:
+                    lines.append(stuck.render())
         if self.metrics is not None:
             lines.append(self.metrics.summary())
         return "\n".join(lines)
 
 
-def _front_end(source: str, lemmas: Optional[dict[str, Lemma]]
-               ) -> tuple[TypedProgram, PhaseTimings]:
-    """Run stage (A), timing parse and elaborate separately."""
+def _front_end(source: str, lemmas: Optional[dict[str, Lemma]],
+               tracing: bool = False, unit_key: str = "<unit>"
+               ) -> tuple[TypedProgram, PhaseTimings,
+                          Optional[FunctionTrace]]:
+    """Run stage (A), timing parse and elaborate separately.  When tracing,
+    the parse/elaborate spans land in a front-end buffer (the ``""``
+    function slot of the merged :class:`UnitTrace`)."""
     timings = PhaseTimings()
-    t0 = time.perf_counter()
-    unit = parse(source)
-    t1 = time.perf_counter()
-    tp = elaborate_unit(unit, source, lemmas)
-    t2 = time.perf_counter()
+    tracer = previous = None
+    if tracing:
+        tracer = Tracer(scope=unit_key)
+        previous = set_current(tracer)
+    try:
+        t0 = time.perf_counter()
+        if tracer is not None:
+            tracer.begin("frontend", "parse")
+        try:
+            unit = parse(source)
+        finally:
+            if tracer is not None:
+                tracer.end()
+        t1 = time.perf_counter()
+        if tracer is not None:
+            tracer.begin("frontend", "elaborate")
+        try:
+            tp = elaborate_unit(unit, source, lemmas)
+        finally:
+            if tracer is not None:
+                tracer.end()
+        t2 = time.perf_counter()
+    finally:
+        if tracer is not None:
+            tracer.close()
+            set_current(previous)
     timings.parse_s = t1 - t0
     timings.elaborate_s = t2 - t1
-    return tp, timings
+    front = None
+    if tracer is not None:
+        front = FunctionTrace(unit=unit_key, function="",
+                              events=tracer.events, dropped=tracer.dropped)
+    return tp, timings, front
 
 
 def verify_source(source: str,
@@ -81,13 +127,17 @@ def verify_source(source: str,
                   study: str = "", *,
                   jobs: int = 1,
                   cache: bool = False,
-                  cache_dir: Optional[Union[str, Path]] = None
+                  cache_dir: Optional[Union[str, Path]] = None,
+                  trace: Optional[bool] = None
                   ) -> VerificationOutcome:
     """Verify annotated C source text."""
-    tp, timings = _front_end(source, lemmas)
-    config = DriverConfig(jobs=jobs, cache=cache, cache_dir=cache_dir)
-    unit = Unit(key=study or "<unit>", source=source, tp=tp, lemmas=lemmas,
-                timings=timings)
+    key = study or "<unit>"
+    tracing = trace_env_enabled() if trace is None else bool(trace)
+    tp, timings, front = _front_end(source, lemmas, tracing, key)
+    config = DriverConfig(jobs=jobs, cache=cache, cache_dir=cache_dir,
+                          trace=tracing)
+    unit = Unit(key=key, source=source, tp=tp, lemmas=lemmas,
+                timings=timings, front_trace=front)
     result, metrics = run_units([unit], config)[unit.key]
     return VerificationOutcome(tp, result, study, metrics)
 
@@ -96,7 +146,8 @@ def verify_file(path: Union[str, Path],
                 lemmas: Optional[dict[str, Lemma]] = None, *,
                 jobs: int = 1,
                 cache: bool = False,
-                cache_dir: Optional[Union[str, Path]] = None
+                cache_dir: Optional[Union[str, Path]] = None,
+                trace: Optional[bool] = None
                 ) -> VerificationOutcome:
     """Verify an annotated C file.  Manual lemma tables registered for the
     file's stem (see :mod:`repro.proofs.manual`) are picked up
@@ -106,18 +157,20 @@ def verify_file(path: Union[str, Path],
     if lemmas is None:
         lemmas = LEMMAS_BY_STUDY.get(study)
     return verify_source(path.read_text(), lemmas, study, jobs=jobs,
-                         cache=cache, cache_dir=cache_dir)
+                         cache=cache, cache_dir=cache_dir, trace=trace)
 
 
 def verify_files(paths: Sequence[Union[str, Path]], *,
                  jobs: int = 1,
                  cache: bool = False,
-                 cache_dir: Optional[Union[str, Path]] = None
+                 cache_dir: Optional[Union[str, Path]] = None,
+                 trace: Optional[bool] = None
                  ) -> dict[str, VerificationOutcome]:
     """Verify several annotated C files under one shared scheduler.
 
     Returns outcomes keyed by file stem, in input order.  With ``jobs>1``
     every (file, function) pair is one task on a single process pool."""
+    tracing = trace_env_enabled() if trace is None else bool(trace)
     units = []
     tps: dict[str, TypedProgram] = {}
     for p in paths:
@@ -125,11 +178,12 @@ def verify_files(paths: Sequence[Union[str, Path]], *,
         study = p.stem
         lemmas = LEMMAS_BY_STUDY.get(study)
         source = p.read_text()
-        tp, timings = _front_end(source, lemmas)
+        tp, timings, front = _front_end(source, lemmas, tracing, study)
         tps[study] = tp
         units.append(Unit(key=study, source=source, tp=tp, lemmas=lemmas,
-                          timings=timings))
-    config = DriverConfig(jobs=jobs, cache=cache, cache_dir=cache_dir)
+                          timings=timings, front_trace=front))
+    config = DriverConfig(jobs=jobs, cache=cache, cache_dir=cache_dir,
+                          trace=tracing)
     results = run_units(units, config)
     return {study: VerificationOutcome(tps[study], result, study, metrics)
             for study, (result, metrics) in results.items()}

@@ -22,11 +22,11 @@ the property at scale instead — the validation stance of Flux and Verus:
   verification driver's process pool and reports metrics-style JSON.
 """
 
-from .campaign import (CampaignConfig, CampaignStats, Finding,
-                       FUZZ_SCHEMA_VERSION, run_campaign)
+from .campaign import (FUZZ_SCHEMA_VERSION, CampaignConfig, CampaignStats,
+                       Finding, run_campaign)
 from .corpus import CorpusEntry, load_corpus, replay_entry, write_entry
-from .generator import (DEFAULT_TEMPLATES, GenProgram, Mutant, SpecViolation,
-                        TEMPLATES, generate_program)
+from .generator import (DEFAULT_TEMPLATES, TEMPLATES, GenProgram, Mutant,
+                        SpecViolation, generate_program)
 from .mutator import MutantResult, MutantVerdict, evaluate_mutants
 from .oracle import (CheckResult, CheckVerdict, ExecResult, ExecStatus,
                      check_batch, check_program, execute_program, run_witness)

@@ -25,8 +25,8 @@ from pathlib import Path
 from typing import Callable, Optional
 
 from .corpus import CorpusEntry, write_entry
-from .generator import (DEFAULT_FUEL, DEFAULT_TEMPLATES, GenProgram,
-                        TEMPLATES, generate_program)
+from .generator import (DEFAULT_FUEL, DEFAULT_TEMPLATES, TEMPLATES, GenProgram,
+                        generate_program)
 from .mutator import MutantVerdict, evaluate_mutants
 from .oracle import (CheckVerdict, ExecStatus, check_batch, check_program,
                      execute_program, run_witness)

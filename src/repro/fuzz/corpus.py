@@ -30,8 +30,7 @@ from pathlib import Path
 from typing import Optional
 
 from .generator import DEFAULT_FUEL, TEMPLATES
-from .oracle import (CheckVerdict, ExecStatus, check_program,
-                     execute_program, run_witness)
+from .oracle import CheckVerdict, check_program, execute_program, run_witness
 
 CORPUS_SCHEMA = 1
 

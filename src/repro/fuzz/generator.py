@@ -32,9 +32,9 @@ from typing import Optional
 
 from ..caesium.concurrency import Scheduler
 from ..caesium.eval import Machine
-from ..caesium.layout import INT_TYPES_BY_NAME, IntType, SIZE_T
+from ..caesium.layout import INT_TYPES_BY_NAME, SIZE_T, IntType
 from ..caesium.memory import Memory
-from ..caesium.values import (NULL, VInt, VPtr, decode_int, encode_int)
+from ..caesium.values import NULL, VInt, VPtr, decode_int, encode_int
 from ..refinedc.checker import TypedProgram
 
 DEFAULT_FUEL = 1_000_000

@@ -28,7 +28,7 @@ from ..driver import DriverConfig, Unit, run_units
 from ..lang.elaborate import elaborate_source
 from ..lithium.search import VerificationError
 from ..refinedc.checker import TypedProgram
-from .generator import DEFAULT_FUEL, GenProgram, SpecViolation, TEMPLATES
+from .generator import DEFAULT_FUEL, TEMPLATES, GenProgram, SpecViolation
 
 
 class CheckVerdict(enum.Enum):

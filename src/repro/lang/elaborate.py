@@ -23,19 +23,19 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Optional
 
-from ..caesium.layout import (ArrayLayout, INT, IntLayout, IntType, Layout,
-                              PtrLayout, SIZE_T, StructLayout)
 from ..caesium import syntax as cae
+from ..caesium.layout import (INT, SIZE_T, ArrayLayout, IntLayout, IntType,
+                              Layout, PtrLayout, StructLayout)
 from ..pure.solver import Lemma
 from ..pure.terms import intlit
 from ..refinedc.checker import GlobalSpec, TypedProgram
 from ..refinedc.spec import (RawFunctionAnnotations, RawStructAnnotations,
-                             SpecContext, SpecError, build_function_spec,
+                             SpecContext, build_function_spec,
                              define_struct_type)
 from . import cst
-from .parser import ParseError, parse
+from .parser import parse
 
 
 class ElaborationError(Exception):

@@ -20,12 +20,12 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..caesium.layout import INT_TYPES_BY_NAME, IntType
-from .cst import (AttrSet, Binary, BoolLit, Call, CastExpr, CFnPtr, CInt,
-                  CPtr, CStruct, CType, CVoid, Expr, FuncDef, GlobalDecl,
-                  Ident, Index, LoopAnnots, Member, NullLit, Num, SAssign,
-                  SBreak, SContinue, SDecl, SExpr, SIf, SizeofType, SReturn,
-                  StructDecl, SWhile, Stmt, TranslationUnit, Unary)
+from ..caesium.layout import INT_TYPES_BY_NAME
+from .cst import (AttrSet, Binary, BoolLit, Call, CastExpr, CFnPtr, CInt, CPtr,
+                  CStruct, CType, CVoid, Expr, FuncDef, GlobalDecl, Ident,
+                  Index, LoopAnnots, Member, NullLit, Num, SAssign, SBreak,
+                  SContinue, SDecl, SExpr, SIf, SizeofType, SReturn, Stmt,
+                  StructDecl, SWhile, TranslationUnit, Unary)
 from .lexer import Token, tokenize
 
 

@@ -10,8 +10,8 @@ goals to registered rules.
 from .context import ContextError, Delta, Gamma
 from .derivation import DerivationBuilder, DNode
 from .goals import (Atom, BasicGoal, GBasic, GConj, GExists, GForall, Goal,
-                    GSep, GTrue, GWand, HAtom, HExists, HPure, HSep,
-                    LeftGoal, conj, hseps, seps, wands)
+                    GSep, GTrue, GWand, HAtom, HExists, HPure, HSep, LeftGoal,
+                    conj, hseps, seps, wands)
 from .rules import Rule, RuleError, RuleRegistry
 from .search import SearchState, Stats, VerificationError
 

@@ -10,10 +10,11 @@ is what makes atom lookup (case 6d) deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Optional
 
 from ..pure.memo import MEMO
 from ..pure.terms import Subst, Term, Var
+from ..trace import tracer as _trace
 from .goals import Atom
 
 
@@ -44,6 +45,9 @@ class Gamma:
     def add_fact(self, phi: Term) -> None:
         if phi not in self.facts:
             self.facts.append(phi)
+            tr = _trace.CURRENT
+            if tr is not None:
+                tr.instant("context", "fact_add", fact=repr(phi))
 
     def resolved_facts(self, subst: Subst) -> list[Term]:
         if not MEMO.enabled:
@@ -86,6 +90,10 @@ class Delta:
                     f"duplicate resource for subject {subj!r}: "
                     f"{existing!r} and {a!r}")
         self.atoms.append(a)
+        tr = _trace.CURRENT
+        if tr is not None:
+            tr.instant("context", "atom_add", atom=repr(a),
+                       persistent=a.persistent)
 
     def find_related(self, subject: Term, subst: Subst) -> Optional[Atom]:
         """Find the unique atom whose subject matches ``subject``
@@ -98,6 +106,9 @@ class Delta:
 
     def remove(self, a: Atom) -> None:
         self.atoms.remove(a)
+        tr = _trace.CURRENT
+        if tr is not None:
+            tr.instant("context", "atom_consume", atom=repr(a))
 
     def __iter__(self):
         return iter(self.atoms)

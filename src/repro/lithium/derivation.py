@@ -16,7 +16,7 @@ be trusted since it generates proofs", §3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Optional
+from typing import Any, Iterator
 
 
 @dataclass

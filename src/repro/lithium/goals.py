@@ -24,10 +24,10 @@ atomic formulas" (§8) and relies on registered rules.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
 
-from ..pure.terms import Sort, Subst, Term, TRUE
+from ..pure.terms import TRUE, Sort, Subst, Term
 
 
 class Atom:

@@ -14,8 +14,8 @@ a rule is chosen, RefinedC does not backtrack on the choice" (§5, fn. 5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 from .goals import BasicGoal, Goal
 

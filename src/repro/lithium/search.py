@@ -30,6 +30,7 @@ becomes ``?xs := ?y :: ?ys``).
 
 from __future__ import annotations
 
+import itertools as _itertools
 import sys
 import time
 from dataclasses import dataclass, field
@@ -38,17 +39,17 @@ from typing import Callable, Optional, Sequence
 from ..pure.simplify import simplify, simplify_hyp
 from ..pure.solver import Outcome, PureSolver
 from ..pure.terms import (App, EVar, Lit, Sort, Subst, Term, Var, cons,
-                          fresh_evar, munion, msingle)
+                          fresh_evar, msingle, munion)
 from ..pure.unify import unify
+from ..trace import tracer as _trace
+from ..trace.stuck import build_stuck_report
 from .context import ContextError, Delta, Gamma
 from .derivation import DerivationBuilder, DNode
 from .goals import (Atom, BasicGoal, GBasic, GConj, GExists, GForall, Goal,
-                    GSep, GTrue, GWand, HAtom, HExists, HPure, HSep, LeftGoal)
-from .rules import Rule, RuleError, RuleRegistry
+                    GSep, GTrue, GWand, HAtom, HExists, HPure, HSep)
+from .rules import RuleError, RuleRegistry
 
 _RECURSION_LIMIT = 100_000
-
-import itertools as _itertools
 
 _FRESH_VAR_COUNTER = _itertools.count(1)
 
@@ -65,16 +66,24 @@ class VerificationError(Exception):
         self.side_condition = side_condition
         self.context_facts = list(context_facts)
         self.function = function
+        # Stuck-goal report (repro.trace.stuck.StuckGoalReport), attached
+        # at the failure site when tracing is enabled.  Rendered by
+        # ``VerificationOutcome.report()``, never by ``format()`` — the
+        # formatted error text must stay byte-identical with and without
+        # tracing (it feeds the determinism fingerprints).
+        self.stuck = None
         super().__init__(self.format())
 
     def __reduce__(self):
         # Default exception pickling would round-trip only ``self.args``
         # (the formatted string) and mis-reconstruct it as ``reason``.
         # Rebuild from the structured fields so errors survive the process
-        # pool of the parallel verification driver byte-identically.
+        # pool of the parallel verification driver byte-identically.  The
+        # third element restores extra state (the stuck-goal report).
         return (VerificationError,
                 (self.reason, self.location, self.side_condition,
-                 self.context_facts, self.function))
+                 self.context_facts, self.function),
+                {"stuck": self.stuck})
 
     def format(self) -> str:
         lines = []
@@ -181,6 +190,9 @@ class SearchState:
         ev = fresh_evar(sort, hint)
         self.sealed.add(ev.eid)
         self.stats.evars_created += 1
+        tr = _trace.CURRENT
+        if tr is not None:
+            tr.instant("evar", "seal", evar=repr(ev))
         return ev
 
     def push_location(self, desc: str) -> None:
@@ -190,9 +202,31 @@ class SearchState:
         self.location.pop()
 
     def fail(self, reason: str, side_condition: Optional[Term] = None) -> None:
-        raise VerificationError(
-            reason, list(self.location), side_condition,
-            self.gamma.resolved_facts(self.subst), self.function)
+        raise self._error(reason, list(self.location), side_condition,
+                          self.gamma.resolved_facts(self.subst))
+
+    def _error(self, reason: str, location: list,
+               side_condition: Optional[Term],
+               facts: Sequence[Term]) -> VerificationError:
+        """Build a VerificationError; with tracing on, attach the
+        stuck-goal report (§2.1): the failing goal, the Γ/Δ snapshot and
+        the last trace events leading here."""
+        err = VerificationError(reason, location, side_condition,
+                                facts, self.function)
+        tr = _trace.CURRENT
+        if tr is not None:
+            tr.instant("search", "fail", reason=reason,
+                       side_condition=(repr(side_condition)
+                                       if side_condition is not None
+                                       else None))
+            err.stuck = build_stuck_report(
+                tr, function=self.function, reason=reason,
+                location=location,
+                side_condition=(repr(side_condition)
+                                if side_condition is not None else None),
+                gamma=[repr(f) for f in facts],
+                delta=[repr(a.resolve(self.subst)) for a in self.delta])
+        return err
 
     def _prove_timed(self, facts, phi):
         """Call the pure solver, attributing its wall time to the solver
@@ -232,21 +266,19 @@ class SearchState:
         for phi, origin, location, gamma in pending:
             phi = simplify(self.subst.resolve(phi))
             if phi.has_evars():
-                raise VerificationError(
+                raise self._error(
                     f"side condition contains evars that were never "
                     f"instantiated" + (f" (from {origin})" if origin else ""),
-                    location, phi, gamma.resolved_facts(self.subst),
-                    self.function)
+                    location, phi, gamma.resolved_facts(self.subst))
             if isinstance(phi, Lit) and phi.value is True:
                 self.stats.side_conditions_auto += 1
                 continue
             result = self._prove_timed(gamma.resolved_facts(self.subst), phi)
             if result.outcome is Outcome.FAILED:
-                raise VerificationError(
+                raise self._error(
                     "the default solver and the registered tactics cannot "
                     f"discharge it" + (f" (from {origin})" if origin else ""),
-                    location, phi, gamma.resolved_facts(self.subst),
-                    self.function)
+                    location, phi, gamma.resolved_facts(self.subst))
             self.derivation.leaf("side_condition", repr(phi),
                                  solver=result.solver, origin=origin,
                                  outcome=result.outcome.value)
@@ -258,6 +290,11 @@ class SearchState:
                     (repr(phi), result.solver, origin))
 
     def _run(self, goal: Goal) -> None:
+        tr = _trace.CURRENT
+        if tr is not None:
+            # The per-SearchState step event: one instant per interpreter
+            # dispatch, carrying the goal kind (the case of §5 taken).
+            tr.instant("search", "step", goal=type(goal).__name__)
         # Case 1: True.
         if isinstance(goal, GTrue):
             self.derivation.leaf("true")
@@ -273,9 +310,13 @@ class SearchState:
                 self.delta = saved_delta.copy()
                 self.derivation.push("conj_branch", label)
                 self.push_location(label)
+                if tr is not None:
+                    tr.begin("search", "conj_branch", label=label)
                 try:
                     self._run(sub)
                 finally:
+                    if tr is not None:
+                        tr.end()
                     self.pop_location()
                     self.derivation.pop()
             self.gamma, self.delta = saved_gamma, saved_delta
@@ -306,10 +347,18 @@ class SearchState:
             if loc_label is not None:
                 self.push_location(loc_label)
             self.derivation.push("rule", rule.name, judgment=f.describe())
+            if tr is not None:
+                # Rule spans live in the "rule" category and are *named*
+                # after the typing rule, so the Chrome view and the
+                # per-rule profile read directly in paper vocabulary.
+                tr.begin("rule", rule.name, judgment=f.describe(),
+                         goal=type(f).__name__)
             try:
                 premise = rule.apply(f, self)
                 self._run(premise)
             finally:
+                if tr is not None:
+                    tr.end()
                 self.derivation.pop()
                 if loc_label is not None:
                     self.pop_location()
@@ -384,9 +433,15 @@ class SearchState:
         self.stats.atom_matches += 1
         self.derivation.push("atom_match", repr(subject),
                              have=repr(have), want=repr(want))
+        tr = _trace.CURRENT
+        if tr is not None:
+            tr.begin("search", "atom_match", subject=repr(subject),
+                     have=repr(have), want=repr(want))
         try:
             self._run(GBasic(self.make_subsume(have, want, cont)))
         finally:
+            if tr is not None:
+                tr.end()
             self.derivation.pop()
 
     # ------------------------------------------------------------
@@ -409,6 +464,10 @@ class SearchState:
                      self.gamma))
                 self.derivation.leaf("side_condition_deferred", repr(phi),
                                      origin=origin)
+                tr = _trace.CURRENT
+                if tr is not None:
+                    tr.instant("search", "side_condition_deferred",
+                               phi=repr(phi), origin=origin)
                 return
             phi = new_phi
         if isinstance(phi, Lit) and phi.value is True:
@@ -438,11 +497,15 @@ class SearchState:
         """The two heuristics of §5: (1) unseal-and-unify equalities;
         (2) user-extensible simplification rules."""
         before = len(self.subst.snapshot())
+        tr = _trace.CURRENT
         if isinstance(phi, App) and phi.op == "eq":
             if unify(phi.args[0], phi.args[1], self.subst):
                 gained = len(self.subst.snapshot()) - before
                 self.stats.evars_instantiated += gained
                 self.derivation.leaf("evar_unify", repr(phi), count=gained)
+                if tr is not None:
+                    tr.instant("evar", "instantiate", via="unify",
+                               phi=repr(phi), count=gained)
                 return True
         if isinstance(phi, App) and phi.op == "and":
             # Solve evar-free conjuncts later; try unification on the
@@ -456,6 +519,9 @@ class SearchState:
             if progressed:
                 gained = len(self.subst.snapshot()) - before
                 self.stats.evars_instantiated += gained
+                if tr is not None:
+                    tr.instant("evar", "instantiate", via="unify-conj",
+                               phi=repr(phi), count=gained)
                 return True
         if isinstance(phi, App) and phi.op == "eq" \
                 and phi.args[0].sort is Sort.INT:
@@ -463,6 +529,9 @@ class SearchState:
                 gained = len(self.subst.snapshot()) - before
                 self.stats.evars_instantiated += gained
                 self.derivation.leaf("evar_linear_solve", repr(phi))
+                if tr is not None:
+                    tr.instant("evar", "instantiate", via="linear-solve",
+                               phi=repr(phi), count=gained)
                 return True
         for rule in self.evar_rules:
             replacement = rule(phi, self)
@@ -470,6 +539,9 @@ class SearchState:
                 gained = len(self.subst.snapshot()) - before
                 self.stats.evars_instantiated += gained
                 self.derivation.leaf("evar_simplify", repr(phi))
+                if tr is not None:
+                    tr.instant("evar", "instantiate", via="simplify-rule",
+                               phi=repr(phi), count=gained)
                 return True
         return False
 

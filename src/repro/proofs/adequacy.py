@@ -18,17 +18,14 @@ Each scenario returns the number of executed checks; any violation raises.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from pathlib import Path
-from typing import Callable, Optional
+from typing import Callable
 
 from ..caesium.concurrency import Scheduler
 from ..caesium.eval import Machine
-from ..caesium.layout import SIZE_T, I64, INT, UCHAR
-from ..caesium.memory import AllocKind, Memory
-from ..caesium.values import (NULL, POISON, Pointer, UndefinedBehavior, VInt,
-                              VPtr, decode_int, decode_ptr, encode_int,
-                              encode_ptr)
+from ..caesium.layout import I64, INT, SIZE_T
+from ..caesium.memory import Memory
+from ..caesium.values import (NULL, Pointer, UndefinedBehavior, VInt, VPtr,
+                              decode_int, decode_ptr, encode_int, encode_ptr)
 # Imported lazily inside _machine to avoid a circular import with
 # repro.frontend (which pulls in the lemma tables from this package).
 

@@ -26,7 +26,7 @@ from typing import Optional
 
 from ..lithium.derivation import DNode
 from ..pure.parser import parse_term
-from ..pure.solver import Lemma, Outcome, PureSolver
+from ..pure.solver import Outcome, PureSolver
 
 
 @dataclass

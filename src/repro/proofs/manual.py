@@ -11,8 +11,8 @@ analogue states each such fact as a :class:`~repro.pure.solver.Lemma`
 from __future__ import annotations
 
 from ..pure.solver import Lemma
-from ..pure.terms import (Sort, Term, and_, app, eq, fn_app, ge, gt, intlit,
-                          le, lt, ne, var)
+from ..pure.terms import (Sort, Term, app, eq, fn_app, ge, intlit, le, lt, ne,
+                          var)
 
 XS = var("XS", Sort.LIST)
 K = var("K")

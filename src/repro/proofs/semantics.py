@@ -21,19 +21,19 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Optional, Union
+from typing import Any, Optional
 
-from ..caesium.layout import PtrLayout, PTR_SIZE
-from ..caesium.memory import AllocKind, Memory
-from ..caesium.values import (NULL, POISON, Pointer, VFn, VInt, VPtr,
-                              decode_int, decode_ptr, encode_int, encode_ptr)
+from ..caesium.layout import PTR_SIZE
+from ..caesium.memory import Memory
+from ..caesium.values import (NULL, Pointer, VFn, VInt, VPtr, decode_int,
+                              decode_ptr, encode_int, encode_ptr)
 from ..pure.eval import EvalError, evaluate
-from ..pure.terms import Sort, Term
+from ..pure.terms import Term
 from ..refinedc.spec import ShrPtr
 from ..refinedc.types import (ArrayT, AtomicBoolT, BoolT, ConstrainedT,
                               ExistsT, FnT, IntT, NamedT, NullT, OptionalT,
                               OwnPtr, PaddedT, RType, StructT, TypeTable,
-                              UninitT, ValueT, WandT)
+                              UninitT, ValueT)
 
 GroundEnv = dict[str, Any]
 

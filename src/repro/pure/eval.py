@@ -18,7 +18,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Any, Mapping
 
-from .terms import App, EVar, Lit, Sort, Term, TermError, Var
+from .terms import App, EVar, Lit, Term, TermError, Var
 
 GroundValue = Any
 

@@ -36,6 +36,8 @@ import os
 from contextlib import contextmanager
 from typing import Callable, Iterator, MutableMapping
 
+from ..trace import tracer as _trace
+
 #: Default per-cache entry cap; a cache whose size exceeds its cap is
 #: simply cleared (results are derived data, so this is always safe).
 DEFAULT_CACHE_CAP = 1 << 18
@@ -89,7 +91,13 @@ def clear_pure_caches() -> None:
 def trim_cache(cache: MutableMapping, cap: int = DEFAULT_CACHE_CAP) -> None:
     """Bound a cache's size by clearing it once it exceeds ``cap``."""
     if len(cache) > cap:
+        entries = len(cache)
         cache.clear()
+        tr = _trace.CURRENT
+        if tr is not None:
+            # Cache-pressure signal: a memo table hit its cap and was
+            # dropped wholesale (derived data — safe, but a cold restart).
+            tr.instant("memo", "trim", entries=entries, cap=cap)
 
 
 def cache_enabled() -> bool:

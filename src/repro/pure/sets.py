@@ -21,7 +21,7 @@ from typing import Iterable, Optional
 from . import linarith
 from .memo import MEMO, register_cache, trim_cache
 from .simplify import _mset_parts, simplify
-from .terms import App, Lit, Sort, Term, and_, eq, le, mall_ge, mall_le, not_
+from .terms import App, Lit, Sort, Term, eq, le, mall_ge, mall_le
 
 _MSET_CACHE: dict = register_cache({})
 # The member-split search re-derives the same (hyps, goal, arith) subproofs

@@ -19,7 +19,7 @@ paper's extensible ``autorewrite``/typeclass mechanism.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
+from typing import Callable, Optional
 
 from .memo import MEMO, register_cache, trim_cache
 from .terms import (App, Lit, Sort, Term, add, and_, app, eq, intlit, le,

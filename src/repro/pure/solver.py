@@ -20,9 +20,10 @@ it fully automatically.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
+from ..trace import tracer as _trace
 from . import linarith
 from .lists import ListSolver
 from .memo import MEMO, register_cache, trim_cache
@@ -142,12 +143,32 @@ class PureSolver:
     def prove(self, hyps: Iterable[Term], goal: Term) -> ProveResult:
         hyps = self._expand_hyps(hyps)
         goal = simplify(goal)
+        tr = _trace.CURRENT
+        if tr is None:
+            return self._prove_memo(hyps, goal, None)
+        # Traced path: one span per prove call, closed with the outcome
+        # and the solver (tactic) that discharged the goal.
+        tr.begin("solver", "prove", goal=repr(goal))
+        late: dict = {}
+        try:
+            result = self._prove_memo(hyps, goal, tr)
+            late = {"outcome": result.outcome.value, "solver": result.solver}
+            return result
+        finally:
+            tr.end(**late)
+
+    def _prove_memo(self, hyps: list[Term], goal: Term,
+                    tr) -> ProveResult:
         if MEMO.enabled:
             key = (self._config_key, frozenset(hyps), goal)
             hit = _PROVE_CACHE.get(key)
             if hit is not None:
                 self.cache_hits += 1
+                if tr is not None:
+                    tr.instant("memo", "hit", cache="prove")
                 return hit
+            if tr is not None:
+                tr.instant("memo", "miss", cache="prove")
             result = self._prove(hyps, goal)
             trim_cache(_PROVE_CACHE)
             _PROVE_CACHE[key] = result

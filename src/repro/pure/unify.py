@@ -17,7 +17,7 @@ unification succeeds, so a failed attempt leaves no partial instantiation.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable
 
 from .terms import App, EVar, Lit, Subst, Term, Var, app
 

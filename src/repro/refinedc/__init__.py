@@ -5,10 +5,9 @@ from .checker import (FnCtx, FunctionResult, GlobalSpec, ProgramResult,
                       TypedProgram, check_function, check_program,
                       missing_body_result, verification_targets)
 from .judgments import LocType, TokenAtom, ValType
-from .spec import (FunctionSpec, RawFunctionAnnotations,
-                   RawStructAnnotations, ShrPtr, SpecContext, SpecError,
-                   build_function_spec, define_struct_type, parse_assertion,
-                   parse_type)
+from .spec import (FunctionSpec, RawFunctionAnnotations, RawStructAnnotations,
+                   ShrPtr, SpecContext, SpecError, build_function_spec,
+                   define_struct_type, parse_assertion, parse_type)
 from .types import (ArrayT, AtomicBoolT, BoolT, ConstrainedT, ExistsT, FnT,
                     IntT, NamedT, NullT, OptionalT, OwnPtr, PaddedT, RType,
                     StructT, TypeDef, TypeTable, UninitT, ValueT, WandT)

@@ -13,21 +13,20 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional
 
 from ..caesium.layout import Layout
-from ..caesium.syntax import Block, Function, LoopAnnotation, Program
-from ..lithium.goals import (Atom, BasicGoal, GBasic, GExists, GSep, GTrue,
-                             GWand, Goal, HAtom, HPure)
+from ..caesium.syntax import Function, LoopAnnotation, Program
+from ..lithium.goals import (Atom, BasicGoal, GBasic, GExists, Goal, GSep,
+                             GTrue, GWand, HAtom, HPure)
 from ..lithium.search import SearchState, Stats, VerificationError
-from ..pure.solver import Lemma, PureSolver
-from ..pure.terms import (Sort, Subst, Term, Var, eq, intern_count, intlit,
-                          var)
-from .judgments import (CASJ, HookJ, LocType, StmtsJ, SubsumeLocJ,
-                        SubsumeValJ, TokenAtom, ValType)
+from ..pure.solver import PureSolver
+from ..pure.terms import Sort, Subst, Term, Var, eq, intern_count, intlit, var
+from .judgments import (CASJ, HookJ, LocType, StmtsJ, SubsumeLocJ, SubsumeValJ,
+                        TokenAtom, ValType)
 from .ownership import intro_loc_goal, locate
 from .rules import REGISTRY
-from .spec import (FunctionSpec, SpecContext, SpecError, parse_type)
+from .spec import FunctionSpec, SpecContext, parse_type
 from .types import RType, TypeTable, UninitT
 
 
@@ -75,6 +74,9 @@ class FunctionResult:
 @dataclass
 class ProgramResult:
     functions: dict[str, FunctionResult] = field(default_factory=dict)
+    # Merged proof-search trace (repro.trace.tracer.UnitTrace), attached
+    # by the driver when tracing is enabled; None otherwise.
+    trace: Optional[object] = None
 
     @property
     def ok(self) -> bool:

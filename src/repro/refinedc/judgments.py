@@ -17,8 +17,8 @@ the types it operates on uniquely select a typing rule.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Optional, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
 
 from ..caesium.layout import Layout
 from ..caesium.syntax import Expr, Stmt, Terminator

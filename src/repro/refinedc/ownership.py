@@ -14,19 +14,17 @@ These build Lithium *goals* (so every step is recorded in the derivation):
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Optional
 
-from ..caesium.layout import Layout, StructLayout
-from ..lithium.goals import GForall, GWand, Goal, HAtom, HPure
+from ..lithium.goals import GForall, Goal, GWand, HAtom, HPure
 from ..lithium.search import SearchState
 from ..pure.solver import Outcome
 from ..pure.terms import (App, Lit, Sort, Term, add, and_, eq, ge, intlit, le,
                           loc_offset, sub)
 from .judgments import LocType, ValType
 from .spec import ShrPtr
-from .types import (ArrayT, AtomicBoolT, BoolT, ConstrainedT, ExistsT, IntT,
-                    NamedT, NullT, OptionalT, OwnPtr, PaddedT, RType, StructT,
-                    UninitT, ValueT)
+from .types import (ArrayT, ConstrainedT, ExistsT, IntT, NamedT, OwnPtr,
+                    PaddedT, RType, StructT, UninitT)
 
 if TYPE_CHECKING:  # pragma: no cover
     from .checker import FnCtx

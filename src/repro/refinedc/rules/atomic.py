@@ -13,8 +13,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ...caesium.layout import INT
-from ...lithium.goals import (GBasic, GConj, GSep, GTrue, GWand, Goal, HAtom,
-                              HPure)
+from ...lithium.goals import GBasic, GConj, Goal, GSep, GWand, HAtom, HPure
 from ...pure.terms import Lit, Term, intlit
 from ..judgments import CASJ, HookJ, LocType, ReadAtJ, WriteAtJ
 from ..types import AtomicBoolT, BoolT, IntT, RType

@@ -11,11 +11,10 @@ resources enter the context.
 
 from __future__ import annotations
 
-from ...lithium.goals import (GBasic, GExists, GForall, GSep, GWand, Goal,
-                              HAtom, HPure)
-from ...pure.terms import Sort, Term, Var
+from ...lithium.goals import GBasic, GExists, GForall, Goal, GSep, GWand, HPure
+from ...pure.terms import Sort, Term
 from ..judgments import LocType, SubsumeValJ, TokenAtom, ValType
-from ..ownership import intro_loc_goal, intro_val_goal, range_facts
+from ..ownership import range_facts
 from ..substitution import subst_assertion, subst_type
 from ..types import RType
 from . import REGISTRY

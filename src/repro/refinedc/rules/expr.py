@@ -9,13 +9,13 @@ evaluation order, §3), then dispatches to the construct-specific judgment
 from __future__ import annotations
 
 from ...caesium.layout import PtrLayout
-from ...caesium.syntax import (BinOpE, CallE, CASE, CastE, FieldOffset,
-                               FnPtrE, GlobalAddr, IntConst, NullE, SizeOfE,
-                               UnOpE, Use, ValE, VarAddr)
+from ...caesium.syntax import (CASE, BinOpE, CallE, CastE, FieldOffset, FnPtrE,
+                               GlobalAddr, IntConst, NullE, SizeOfE, UnOpE,
+                               Use, ValE, VarAddr)
 from ...caesium.values import VInt, VPtr
-from ...lithium.goals import GBasic, GSep, Goal, HPure
+from ...lithium.goals import GBasic, Goal, GSep, HPure
 from ...pure.terms import Sort, Term, and_, fn_app, intlit, le, loc_offset
-from ..judgments import BinOpJ, CallJ, CASJ, ExprJ, ReadJ, ToPlaceJ, UnOpJ
+from ..judgments import BinOpJ, CallJ, ExprJ, ReadJ, ToPlaceJ, UnOpJ
 from ..types import FnT, IntT, NullT, RType, ValueT
 from . import REGISTRY
 

@@ -6,14 +6,13 @@ O-OPTIONAL-EQ (both from Figure 6).
 
 from __future__ import annotations
 
-from ...caesium.layout import INT, PTR_SIZE
-from ...lithium.goals import (GBasic, GConj, GSep, GWand, Goal, HAtom, HPure)
-from ...pure.terms import (Sort, Term, add, and_, app, eq, ge, gt, intlit,
-                           ite, le, loc_offset, lt, mul, ne, not_, or_, sub)
-from ..judgments import BinOpJ, SubsumeValJ, UnOpJ, ValType
+from ...caesium.layout import INT
+from ...lithium.goals import GBasic, GConj, Goal, GSep, GWand, HAtom, HPure
 from ...lithium.rules import Rule as _Rule
-from ..types import (ArrayT, BoolT, IntT, NullT, OptionalT, OwnPtr, RType,
-                     UninitT, ValueT)
+from ...pure.terms import (Term, add, and_, app, eq, ge, gt, intlit, ite, le,
+                           loc_offset, lt, mul, ne, not_, sub)
+from ..judgments import BinOpJ, UnOpJ, ValType
+from ..types import BoolT, IntT, OptionalT, OwnPtr, RType, UninitT, ValueT
 from . import REGISTRY
 
 _BOOL_RESULT_ITYPE = INT   # C comparisons produce int

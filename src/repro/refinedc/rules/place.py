@@ -12,15 +12,15 @@ conversion.  This is where RefinedC's ownership bookkeeping lives:
 
 from __future__ import annotations
 
-from ...caesium.layout import IntLayout, Layout, PtrLayout
-from ...lithium.goals import (GBasic, GSep, GWand, Goal, HAtom, HPure)
+from ...caesium.layout import Layout, PtrLayout
+from ...lithium.goals import GBasic, Goal, GSep, GWand, HAtom, HPure
 from ...pure.terms import (App, Sort, Term, add, and_, app, eq, intlit, le,
                            loc_offset, mul, ne, sub)
-from ..judgments import (HookJ, LocType, ProvePlaceJ, ReadAtJ, ReadJ,
-                         ToPlaceJ, ValType, WriteAtJ, WriteJ)
+from ..judgments import (HookJ, LocType, ProvePlaceJ, ReadAtJ, ReadJ, ToPlaceJ,
+                         ValType, WriteAtJ, WriteJ)
 from ..ownership import intro_loc_goal, locate, quiet_entails, split_loc
-from ..types import (ArrayT, AtomicBoolT, BoolT, IntT, NamedT, NullT,
-                     OptionalT, OwnPtr, RType, UninitT, ValueT)
+from ..types import (ArrayT, BoolT, IntT, NullT, OptionalT, OwnPtr, RType,
+                     UninitT, ValueT)
 from . import REGISTRY
 
 _MOVABLE_HEADS = {"own", "shr", "optional", "named", "wand", "null", "fn"}

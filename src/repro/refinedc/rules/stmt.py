@@ -4,14 +4,13 @@ Figure 6; goto/loop-invariant handling of §2.2; the return rule).
 
 from __future__ import annotations
 
-from ...caesium.syntax import (Assign, CondGoto, ExprS, Goto, Ret, Switch)
-from ...lithium.goals import (GBasic, GConj, GSep, GTrue, GWand, Goal, HPure,
-                              conj)
-from ...pure.terms import Sort, Term, TRUE, eq, intlit, ne, not_
-from ..judgments import (ExprJ, GotoJ, HookJ, IfJ, StmtsJ, SubsumeValJ,
-                         ToPlaceJ, WriteJ)
+from ...caesium.syntax import Assign, CondGoto, ExprS, Goto, Ret, Switch
+from ...lithium.goals import GBasic, GConj, Goal, GTrue, GWand, HPure, conj
+from ...pure.terms import TRUE, Term, eq, intlit, ne, not_
+from ..judgments import (ExprJ, GotoJ, IfJ, StmtsJ, SubsumeValJ, ToPlaceJ,
+                         WriteJ)
 from ..substitution import subst_assertion, subst_type
-from ..types import BoolT, IntT, RType
+from ..types import IntT, RType
 from . import REGISTRY
 
 

@@ -13,10 +13,10 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ...lithium.goals import (GBasic, GConj, GExists, GForall, GSep, GWand,
-                              Goal, HAtom, HPure)
-from ...pure.terms import (Sort, Term, TRUE, and_, eq, intlit, ite, le,
-                           loc_offset, ne, not_, sub)
+from ...lithium.goals import (GBasic, GConj, GExists, GForall, Goal, GSep,
+                              GWand, HAtom, HPure)
+from ...pure.terms import (TRUE, Sort, Term, eq, intlit, ite, le, loc_offset,
+                           ne, not_, sub)
 from ..judgments import (LocType, ProvePlaceJ, SubsumeLocJ, SubsumeValJ,
                          TokenAtom, ValType)
 from ..ownership import intro_loc_goal, quiet_entails, struct_pieces
@@ -296,7 +296,7 @@ def _loc_to_uninit(f: SubsumeLocJ, state, have: RType,
     (this is how freed nodes give their memory back, e.g. pop in the
     linked-list case study).  Gathers consecutive atoms until the wanted
     byte count is covered."""
-    from ..ownership import quiet_entails, split_loc
+    from ..ownership import quiet_entails
     from ...pure.terms import add as _add, eq as _eq, intlit as _intlit
     from ...pure.simplify import simplify as _simp
     # Re-add the consumed atom, then gather from the start location.

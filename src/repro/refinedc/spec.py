@@ -30,15 +30,13 @@ Resource assertions (in ``rc::requires``/``rc::ensures``/wand holes)::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Optional, Sequence
+from typing import Callable, Mapping, Optional
 
-from ..caesium.layout import (INT_TYPES_BY_NAME, IntType, Layout,
-                              StructLayout)
+from ..caesium.layout import INT_TYPES_BY_NAME, IntType, Layout, StructLayout
 from ..pure.parser import SpecParseError, parse_sort, parse_term
 from ..pure.solver import Lemma
-from ..pure.terms import (Sort, Term, TermError, Var, and_, ge, intlit, le,
-                          var)
-from .judgments import LocType, TokenAtom, ValType
+from ..pure.terms import Sort, Term, Var, and_, ge, intlit, le, var
+from .judgments import LocType, TokenAtom
 from .types import (ArrayT, AtomicBoolT, BoolT, ConstrainedT, ExistsT, FnT,
                     IntT, NamedT, NullT, OptionalT, OwnPtr, PaddedT, RType,
                     StructT, TypeDef, TypeTable, UninitT, WandT)

@@ -35,10 +35,9 @@ Type heads (used as Lithium dispatch keys):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
-from ..caesium.layout import (IntLayout, IntType, Layout, PtrLayout,
-                              StructLayout, PTR_SIZE)
+from ..caesium.layout import PTR_SIZE, IntType, Layout, StructLayout
 from ..pure.terms import Sort, Subst, Term, intlit
 
 if TYPE_CHECKING:  # pragma: no cover

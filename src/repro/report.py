@@ -22,7 +22,7 @@ from typing import Optional
 
 from .frontend import VerificationOutcome, verify_file, verify_files
 from .lang.parser import parse
-from .proofs.manual import LEMMAS_BY_STUDY, pure_line_count
+from .proofs.manual import pure_line_count
 
 _SPEC_ATTRS = {"parameters", "args", "returns", "ensures", "requires",
                "exists"}
@@ -117,13 +117,13 @@ def _count_loop_annots(stmts) -> int:
 
 def study_report(path, outcome: Optional[VerificationOutcome] = None, *,
                  jobs: int = 1, cache: bool = False,
-                 cache_dir=None) -> StudyReport:
+                 cache_dir=None, trace: Optional[bool] = None) -> StudyReport:
     """Compute the Figure 7 row for one case-study file."""
     path = Path(path)
     source = path.read_text()
     if outcome is None:
         outcome = verify_file(path, jobs=jobs, cache=cache,
-                              cache_dir=cache_dir)
+                              cache_dir=cache_dir, trace=trace)
     report = StudyReport(path.stem, outcome.ok)
     report.types_used = [label for needle, label in _SALIENT_TYPES
                          if needle in source]
@@ -176,7 +176,8 @@ def casestudies_dir() -> Path:
 
 
 def figure7_table(include_extra: bool = True, *, jobs: int = 1,
-                  cache: bool = False, cache_dir=None) -> list[StudyReport]:
+                  cache: bool = False, cache_dir=None,
+                  trace: Optional[bool] = None) -> list[StudyReport]:
     """Regenerate the Figure 7 table over all case studies.
 
     With ``jobs>1`` every (study, function) pair is scheduled on one
@@ -186,7 +187,7 @@ def figure7_table(include_extra: bool = True, *, jobs: int = 1,
     studies = FIGURE7_STUDIES + (EXTRA_STUDIES if include_extra else [])
     paths = [base / f"{stem}.c" for stem, _cls in studies]
     outcomes = verify_files(paths, jobs=jobs, cache=cache,
-                            cache_dir=cache_dir)
+                            cache_dir=cache_dir, trace=trace)
     return [study_report(path, outcomes[path.stem]) for path in paths]
 
 

@@ -1,0 +1,155 @@
+"""Trace exporters: Chrome trace-event JSON and a JSONL stream.
+
+The Chrome format (the "Trace Event Format" consumed by Perfetto and
+``chrome://tracing``) renders each buffer of a :class:`~.tracer.UnitTrace`
+as its own thread row: the front end on ``tid`` 1, then one ``tid`` per
+verified function.  Span nesting inside a row reproduces the proof-search
+structure — rule applications containing solver calls containing memo
+events.
+
+Timestamps are normalised *per buffer* (each buffer starts at 0 µs):
+buffers may come from different worker processes whose clocks are not
+comparable, and the per-function view is what the Figure-7 breakdown
+needs.  ``validate_chrome_trace`` is the schema check used by the tests
+and the CI trace-smoke step.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .tracer import TraceEvent, UnitTrace
+
+#: The event schema enforced by :func:`validate_chrome_trace`: required
+#: keys and their types per phase.  ``M`` is thread metadata.
+CHROME_PHASES = ("X", "i", "M")
+_REQUIRED = {"name": str, "cat": str, "ph": str, "pid": int, "tid": int,
+             "ts": (int, float)}
+
+
+def chrome_trace(trace: UnitTrace) -> dict:
+    """Export a unit trace as a Chrome trace-event JSON object."""
+    events: list[dict] = []
+    for tid, buf in enumerate(trace.buffers, start=1):
+        label = buf.function or f"{buf.unit} (front end)"
+        events.append({
+            "name": "thread_name", "ph": "M", "cat": "__metadata",
+            "pid": 1, "tid": tid, "ts": 0,
+            "args": {"name": label},
+        })
+        for ev in buf.events:
+            entry = {
+                "name": ev.name,
+                "cat": ev.cat,
+                "ph": ev.ph,
+                "pid": 1,
+                "tid": tid,
+                "ts": round(ev.ts * 1e6, 3),
+                "args": dict(ev.args, seq=ev.seq),
+            }
+            if ev.ph == TraceEvent.SPAN:
+                entry["dur"] = round((ev.dur or 0.0) * 1e6, 3)
+            else:
+                entry["s"] = "t"   # instant scope: thread
+            events.append(entry)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "unit": trace.unit,
+            "tool": "repro.trace",
+            "dropped_events": trace.dropped_count(),
+        },
+    }
+
+
+def write_chrome_trace(trace: UnitTrace, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(trace), indent=1,
+                               sort_keys=True))
+    return path
+
+
+def to_jsonl(trace: UnitTrace) -> str:
+    """The raw event stream, one JSON object per line (for ``jq``-style
+    downstream processing).  Unlike the Chrome export this keeps the
+    native field names including ``seq`` and ``depth``."""
+    lines = []
+    for buf, ev in trace.all_events():
+        d = ev.to_dict()
+        d["unit"] = buf.unit
+        d["function"] = buf.function
+        lines.append(json.dumps(d, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(trace: UnitTrace, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text(to_jsonl(trace))
+    return path
+
+
+# ---------------------------------------------------------------------
+# Schema validation (used by the tests and the CI trace-smoke step).
+# ---------------------------------------------------------------------
+
+def validate_chrome_trace(data: dict) -> list[str]:
+    """Validate an exported Chrome trace against the event schema.
+
+    Returns a list of human-readable problems (empty when valid):
+    structural requirements of the Trace Event Format plus our own
+    invariants — spans have non-negative durations, and within each thread
+    spans are properly nested (an event at depth *d* only ever follows an
+    open chain of *d* spans)."""
+    problems: list[str] = []
+    if not isinstance(data, dict):
+        return ["top level is not a JSON object"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    per_tid_stack: dict[int, list[tuple[float, float]]] = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key, typ in _REQUIRED.items():
+            if key not in ev:
+                problems.append(f"{where}: missing {key!r}")
+            elif not isinstance(ev[key], typ) or isinstance(ev[key], bool):
+                problems.append(f"{where}: {key!r} has type "
+                                f"{type(ev[key]).__name__}")
+        ph = ev.get("ph")
+        if ph not in CHROME_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if "args" in ev and not isinstance(ev["args"], dict):
+            problems.append(f"{where}: args is not an object")
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if isinstance(ts, (int, float)) and ts < 0:
+            problems.append(f"{where}: negative ts")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)):
+                problems.append(f"{where}: span missing numeric 'dur'")
+            elif dur < 0:
+                problems.append(f"{where}: negative dur")
+            # Nesting: pop finished spans, then require containment in
+            # the enclosing span (small float tolerance for rounding).
+            if isinstance(ts, (int, float)) and isinstance(dur,
+                                                           (int, float)):
+                stack = per_tid_stack.setdefault(ev.get("tid", 0), [])
+                while stack and ts >= stack[-1][1] - 1e-6:
+                    stack.pop()
+                if stack and ts + dur > stack[-1][1] + 1e-3:
+                    problems.append(
+                        f"{where}: span [{ts}, {ts + dur}] escapes its "
+                        f"enclosing span ending at {stack[-1][1]}")
+                stack.append((ts, ts + dur))
+    return problems

@@ -1,0 +1,160 @@
+"""Self-profile over a trace: where the proof search spends its time.
+
+Aggregates the spans of a :class:`~.tracer.UnitTrace` into
+
+* per-``(cat, name)`` span statistics — count, total wall, *self* wall
+  (total minus the directly nested spans), so e.g. a typing rule's own
+  cost is separated from the solver calls it triggers;
+* instant counts (memo hits/misses, evar events, context churn);
+* the top-N slowest ``solver.prove`` calls, with their goal and outcome —
+  the first place to look when a verification is slow.
+
+``trace_summary`` distills the same data into the JSON-able ``trace``
+block of the schema-v3 driver metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .tracer import TraceEvent, UnitTrace
+
+
+@dataclass
+class SpanAgg:
+    count: int = 0
+    total_s: float = 0.0
+    self_s: float = 0.0
+
+
+@dataclass
+class SlowCall:
+    dur_s: float
+    function: str
+    goal: str
+    outcome: str
+    solver: str
+
+
+@dataclass
+class SelfProfile:
+    spans: dict[tuple[str, str], SpanAgg] = field(default_factory=dict)
+    instants: dict[tuple[str, str], int] = field(default_factory=dict)
+    slowest_prove: list[SlowCall] = field(default_factory=list)
+    events: int = 0
+    dropped: int = 0
+
+    def rules(self) -> dict[str, SpanAgg]:
+        """Per-typing-rule aggregate (spans in the ``rule`` category are
+        named after the rule that was applied)."""
+        return {name: agg for (cat, name), agg in self.spans.items()
+                if cat == "rule"}
+
+
+def build_profile(trace: UnitTrace, top_n: int = 10) -> SelfProfile:
+    prof = SelfProfile(events=trace.event_count(),
+                       dropped=trace.dropped_count())
+    slow: list[SlowCall] = []
+    for buf in trace.buffers:
+        # Stack replay over the pre-ordered span stream: an event at depth
+        # d is a direct child of the last open span at depth < d.
+        stack: list[list] = []   # [event, direct_child_dur]
+
+        def pop() -> None:
+            ev, child_dur = stack.pop()
+            dur = ev.dur or 0.0
+            agg = prof.spans.setdefault((ev.cat, ev.name), SpanAgg())
+            agg.count += 1
+            agg.total_s += dur
+            agg.self_s += max(0.0, dur - child_dur)
+            if stack:
+                stack[-1][1] += dur
+            if ev.cat == "solver" and ev.name == "prove":
+                slow.append(SlowCall(dur, buf.function,
+                                     str(ev.args.get("goal", "")),
+                                     str(ev.args.get("outcome", "")),
+                                     str(ev.args.get("solver", ""))))
+
+        for ev in buf.events:
+            if ev.ph == TraceEvent.INSTANT:
+                key = (ev.cat, ev.name)
+                prof.instants[key] = prof.instants.get(key, 0) + 1
+                continue
+            while stack and stack[-1][0].depth >= ev.depth:
+                pop()
+            stack.append([ev, 0.0])
+        while stack:
+            pop()
+    slow.sort(key=lambda c: -c.dur_s)
+    prof.slowest_prove = slow[:top_n]
+    return prof
+
+
+def render_profile(prof: SelfProfile, top_n: int = 10) -> str:
+    """The human-readable self-profile printed by ``scripts/trace.py``."""
+    lines = [f"trace profile: {prof.events} event(s)"
+             + (f", {prof.dropped} dropped" if prof.dropped else "")]
+
+    rules = sorted(prof.rules().items(), key=lambda kv: -kv[1].total_s)
+    if rules:
+        lines.append("")
+        lines.append(f"{'rule':<24} {'count':>6} {'total':>9} {'self':>9}")
+        for name, agg in rules[:top_n]:
+            lines.append(f"{name:<24} {agg.count:>6} "
+                         f"{agg.total_s * 1e3:>7.2f}ms "
+                         f"{agg.self_s * 1e3:>7.2f}ms")
+
+    other = sorted(((k, v) for k, v in prof.spans.items() if k[0] != "rule"),
+                   key=lambda kv: -kv[1].total_s)
+    if other:
+        lines.append("")
+        lines.append(f"{'span':<24} {'count':>6} {'total':>9} {'self':>9}")
+        for (cat, name), agg in other[:top_n]:
+            label = f"{cat}.{name}"
+            lines.append(f"{label:<24} {agg.count:>6} "
+                         f"{agg.total_s * 1e3:>7.2f}ms "
+                         f"{agg.self_s * 1e3:>7.2f}ms")
+
+    if prof.instants:
+        lines.append("")
+        lines.append(f"{'instant':<24} {'count':>6}")
+        for (cat, name), count in sorted(prof.instants.items(),
+                                         key=lambda kv: -kv[1])[:top_n]:
+            lines.append(f"{cat + '.' + name:<24} {count:>6}")
+
+    if prof.slowest_prove:
+        lines.append("")
+        lines.append(f"top {len(prof.slowest_prove)} slowest solver goals:")
+        for c in prof.slowest_prove:
+            where = f" [{c.function}]" if c.function else ""
+            lines.append(f"  {c.dur_s * 1e3:7.2f}ms  {c.outcome:<8} "
+                         f"{c.goal}{where}")
+    return "\n".join(lines)
+
+
+def trace_summary(trace: UnitTrace, top_n: int = 5) -> dict:
+    """The ``trace`` block of the schema-v3 driver metrics: per-rule
+    counts/time plus solver/memo roll-ups.  Counts are deterministic;
+    the ``*_s`` fields are wall-clock."""
+    prof = build_profile(trace, top_n=top_n)
+    rules = {name: {"count": agg.count,
+                    "total_s": round(agg.total_s, 6),
+                    "self_s": round(agg.self_s, 6)}
+             for name, agg in sorted(prof.rules().items())}
+    prove = prof.spans.get(("solver", "prove"), SpanAgg())
+    return {
+        "events": prof.events,
+        "dropped": prof.dropped,
+        "rules": rules,
+        "solver": {
+            "prove_calls": prove.count,
+            "prove_total_s": round(prove.total_s, 6),
+            "memo_hits": prof.instants.get(("memo", "hit"), 0),
+            "memo_misses": prof.instants.get(("memo", "miss"), 0),
+        },
+        "slowest_prove": [
+            {"dur_s": round(c.dur_s, 6), "function": c.function,
+             "goal": c.goal, "outcome": c.outcome}
+            for c in prof.slowest_prove
+        ],
+    }

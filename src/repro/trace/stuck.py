@@ -1,0 +1,131 @@
+"""Stuck-goal diagnostics: the symbolic state at a verification failure.
+
+§2.1 of the paper stresses *actionable* error reporting: not just "the
+proof failed" but the stuck goal, the failing side condition and the
+context at the failure point.  VeriFast's symbolic debugger demonstrates
+that this view is what makes an SL verifier usable.  When tracing is
+enabled, every :class:`~repro.lithium.search.VerificationError` carries a
+:class:`StuckGoalReport` built at the failure site:
+
+* the failing goal / reason and the location trail,
+* the pure side condition (when the failure is an unprovable ⌜φ⌝),
+* a snapshot of Γ (pure facts) and Δ (owned resources), fully resolved
+  against the evar substitution,
+* the last K trace events leading up to the failure — the "how did we
+  get here" tail.
+
+Everything is captured as plain strings so the report pickles across the
+driver's process pool and renders identically regardless of schedule
+(event lines never include timestamps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .tracer import TraceEvent, Tracer
+
+#: How many trailing events the report keeps.
+DEFAULT_TAIL = 12
+#: How many goal-stack frames the report keeps (Lithium rule spans nest
+#: along the whole proof spine, so the raw stack can be hundreds deep).
+DEFAULT_STACK = 16
+#: Indentation cap for tail event lines (same reason).
+_MAX_INDENT = 12
+
+
+def _fmt_args(args: dict) -> str:
+    if not args:
+        return ""
+    inner = ", ".join(f"{k}={v!r}" for k, v in sorted(args.items()))
+    return f" ({inner})"
+
+
+def format_event_line(ev: TraceEvent, base_depth: int = 0) -> str:
+    """One deterministic line per event: sequence id, nesting, category,
+    name and args — never timestamps (the tail must be byte-identical
+    between serial and parallel runs).  Indentation is relative to
+    ``base_depth`` and capped, since rule spans nest along the whole
+    proof spine."""
+    indent = ". " * min(max(ev.depth - base_depth, 0), _MAX_INDENT)
+    mark = "+" if ev.ph == TraceEvent.SPAN else "-"
+    return f"#{ev.seq:<5} {mark} {indent}{ev.cat}.{ev.name}{_fmt_args(ev.args)}"
+
+
+@dataclass
+class StuckGoalReport:
+    """The failure-point snapshot attached to a ``VerificationError``."""
+
+    function: str = ""
+    reason: str = ""
+    location: list[str] = field(default_factory=list)
+    side_condition: Optional[str] = None
+    gamma: list[str] = field(default_factory=list)      # pure facts
+    delta: list[str] = field(default_factory=list)      # owned atoms
+    tail: list[str] = field(default_factory=list)       # rendered events
+    open_spans: list[str] = field(default_factory=list)  # goal stack
+
+    def render(self) -> str:
+        lines = ["--- stuck goal " + "-" * 45]
+        if self.function:
+            lines.append(f"function: {self.function}")
+        if self.location:
+            lines.append(f"at: {self.location[-1]}")
+            for loc in reversed(self.location[:-1]):
+                lines.append(f"    from: {loc}")
+        if self.side_condition is not None:
+            lines.append(f"stuck side condition: {self.side_condition}")
+        if self.reason:
+            lines.append(f"reason: {self.reason}")
+        if self.open_spans:
+            lines.append("goal stack (innermost last):")
+            for s in self.open_spans:
+                lines.append(f"  {s}")
+        lines.append(f"context Γ ({len(self.gamma)} fact(s)):")
+        for f in self.gamma:
+            lines.append(f"  {f}")
+        lines.append(f"context Δ ({len(self.delta)} resource(s)):")
+        for a in self.delta:
+            lines.append(f"  {a}")
+        if self.tail:
+            lines.append(f"last {len(self.tail)} trace event(s):")
+            lines.extend(f"  {line}" for line in self.tail)
+        lines.append("-" * 60)
+        return "\n".join(lines)
+
+
+def build_stuck_report(tracer: Optional[Tracer], *, function: str,
+                       reason: str, location: Sequence[str],
+                       side_condition: Optional[str],
+                       gamma: Sequence[str], delta: Sequence[str],
+                       tail: int = DEFAULT_TAIL,
+                       stack: int = DEFAULT_STACK) -> StuckGoalReport:
+    """Assemble the report at the failure site.  ``tracer`` may be ``None``
+    (no event tail is included then); everything else comes from the
+    search state, already rendered to strings by the caller."""
+    events: list[str] = []
+    spans: list[str] = []
+    if tracer is not None:
+        last = tracer.tail(tail)
+        base = min((ev.depth for ev in last), default=0)
+        events = [format_event_line(ev, base) for ev in last]
+        spans = [f"{ev.cat}.{ev.name}{_fmt_args(ev.args)}"
+                 for ev in tracer._stack if ev is not None]
+        if len(spans) > stack:
+            omitted = len(spans) - stack
+            # Keep the outermost frame (the function check) plus the
+            # innermost frames — the middle of the spine is noise here.
+            spans = (spans[:1]
+                     + [f"... ({omitted} outer frame(s) omitted)"]
+                     + spans[-(stack - 1):])
+    return StuckGoalReport(
+        function=function,
+        reason=reason,
+        location=list(location),
+        side_condition=side_condition,
+        gamma=list(gamma),
+        delta=list(delta),
+        tail=events,
+        open_spans=spans,
+    )

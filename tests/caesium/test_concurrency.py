@@ -3,13 +3,11 @@
 import pytest
 
 from repro.caesium.concurrency import Scheduler, run_concurrently
-from repro.caesium.eval import Machine
-from repro.caesium.layout import INT, IntLayout, PtrLayout, SIZE_T
-from repro.caesium.memory import Memory
-from repro.caesium.syntax import (Assign, BinOpE, Block, CASE, CondGoto,
-                                  Function, Goto, IntConst, Program, Ret,
-                                  Use, VarAddr)
-from repro.caesium.values import (UndefinedBehavior, VInt, VPtr, decode_int,
+from repro.caesium.layout import INT, SIZE_T, IntLayout, PtrLayout
+from repro.caesium.syntax import (CASE, Assign, BinOpE, Block, CondGoto,
+                                  Function, Goto, IntConst, Program, Ret, Use,
+                                  VarAddr)
+from repro.caesium.values import (UndefinedBehavior, VPtr, decode_int,
                                   encode_int)
 
 SZ = IntLayout(SIZE_T)

@@ -3,14 +3,13 @@
 import pytest
 
 from repro.caesium.eval import EvalError, Machine
-from repro.caesium.layout import (I32, INT, IntLayout, PtrLayout, SIZE_T,
-                                  StructLayout, U8, UCHAR)
-from repro.caesium.syntax import (Assign, BinOpE, Block, CallE, CASE, CastE,
-                                  CondGoto, ExprS, FieldOffset, FnPtrE,
-                                  Function, Goto, IntConst, NullE, Program,
-                                  Ret, SizeOfE, Switch, UnOpE, Use, ValE,
-                                  VarAddr)
-from repro.caesium.values import (NULL, UndefinedBehavior, VFn, VInt, VPtr)
+from repro.caesium.layout import (INT, SIZE_T, U8, UCHAR, IntLayout, PtrLayout,
+                                  StructLayout)
+from repro.caesium.syntax import (CASE, Assign, BinOpE, Block, CallE, CastE,
+                                  CondGoto, FieldOffset, FnPtrE, Function,
+                                  Goto, IntConst, NullE, Program, Ret, SizeOfE,
+                                  Switch, Use, VarAddr)
+from repro.caesium.values import UndefinedBehavior, VFn, VInt, VPtr
 
 SZ = IntLayout(SIZE_T)
 I = IntLayout(INT)
@@ -206,7 +205,6 @@ class TestStructsAndPointers:
                 Use(VarAddr("d"), PtrLayout("mem_t")), s, "len"), SZ))),
         }, "entry")
         m = Machine(Program(structs={"mem_t": s}, functions={"get_len": f}))
-        from repro.caesium.memory import Memory
         from repro.caesium.values import encode_int
         p = m.memory.allocate(16)
         m.memory.store(p, encode_int(99, SIZE_T), 8)

@@ -1,12 +1,11 @@
 """Layout computation tests (LP64, natural alignment)."""
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
-from repro.caesium.layout import (ArrayLayout, I32, IntLayout, LayoutError,
-                                  PtrLayout, SIZE_T, StructLayout, U8, U16,
-                                  U64, UCHAR)
+from repro.caesium.layout import (I32, SIZE_T, U16, U64, U8, ArrayLayout,
+                                  IntLayout, LayoutError, PtrLayout,
+                                  StructLayout)
 
 
 class TestIntTypes:

@@ -2,11 +2,10 @@
 round-trips, CAS, and the data-race detector."""
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
-from repro.caesium.layout import I32, SIZE_T, U8, U64
-from repro.caesium.memory import AllocKind, Memory
+from repro.caesium.layout import I32, U64
+from repro.caesium.memory import Memory
 from repro.caesium.values import (NULL, POISON, Pointer, UndefinedBehavior,
                                   VFn, VInt, VPtr, decode_int, decode_ptr,
                                   encode_int, encode_ptr, encode_value)

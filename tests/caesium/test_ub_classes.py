@@ -9,9 +9,9 @@ on message text.
 import pytest
 
 from repro.caesium.eval import Machine
+from repro.caesium.layout import INT_TYPES_BY_NAME
 from repro.caesium.memory import AllocKind, Memory
 from repro.caesium.values import NULL, UBClass, UndefinedBehavior, VInt, VPtr
-from repro.caesium.layout import INT_TYPES_BY_NAME
 from repro.lang.elaborate import elaborate_source
 
 

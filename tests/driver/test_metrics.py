@@ -40,7 +40,7 @@ def test_function_metrics_match_results():
 def test_json_export_schema():
     out = verify_file(study_path("mpool"))
     data = json.loads(out.metrics.to_json())
-    assert data["schema_version"] == 2
+    assert data["schema_version"] == 3
     assert data["jobs"] == 1
     assert set(data["phases"]) == {"parse_s", "elaborate_s", "search_s",
                                    "solver_s"}
@@ -52,6 +52,39 @@ def test_json_export_schema():
     # The engine telemetry must never leak into the deterministic counters.
     assert "solver_cache_hits" not in fn["counters"]
     assert data["terms_interned"] > 0
+
+
+def test_json_v3_trace_key_absent_when_off():
+    """An untraced v3 record must stay byte-compatible with v2 consumers:
+    no ``trace`` key at all (not a null), and a round-trip through JSON
+    preserves every field."""
+    out = verify_file(study_path("mpool"), trace=False)
+    data = json.loads(out.metrics.to_json())
+    assert "trace" not in data
+    assert data["units"] == []
+    again = json.loads(out.metrics.to_json())
+    assert again == data
+
+
+def test_json_v3_trace_block_present_when_on():
+    out = verify_file(study_path("mpool"), trace=True)
+    data = json.loads(out.metrics.to_json())
+    assert data["schema_version"] == 3
+    block = data["trace"]
+    assert {"events", "dropped", "rules", "solver",
+            "slowest_prove"} <= set(block)
+    assert block["events"] > 0
+    assert data == json.loads(json.dumps(data))   # JSON-clean
+
+
+def test_summary_lines():
+    out = verify_file(study_path("mpool"), trace=False)
+    summary = out.metrics.summary()
+    assert "driver: jobs=1" in summary
+    assert "phases: parse" in summary
+    assert "trace:" not in summary
+    traced = verify_file(study_path("mpool"), trace=True)
+    assert "trace:" in traced.metrics.summary()
 
 
 def test_report_renders_metrics():
@@ -69,6 +102,34 @@ def test_merge_metrics_aggregates():
     assert abs(total.phases.search_s
                - (a.phases.search_s + b.phases.search_s)) < 1e-9
     assert total.cache_hits == 0 and total.cache_misses == 0
+
+
+def test_merge_metrics_preserves_unit_names():
+    """Regression: merging used to drop the per-unit study names; they
+    must be preserved, in input order, in the ``units`` list."""
+    a = verify_file(study_path("mpool")).metrics
+    b = verify_file(study_path("spinlock")).metrics
+    total = merge_metrics([a, b])
+    assert total.units == ["mpool", "spinlock"]
+    assert total.study == "<all>"
+    data = json.loads(total.to_json())
+    assert data["units"] == ["mpool", "spinlock"]
+
+
+def test_merge_metrics_merges_trace_blocks():
+    a = verify_file(study_path("mpool"), trace=True).metrics
+    b = verify_file(study_path("spinlock"), trace=True).metrics
+    total = merge_metrics([a, b])
+    assert total.trace is not None
+    assert total.trace["events"] == a.trace["events"] + b.trace["events"]
+    for name, agg in a.trace["rules"].items():
+        merged = total.trace["rules"][name]
+        expect = agg["count"] + b.trace["rules"].get(name,
+                                                     {}).get("count", 0)
+        assert merged["count"] == expect
+    assert len(total.trace["slowest_prove"]) <= 5
+    durs = [c["dur_s"] for c in total.trace["slowest_prove"]]
+    assert durs == sorted(durs, reverse=True)
 
 
 def test_cache_hit_rate():

@@ -8,8 +8,8 @@ telemetry fields ``solver_cache_hits`` / ``terms_interned``."""
 import pytest
 
 from repro.frontend import verify_file, verify_source
-from repro.pure.memo import (cache_enabled, caches_disabled,
-                             clear_pure_caches, set_cache_enabled)
+from repro.pure.memo import (cache_enabled, caches_disabled, clear_pure_caches,
+                             set_cache_enabled)
 
 from .conftest import fingerprint, study_path
 

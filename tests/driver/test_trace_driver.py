@@ -1,0 +1,111 @@
+"""End-to-end tracing through the driver: parallel == serial event
+streams, metrics trace blocks, stuck reports across the process pool,
+and a valid Chrome export from a real run."""
+
+import pytest
+
+from repro.frontend import verify_file, verify_source
+from repro.trace.chrome import validate_chrome_trace
+
+from .conftest import study_path
+from .test_determinism import _seeded_failure_source
+
+STUDY = "mpool"
+
+
+@pytest.fixture(scope="module")
+def serial():
+    return verify_file(study_path(STUDY), trace=True, jobs=1)
+
+
+@pytest.fixture(scope="module")
+def parallel():
+    return verify_file(study_path(STUDY), trace=True, jobs=4)
+
+
+class TestDeterminism:
+    def test_parallel_stream_equals_serial(self, serial, parallel):
+        """The tentpole invariant: modulo the timestamp fields, the
+        parallel trace is byte-identical to the serial one."""
+        k1 = serial.trace.deterministic_keys()
+        k4 = parallel.trace.deterministic_keys()
+        assert k1 == k4
+        assert len(k1) == serial.trace.event_count() > 0
+
+    def test_repeated_runs_identical(self, serial):
+        again = verify_file(study_path(STUDY), trace=True, jobs=1)
+        assert again.trace.deterministic_keys() == \
+            serial.trace.deterministic_keys()
+
+    def test_buffer_order_is_front_end_then_spec_order(self, serial):
+        buffers = serial.trace.buffers
+        assert buffers[0].function == ""
+        spec_order = [name for name in serial.typed_program.specs]
+        traced = [b.function for b in buffers[1:]]
+        assert traced == [n for n in spec_order if n in traced]
+
+
+class TestOutcomeSurface:
+    def test_trace_property(self, serial):
+        assert serial.trace is not None
+        assert serial.trace.unit == STUDY
+
+    def test_untraced_run_has_no_trace(self):
+        out = verify_file(study_path(STUDY), trace=False)
+        assert out.trace is None
+        assert out.metrics.trace is None
+
+    def test_metrics_trace_block(self, serial):
+        block = serial.metrics.trace
+        assert block is not None
+        assert block["events"] == serial.trace.event_count()
+        assert block["rules"]                  # per-rule aggregation
+        assert block["solver"]["prove_calls"] > 0
+        assert "trace:" in serial.metrics.summary()
+
+    def test_counters_unaffected_by_tracing(self, serial):
+        plain = verify_file(study_path(STUDY), trace=False)
+        for name, fr in plain.result.functions.items():
+            assert fr.stats.counters() == \
+                serial.result.functions[name].stats.counters()
+
+    def test_chrome_export_of_real_run_is_valid(self, serial):
+        data = serial.trace.to_chrome()
+        assert validate_chrome_trace(data) == []
+
+
+class TestStuckReports:
+    def test_stuck_report_survives_process_pool(self):
+        broken = _seeded_failure_source(STUDY)
+        serial = verify_source(broken, study=STUDY, trace=True, jobs=1)
+        pooled = verify_source(broken, study=STUDY, trace=True, jobs=4)
+        assert not serial.ok and not pooled.ok
+        for name, fr in serial.result.functions.items():
+            if fr.ok:
+                continue
+            s1 = fr.error.stuck
+            s4 = pooled.result.functions[name].error.stuck
+            assert s1 is not None and s4 is not None
+            assert s1.render() == s4.render()
+
+    def test_report_includes_stuck_sections(self):
+        broken = _seeded_failure_source(STUDY)
+        out = verify_source(broken, study=STUDY, trace=True)
+        text = out.report()
+        assert "--- stuck goal " in text
+        assert "stuck side condition:" in text
+        assert "context Γ" in text and "context Δ" in text
+        assert "trace event(s):" in text
+
+    def test_format_error_unchanged_by_tracing(self):
+        """format_error feeds the determinism fingerprints and the result
+        cache — the stuck report must only extend report()."""
+        broken = _seeded_failure_source(STUDY)
+        plain = verify_source(broken, study=STUDY, trace=False)
+        traced = verify_source(broken, study=STUDY, trace=True)
+        for name, fr in plain.result.functions.items():
+            assert fr.format_error() == \
+                traced.result.functions[name].format_error()
+        untraced_failure = next(fr for fr in plain.result.functions.values()
+                                if not fr.ok)
+        assert untraced_failure.error.stuck is None

@@ -6,8 +6,8 @@ import json
 import pytest
 
 from repro.fuzz import CampaignConfig, run_campaign
-from repro.fuzz.mutator import evaluate_mutants, MutantVerdict
 from repro.fuzz.generator import generate_program
+from repro.fuzz.mutator import MutantVerdict, evaluate_mutants
 
 pytestmark = pytest.mark.fuzz
 

@@ -9,8 +9,8 @@ unmarked so it runs in the tier-1 inner loop.
 
 import pytest
 
-from repro.fuzz.corpus import CorpusEntry, entry_digest, load_corpus
 from repro.fuzz import replay_entry
+from repro.fuzz.corpus import CorpusEntry, entry_digest, load_corpus
 
 ENTRIES = load_corpus()
 

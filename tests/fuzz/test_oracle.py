@@ -6,10 +6,9 @@ import pytest
 
 from repro.caesium import FuelExhausted, UndefinedBehavior
 from repro.caesium.eval import Machine
-from repro.fuzz.generator import TEMPLATES, GenProgram
+from repro.fuzz.generator import TEMPLATES, GenProgram, generate_program
 from repro.fuzz.oracle import (CheckVerdict, ExecStatus, check_batch,
                                check_program, execute_program, run_witness)
-from repro.fuzz.generator import generate_program
 from repro.lang.elaborate import elaborate_source
 
 

@@ -2,7 +2,6 @@
 rejected.  This is what keeps the headline result honest — each mutation
 breaks either the code or the spec in a way the type system must catch."""
 
-import pytest
 
 from repro.frontend import verify_source
 from repro.proofs.manual import LEMMAS_BY_STUDY

@@ -4,8 +4,9 @@ elaborated programs on the interpreter (front end + semantics together)."""
 import pytest
 
 from repro.caesium.eval import Machine
-from repro.caesium.layout import SIZE_T, StructLayout
-from repro.caesium.values import VInt, VPtr, UndefinedBehavior, encode_int, decode_int
+from repro.caesium.layout import SIZE_T
+from repro.caesium.values import (UndefinedBehavior, VInt, VPtr, decode_int,
+                                  encode_int)
 from repro.lang import ElaborationError, elaborate_source
 
 

@@ -1,0 +1,117 @@
+"""Diagnostics rendering across the main failure shapes (§2.1): the
+reason, the location trail and the side condition must all be visible —
+and, with tracing on, each shape must produce a stuck-goal report.
+
+Three shapes are pinned down:
+
+1. an *unsolvable pure side condition* (a ⌜φ⌝ no solver discharges),
+2. a *missing context atom* (the subsumption needs ownership Δ lacks),
+3. a *rule-selection failure* (no typing rule matches the goal).
+"""
+
+import pytest
+
+from repro.frontend import verify_source
+from repro.lithium import BasicGoal, GBasic, VerificationError
+from repro.trace.tracer import Tracer, using
+
+from .test_search import make_state
+
+OVERFLOW = '''
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<size_t>")]]
+[[rc::returns("{n + 1} @ int<size_t>")]]
+size_t inc(size_t x) { return x + 1; }'''
+
+NO_OWNERSHIP = '''
+[[rc::parameters("p: loc")]]
+[[rc::args("p @ &own<int<size_t>>")]]
+[[rc::returns("&own<int<size_t>>")]]
+[[rc::ensures("own p : int<size_t>")]]
+size_t* dup(size_t* p) { return p; }'''
+
+
+class TestUnsolvableSideCondition:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return verify_source(OVERFLOW, study="inc", trace=True)
+
+    def test_reason_and_side_condition(self, outcome):
+        text = outcome.report()
+        assert "Cannot prove side condition" in text
+        assert 'in function "inc"' in text
+        assert "cannot discharge it" in text
+
+    def test_location(self, outcome):
+        assert "return statement" in outcome.report()
+
+    def test_stuck_report(self, outcome):
+        (fr,) = outcome.result.functions.values()
+        stuck = fr.error.stuck
+        assert stuck is not None
+        assert stuck.function == "inc"
+        assert stuck.side_condition is not None
+        text = stuck.render()
+        assert "stuck side condition:" in text
+        assert "context Γ" in text
+        # the pure facts include the argument typing fact
+        assert any("n" in f for f in stuck.gamma)
+
+
+class TestMissingContextAtom:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return verify_source(NO_OWNERSHIP, study="dup", trace=True)
+
+    def test_reason_names_missing_and_available(self, outcome):
+        text = outcome.report()
+        assert "no ownership available" in text
+        assert "the context owns:" in text
+
+    def test_stuck_report_has_delta_snapshot(self, outcome):
+        (fr,) = outcome.result.functions.values()
+        stuck = fr.error.stuck
+        assert stuck is not None
+        assert stuck.side_condition is None    # not a pure failure
+        assert "no ownership" in stuck.reason
+
+    def test_location(self, outcome):
+        assert "return statement" in outcome.report()
+
+
+class TestRuleSelectionFailure:
+    def make_odd_goal(self):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Odd(BasicGoal):
+            def dispatch_key(self):
+                return ("odd",)
+
+            def describe(self):
+                return "odd judgment"
+
+        return GBasic(Odd())
+
+    def test_reason_names_goal(self):
+        st = make_state()
+        with pytest.raises(VerificationError) as exc:
+            st.run(self.make_odd_goal())
+        assert "no typing rule applies" in str(exc.value)
+        assert "odd judgment" in str(exc.value)
+
+    def test_stuck_report_when_traced(self):
+        st = make_state()
+        with using(Tracer()):
+            with pytest.raises(VerificationError) as exc:
+                st.run(self.make_odd_goal())
+        stuck = exc.value.stuck
+        assert stuck is not None
+        assert "no typing rule applies" in stuck.reason
+        assert stuck.function == "toy"
+
+    def test_no_stuck_report_untraced(self):
+        st = make_state()
+        with pytest.raises(VerificationError) as exc:
+            st.run(self.make_odd_goal())
+        assert exc.value.stuck is None

@@ -8,8 +8,7 @@ atom, and an integral right-hand side.  Each rejection case is pinned
 down here, plus the successful binding."""
 
 from repro.lithium import RuleRegistry, SearchState
-from repro.pure import PureSolver, Sort
-from repro.pure import terms as T
+from repro.pure import PureSolver, Sort, terms as T
 from repro.pure.linarith import LinExpr
 from repro.pure.terms import fresh_evar
 

@@ -5,12 +5,10 @@ from dataclasses import dataclass
 
 import pytest
 
-from repro.lithium import (Atom, BasicGoal, GBasic, GConj, GExists, GForall,
-                           GSep, GTrue, GWand, HAtom, HExists, HPure, HSep,
-                           Rule, RuleError, RuleRegistry, SearchState,
-                           VerificationError, conj)
-from repro.pure import PureSolver, Sort, Subst
-from repro.pure import terms as T
+from repro.lithium import (Atom, BasicGoal, GBasic, GExists, GForall, GSep,
+                           GTrue, GWand, HAtom, HExists, HPure, HSep, Rule,
+                           RuleRegistry, SearchState, VerificationError, conj)
+from repro.pure import PureSolver, Sort, Subst, terms as T
 
 
 @dataclass(frozen=True)

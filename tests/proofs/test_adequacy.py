@@ -1,7 +1,6 @@
 """Adequacy: verified case studies run correctly on the Caesium
 interpreter — the executable substitute for the paper's Coq soundness."""
 
-import pytest
 
 from repro.proofs import adequacy
 

@@ -8,11 +8,10 @@ would make the whole verification unsound — this is the guard rail.
 
 import bisect
 
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
-from repro.pure.eval import evaluate
 from repro.proofs import manual
+from repro.pure.eval import evaluate
 
 
 # ---------------------------------------------------------------------

@@ -3,17 +3,15 @@ against RefinedC types, with real separation (footprints)."""
 
 import pytest
 
-from repro.caesium.layout import (IntLayout, PtrLayout, SIZE_T,
-                                  StructLayout)
+from repro.caesium.layout import SIZE_T, IntLayout, PtrLayout, StructLayout
 from repro.caesium.memory import Memory
-from repro.caesium.values import (NULL, VInt, VPtr, encode_int, encode_ptr)
+from repro.caesium.values import NULL, VInt, VPtr, encode_int, encode_ptr
 from repro.proofs.semantics import (CheckFailure, SemanticBuilder,
-                                    SemanticChecker, SemanticsError)
-from repro.pure import Sort
-from repro.pure import terms as T
-from repro.refinedc import (BoolT, IntT, NullT, OptionalT, OwnPtr,
-                            RawStructAnnotations, SpecContext, StructT,
-                            TypeTable, UninitT, define_struct_type)
+                                    SemanticChecker)
+from repro.pure import Sort, terms as T
+from repro.refinedc import (IntT, NullT, OptionalT, OwnPtr,
+                            RawStructAnnotations, SpecContext, TypeTable,
+                            UninitT, define_struct_type)
 
 
 @pytest.fixture

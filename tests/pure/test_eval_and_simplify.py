@@ -4,11 +4,9 @@ simplification preserves semantics (hypothesis-based)."""
 from collections import Counter
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
-from repro.pure import Sort, evaluate, simplify, simplify_hyp
-from repro.pure import terms as T
+from repro.pure import Sort, evaluate, simplify, simplify_hyp, terms as T
 from repro.pure.eval import EvalError
 
 

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.pure import Sort, SpecParseError, parse_sort, parse_term
-from repro.pure import terms as T
+from repro.pure import Sort, SpecParseError, parse_sort, parse_term, terms as T
 
 a, n, p = T.var("a"), T.var("n"), T.var("p", Sort.LOC)
 s, tail = T.var("s", Sort.MSET), T.var("tail", Sort.MSET)

@@ -2,11 +2,9 @@
 PureSolver dispatcher's auto/manual accounting."""
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
-from repro.pure import Lemma, Outcome, PureSolver, Sort, evaluate
-from repro.pure import terms as T
+from repro.pure import Lemma, Outcome, PureSolver, Sort, evaluate, terms as T
 from repro.pure.linarith import implies_linear
 from repro.pure.lists import list_solver
 from repro.pure.sets import multiset_solver

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.pure import Sort, Subst, TermError, fresh_evar
-from repro.pure import terms as T
+from repro.pure import Sort, Subst, TermError, fresh_evar, terms as T
 
 
 class TestConstruction:

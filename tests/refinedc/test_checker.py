@@ -4,7 +4,6 @@ Each test is a miniature C program with a spec; negative tests pin down
 that the checker rejects genuinely wrong code/specs (no vacuous success).
 """
 
-import pytest
 
 from repro.frontend import verify_source
 

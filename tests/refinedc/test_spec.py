@@ -2,15 +2,13 @@
 
 import pytest
 
-from repro.caesium.layout import IntLayout, PtrLayout, SIZE_T, StructLayout
-from repro.pure import Sort
-from repro.pure import terms as T
-from repro.refinedc import (ArrayT, AtomicBoolT, BoolT, ConstrainedT,
-                            ExistsT, IntT, NamedT, NullT, OptionalT, OwnPtr,
-                            PaddedT, RawFunctionAnnotations,
-                            RawStructAnnotations, ShrPtr, SpecContext,
-                            SpecError, StructT, UninitT, WandT,
-                            build_function_spec, define_struct_type,
+from repro.caesium.layout import SIZE_T, IntLayout, PtrLayout, StructLayout
+from repro.pure import Sort, terms as T
+from repro.refinedc import (ArrayT, AtomicBoolT, BoolT, ConstrainedT, ExistsT,
+                            IntT, NamedT, NullT, OptionalT, OwnPtr,
+                            RawFunctionAnnotations, RawStructAnnotations,
+                            ShrPtr, SpecContext, SpecError, StructT, UninitT,
+                            WandT, build_function_spec, define_struct_type,
                             parse_assertion, parse_type)
 from repro.refinedc.judgments import LocType, TokenAtom
 

@@ -1,0 +1,116 @@
+"""Chrome trace-event export and its schema validator, plus the JSONL
+stream."""
+
+import json
+
+from repro.trace.chrome import (chrome_trace, to_jsonl, validate_chrome_trace,
+                                write_chrome_trace, write_jsonl)
+from repro.trace.tracer import FunctionTrace, Tracer, UnitTrace
+
+
+def sample_trace():
+    front = Tracer()
+    front.begin("frontend", "parse")
+    front.end()
+    fn = Tracer()
+    fn.begin("check", "f")
+    fn.begin("rule", "T-IF", goal="IfJ")
+    fn.instant("memo", "hit", cache="prove")
+    fn.end()
+    fn.end()
+    return UnitTrace("unit", [
+        FunctionTrace("unit", "", front.events),
+        FunctionTrace("unit", "f", fn.events),
+    ])
+
+
+class TestChromeExport:
+    def test_valid_against_schema(self):
+        data = chrome_trace(sample_trace())
+        assert validate_chrome_trace(data) == []
+
+    def test_one_thread_per_buffer_with_names(self):
+        data = chrome_trace(sample_trace())
+        meta = [ev for ev in data["traceEvents"] if ev["ph"] == "M"]
+        assert [m["tid"] for m in meta] == [1, 2]
+        assert meta[0]["args"]["name"] == "unit (front end)"
+        assert meta[1]["args"]["name"] == "f"
+
+    def test_spans_and_instants(self):
+        data = chrome_trace(sample_trace())
+        spans = [ev for ev in data["traceEvents"] if ev["ph"] == "X"]
+        instants = [ev for ev in data["traceEvents"] if ev["ph"] == "i"]
+        assert {s["name"] for s in spans} == {"parse", "f", "T-IF"}
+        assert all("dur" in s for s in spans)
+        (hit,) = instants
+        assert hit["s"] == "t"
+        assert hit["args"]["cache"] == "prove"
+
+    def test_args_carry_seq(self):
+        data = chrome_trace(sample_trace())
+        spans = [ev for ev in data["traceEvents"] if ev["ph"] != "M"]
+        assert all("seq" in ev["args"] for ev in spans)
+
+    def test_other_data(self):
+        trace = sample_trace()
+        trace.buffers[1].dropped = 3
+        data = chrome_trace(trace)
+        assert data["otherData"]["unit"] == "unit"
+        assert data["otherData"]["dropped_events"] == 3
+
+    def test_write_round_trip(self, tmp_path):
+        path = write_chrome_trace(sample_trace(), tmp_path / "t.json")
+        data = json.loads(path.read_text())
+        assert validate_chrome_trace(data) == []
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"nope": 1}) != []
+
+    def test_rejects_missing_required_key(self):
+        data = chrome_trace(sample_trace())
+        del data["traceEvents"][1]["ts"]
+        assert any("missing 'ts'" in p for p in validate_chrome_trace(data))
+
+    def test_rejects_bad_phase(self):
+        data = chrome_trace(sample_trace())
+        data["traceEvents"][1]["ph"] = "Z"
+        assert any("unknown phase" in p
+                   for p in validate_chrome_trace(data))
+
+    def test_rejects_negative_duration(self):
+        data = chrome_trace(sample_trace())
+        spans = [ev for ev in data["traceEvents"] if ev["ph"] == "X"]
+        spans[0]["dur"] = -1.0
+        assert any("negative dur" in p for p in validate_chrome_trace(data))
+
+    def test_rejects_escaping_span(self):
+        data = chrome_trace(sample_trace())
+        spans = [ev for ev in data["traceEvents"]
+                 if ev["ph"] == "X" and ev["tid"] == 2]
+        outer, inner = spans[0], spans[1]
+        inner["dur"] = outer["dur"] + 1000.0   # child outlives parent
+        assert any("escapes" in p for p in validate_chrome_trace(data))
+
+
+class TestJsonl:
+    def test_one_line_per_event_with_scope(self):
+        trace = sample_trace()
+        lines = to_jsonl(trace).splitlines()
+        assert len(lines) == trace.event_count()
+        first = json.loads(lines[0])
+        assert first["unit"] == "unit"
+        assert first["function"] == ""
+        assert first["name"] == "parse"
+        last = json.loads(lines[-1])
+        assert last["function"] == "f"
+        assert {"seq", "depth", "ph", "cat", "ts"} <= set(last)
+
+    def test_write(self, tmp_path):
+        path = write_jsonl(sample_trace(), tmp_path / "t.jsonl")
+        assert len(path.read_text().splitlines()) == 4
+
+    def test_empty_trace(self):
+        assert to_jsonl(UnitTrace("u", [])) == ""

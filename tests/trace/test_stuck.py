@@ -1,0 +1,96 @@
+"""Stuck-goal reports: construction from a live tracer, rendering, stack
+elision, and pickling (the report must survive the process pool)."""
+
+import pickle
+
+from repro.trace.stuck import (DEFAULT_STACK, StuckGoalReport,
+                               build_stuck_report, format_event_line)
+from repro.trace.tracer import TraceEvent, Tracer
+
+
+def failing_tracer(depth=3):
+    tr = Tracer()
+    tr.begin("check", "f")
+    for i in range(depth):
+        tr.begin("rule", f"R{i}", judgment=f"j{i}")
+    tr.instant("search", "fail", reason="nope")
+    return tr
+
+
+class TestFormatEventLine:
+    def test_no_timestamps(self):
+        ev = TraceEvent(7, "X", "rule", "T-IF", 2, ts=123.456, dur=9.0,
+                        args={"goal": "IfJ"})
+        line = format_event_line(ev)
+        assert "123" not in line and "9.0" not in line
+        assert line.startswith("#7")
+        assert "rule.T-IF" in line and "goal='IfJ'" in line
+
+    def test_relative_capped_indent(self):
+        deep = TraceEvent(0, "i", "a", "x", 80, ts=0.0)
+        line = format_event_line(deep, base_depth=78)
+        assert line.count(". ") == 2
+        capped = format_event_line(deep, base_depth=0)
+        assert capped.count(". ") <= 12
+
+
+class TestBuildStuckReport:
+    def test_captures_tail_and_stack(self):
+        tr = failing_tracer()
+        rep = build_stuck_report(
+            tr, function="f", reason="cannot", location=["line 1", "line 2"],
+            side_condition="False", gamma=["le(0, n)"], delta=["l ◁ₗ int"])
+        assert rep.function == "f"
+        assert rep.tail                      # event lines recorded
+        assert rep.open_spans[0] == "check.f"
+        assert rep.open_spans[-1].startswith("rule.R2")
+
+    def test_stack_elision(self):
+        tr = failing_tracer(depth=DEFAULT_STACK + 10)
+        rep = build_stuck_report(
+            tr, function="f", reason="r", location=[], side_condition=None,
+            gamma=[], delta=[])
+        assert len(rep.open_spans) == DEFAULT_STACK + 1   # + elision marker
+        assert rep.open_spans[0] == "check.f"
+        assert "omitted" in rep.open_spans[1]
+        assert rep.open_spans[-1].startswith(
+            f"rule.R{DEFAULT_STACK + 10 - 1}")
+
+    def test_without_tracer(self):
+        rep = build_stuck_report(
+            None, function="f", reason="r", location=["loc"],
+            side_condition="phi", gamma=[], delta=[])
+        assert rep.tail == [] and rep.open_spans == []
+
+
+class TestRender:
+    def make(self):
+        return StuckGoalReport(
+            function="f", reason="solver gave up",
+            location=["if condition (line 1)", "return statement (line 2)"],
+            side_condition="lt(n, a)", gamma=["le(0, n)"],
+            delta=["l ◁ₗ int<size_t>"], tail=["#0 - search.step"],
+            open_spans=["check.f"])
+
+    def test_sections(self):
+        text = self.make().render()
+        assert text.startswith("--- stuck goal ")
+        assert "function: f" in text
+        assert "at: return statement (line 2)" in text
+        assert "from: if condition (line 1)" in text
+        assert "stuck side condition: lt(n, a)" in text
+        assert "reason: solver gave up" in text
+        assert "context Γ (1 fact(s)):" in text
+        assert "context Δ (1 resource(s)):" in text
+        assert "last 1 trace event(s):" in text
+
+    def test_optional_sections_omitted(self):
+        rep = StuckGoalReport(function="f", reason="r")
+        text = rep.render()
+        assert "stuck side condition" not in text
+        assert "goal stack" not in text
+        assert "trace event" not in text
+
+    def test_pickles(self):
+        rep = self.make()
+        assert pickle.loads(pickle.dumps(rep)).render() == rep.render()

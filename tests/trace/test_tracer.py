@@ -1,0 +1,157 @@
+"""Core tracing engine: sequence ids, span balancing, bounded buffers,
+the current-tracer plumbing, and deterministic merging."""
+
+import pickle
+
+import pytest
+
+from repro.trace.tracer import (FunctionTrace, TraceEvent, Tracer, UnitTrace,
+                                current_tracer, merge_function_traces,
+                                set_current, trace_env_enabled, using)
+
+
+class TestTracer:
+    def test_sequence_ids_are_dense_preorder(self):
+        tr = Tracer()
+        tr.begin("a", "outer")
+        tr.instant("b", "tick")
+        tr.begin("a", "inner")
+        tr.end()
+        tr.end()
+        assert [ev.seq for ev in tr.events] == [0, 1, 2]
+        assert [ev.depth for ev in tr.events] == [0, 1, 1]
+
+    def test_end_fills_duration_and_merges_args(self):
+        tr = Tracer()
+        tr.begin("solver", "prove", goal="G")
+        tr.end(outcome="proved")
+        (ev,) = tr.events
+        assert ev.dur is not None and ev.dur >= 0
+        assert ev.args == {"goal": "G", "outcome": "proved"}
+
+    def test_span_context_manager_balances(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("a", "s"):
+                raise RuntimeError
+        assert tr.depth == 0
+        assert tr.events[0].dur is not None
+
+    def test_limit_drops_but_keeps_seq_alignment(self):
+        tr = Tracer(limit=2)
+        tr.instant("a", "one")
+        tr.instant("a", "two")
+        tr.instant("a", "dropped")
+        tr.begin("a", "dropped-span")
+        tr.end()
+        tr.instant("a", "also-dropped")
+        assert len(tr.events) == 2
+        assert tr.dropped == 3
+        # The next recorded event in an unlimited run would be seq 5.
+        assert tr._seq == 5
+        assert tr.depth == 0          # dropped begin still balanced by end
+
+    def test_close_ends_unwound_spans(self):
+        tr = Tracer()
+        tr.begin("a", "outer")
+        tr.begin("a", "inner")
+        tr.close()
+        assert tr.depth == 0
+        assert all(ev.dur is not None for ev in tr.events)
+        assert all(ev.args.get("unwound") for ev in tr.events)
+
+    def test_tail(self):
+        tr = Tracer()
+        for i in range(5):
+            tr.instant("a", f"e{i}")
+        assert [ev.name for ev in tr.tail(2)] == ["e3", "e4"]
+        assert tr.tail(0) == []
+
+
+class TestEventKey:
+    def test_key_strips_timestamps(self):
+        a = TraceEvent(3, "X", "rule", "T-IF", 2, ts=1.0, dur=0.5,
+                       args={"goal": "IfJ"})
+        b = TraceEvent(3, "X", "rule", "T-IF", 2, ts=9.9, dur=7.7,
+                       args={"goal": "IfJ"})
+        assert a.key() == b.key()
+
+    def test_key_sees_everything_else(self):
+        a = TraceEvent(3, "X", "rule", "T-IF", 2, ts=0.0)
+        assert a.key() != TraceEvent(4, "X", "rule", "T-IF", 2, ts=0.0).key()
+        assert a.key() != TraceEvent(3, "i", "rule", "T-IF", 2, ts=0.0).key()
+        assert a.key() != TraceEvent(3, "X", "rule", "T-IF", 3, ts=0.0).key()
+        assert a.key() != TraceEvent(3, "X", "rule", "T-IF", 2, ts=0.0,
+                                     args={"x": 1}).key()
+
+    def test_events_pickle(self):
+        ev = TraceEvent(1, "i", "memo", "hit", 4, ts=0.25,
+                        args={"cache": "prove"})
+        back = pickle.loads(pickle.dumps(ev))
+        assert back.key() == ev.key()
+        assert back.ts == ev.ts
+
+
+class TestCurrentTracer:
+    def test_set_and_restore(self):
+        assert current_tracer() is None
+        tr = Tracer()
+        prev = set_current(tr)
+        try:
+            assert prev is None
+            assert current_tracer() is tr
+        finally:
+            set_current(prev)
+        assert current_tracer() is None
+
+    def test_using_closes_and_restores(self):
+        with using(Tracer()) as tr:
+            tr.begin("a", "open")
+            assert current_tracer() is tr
+        assert current_tracer() is None
+        assert tr.depth == 0          # closed on exit
+
+    def test_env_switch(self, monkeypatch):
+        for raw, expect in [("1", True), ("on", True), ("yes", True),
+                            ("0", False), ("false", False), ("off", False),
+                            ("no", False), ("", False)]:
+            monkeypatch.setenv("RC_TRACE", raw)
+            assert trace_env_enabled() is expect, raw
+        monkeypatch.delenv("RC_TRACE")
+        assert trace_env_enabled() is False
+
+
+class TestMerge:
+    def _buf(self, unit, fn, names):
+        events = [TraceEvent(i, "i", "t", n, 0, ts=float(i))
+                  for i, n in enumerate(names)]
+        return FunctionTrace(unit=unit, function=fn, events=events)
+
+    def test_spec_order_wins_over_completion_order(self):
+        front = self._buf("u", "", ["parse"])
+        by_fn = {"g": self._buf("u", "g", ["gg"]),
+                 "f": self._buf("u", "f", ["ff"])}
+        merged = merge_function_traces("u", front, by_fn, iter(["f", "g"]))
+        assert [b.function for b in merged.buffers] == ["", "f", "g"]
+
+    def test_missing_buffers_skipped(self):
+        merged = merge_function_traces(
+            "u", None, {"f": self._buf("u", "f", ["x"])},
+            iter(["f", "cached_fn"]))
+        assert [b.function for b in merged.buffers] == ["f"]
+
+    def test_deterministic_keys_cover_all_buffers(self):
+        front = self._buf("u", "", ["parse"])
+        merged = merge_function_traces(
+            "u", front, {"f": self._buf("u", "f", ["x", "y"])}, iter(["f"]))
+        keys = merged.deterministic_keys()
+        assert len(keys) == merged.event_count() == 3
+        assert keys[0][:2] == ("u", "")
+        assert keys[1][:2] == ("u", "f")
+
+    def test_unit_trace_counts(self):
+        buf = self._buf("u", "f", ["x"])
+        buf.dropped = 7
+        trace = UnitTrace("u", [buf])
+        assert trace.event_count() == 1
+        assert trace.dropped_count() == 7
