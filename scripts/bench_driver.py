@@ -1,14 +1,17 @@
 #!/usr/bin/env python3
 """Benchmark the verification driver: serial vs parallel vs warm cache.
 
-Verifies every case study three ways —
+Verifies every case study five ways —
 
   1. ``jobs=1``, no cache          (the serial reference),
   2. ``jobs=N`` (default 4)        (the process-pool scheduler),
   3. ``jobs=1``, warm cache        (every function a cache hit),
+  4. incremental, cold state       (everything dirty: the full first run),
+  5. incremental, no-op rerun      (nothing changed: 0 re-checks),
 
-asserts that all three produce identical ``ProgramResult`` contents
-(per-function ok / Stats counters / error text), and prints the
+asserts that all five produce identical ``ProgramResult`` contents
+(per-function ok / Stats counters / error text), that the no-op
+incremental rerun re-checks **zero** functions, and prints the
 wall-clock speedups.  On a multi-core machine the parallel run shows a
 >=2x speedup and the warm-cache run a >=5x speedup over the serial
 reference; on a single-core machine only the cache speedup is physically
@@ -95,6 +98,23 @@ def main(argv=None) -> int:
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
 
+    s_incr_cold, s_incr_noop = [], []
+    incr_dir = tempfile.mkdtemp(prefix="rc-incr-bench-")
+    try:
+        _t, incr_cold = run(paths, "incremental cold (jobs=1)", 1,
+                            jobs=1, cache_dir=incr_dir, incremental=True,
+                            samples_out=s_incr_cold)
+        t_noop, incr_noop = run(paths, "incremental no-op (jobs=1)",
+                                args.repeat, jobs=1, cache_dir=incr_dir,
+                                incremental=True,
+                                samples_out=s_incr_noop)
+        noop_rechecked = sum(o.metrics.functions_dirty
+                             for o in incr_noop.values())
+        noop_clean = sum(o.metrics.functions_clean
+                         for o in incr_noop.values())
+    finally:
+        shutil.rmtree(incr_dir, ignore_errors=True)
+
     failures = []
     if fingerprint(serial) != fingerprint(parallel):
         failures.append("parallel results differ from serial results")
@@ -102,14 +122,24 @@ def main(argv=None) -> int:
         failures.append("warm-cache results differ from serial results")
     if misses != 0:
         failures.append(f"warm cache had {misses} misses (expected 0)")
+    if fingerprint(serial) != fingerprint(incr_cold):
+        failures.append("incremental cold results differ from serial")
+    if fingerprint(serial) != fingerprint(incr_noop):
+        failures.append("incremental no-op results differ from serial")
+    if noop_rechecked != 0:
+        failures.append(f"no-op incremental rerun re-checked "
+                        f"{noop_rechecked} function(s) (expected 0)")
 
     speedup_par = t_serial / t_par if t_par else float("inf")
     speedup_warm = t_serial / t_warm if t_warm else float("inf")
+    speedup_noop = t_serial / t_noop if t_noop else float("inf")
     print()
     print(f"  parallel speedup:   {speedup_par:5.2f}x  "
           f"(jobs={args.jobs} vs jobs=1)")
     print(f"  warm-cache speedup: {speedup_warm:5.2f}x  "
           f"({hits} hits / {misses} misses)")
+    print(f"  incremental no-op:  {speedup_noop:5.2f}x  "
+          f"({noop_clean} clean / {noop_rechecked} re-checked)")
 
     if speedup_warm < 5.0:
         failures.append(f"warm-cache speedup {speedup_warm:.2f}x < 5x")
@@ -133,16 +163,24 @@ def main(argv=None) -> int:
                 {"total_wall_s": sample_stats(s_par)},
             "warm_cache": {"total_wall_s": sample_stats(s_warm),
                            "cache_hits": hits, "cache_misses": misses},
+            "incremental_cold": {"total_wall_s": sample_stats(s_incr_cold)},
+            "incremental_noop": {"total_wall_s": sample_stats(s_incr_noop),
+                                 "functions_clean": noop_clean,
+                                 "functions_rechecked": noop_rechecked},
         }
         payload["speedup"] = {
             "basis": "min-of-repetitions",
             "parallel": round(speedup_par, 3),
             "warm_cache": round(speedup_warm, 3),
+            "incremental_noop": round(speedup_noop, 3),
         }
         payload["checks"] = {
             "fingerprint_identical":
                 fingerprint(serial) == fingerprint(parallel)
-                and fingerprint(serial) == fingerprint(warm),
+                and fingerprint(serial) == fingerprint(warm)
+                and fingerprint(serial) == fingerprint(incr_cold)
+                and fingerprint(serial) == fingerprint(incr_noop),
+            "noop_rechecks_zero": noop_rechecked == 0,
             "all_verified": all(o.ok for o in serial.values()),
             "passed": not failures,
         }

@@ -1,21 +1,30 @@
 """The verification driver subsystem: parallel scheduling, content-
-addressed result caching, and per-phase metrics for RefinedC checking.
+addressed result caching, per-phase metrics, and dependency-aware
+incremental re-verification for RefinedC checking.
 
 See DESIGN.md ("The verification driver") for why per-function
-parallelism is sound, and README.md for the user-facing flags, the cache
-layout and the metrics JSON schema.
+parallelism — and function-granular incremental re-verification — is
+sound, and README.md for the user-facing flags, the cache layout and
+the metrics JSON schema.
 """
 
 from .cache import (CACHE_FORMAT_VERSION, DEFAULT_CACHE_DIR, ResultCache,
-                    function_cache_key)
+                    atomic_write_json, function_cache_key)
+from .depgraph import (DepGraph, build_depgraph, engine_fingerprint,
+                       transitive_key)
+from .incremental import (IncrementalState, plan_unit,
+                          run_units_incremental)
 from .metrics import (DriverMetrics, FunctionMetrics, PhaseTimings,
                       merge_metrics)
-from .pool import (DriverConfig, Unit, reset_fresh_counters, run_program,
-                   run_units)
+from .pool import (DriverConfig, FunctionPlan, Unit, UnitPlan,
+                   reset_fresh_counters, run_program, run_units)
 
 __all__ = [
-    "CACHE_FORMAT_VERSION", "DEFAULT_CACHE_DIR", "DriverConfig",
-    "DriverMetrics", "FunctionMetrics", "PhaseTimings", "ResultCache",
-    "Unit", "function_cache_key", "merge_metrics", "reset_fresh_counters",
-    "run_program", "run_units",
+    "CACHE_FORMAT_VERSION", "DEFAULT_CACHE_DIR", "DepGraph",
+    "DriverConfig", "DriverMetrics", "FunctionMetrics", "FunctionPlan",
+    "IncrementalState", "PhaseTimings", "ResultCache", "Unit", "UnitPlan",
+    "atomic_write_json", "build_depgraph", "engine_fingerprint",
+    "function_cache_key", "merge_metrics", "plan_unit",
+    "reset_fresh_counters", "run_program", "run_units",
+    "run_units_incremental", "transitive_key",
 ]

@@ -43,6 +43,28 @@ CACHE_FORMAT_VERSION = 1
 
 DEFAULT_CACHE_DIR = Path(".rc-cache")
 
+
+def atomic_write_json(path: Path, obj) -> None:
+    """Write ``obj`` as JSON via tempfile + rename.  Concurrent writers
+    race benignly (last rename wins, never a torn file); write failures
+    (read-only FS) are swallowed — cache files are accelerators, not
+    stores of record."""
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(obj, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        pass
+
 _COUNTER_FIELDS = (
     "rule_applications", "evars_created", "evars_instantiated",
     "side_conditions_auto", "side_conditions_manual", "atom_matches",
@@ -170,19 +192,4 @@ class ResultCache:
                 "text": result.error.format(),
             },
         }
-        path = self._path(key)
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w") as fh:
-                    json.dump(entry, fh)
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
-        except OSError:
-            pass
+        atomic_write_json(self._path(key), entry)

@@ -1,0 +1,246 @@
+"""Per-function verification-input dependency graph.
+
+RefinedC checking is modular by construction: a function is verified
+against its own ``rc::`` spec, the *specs* (never the bodies) of its
+callees, the layouts and invariants of the structs it touches, the
+shared globals, and the solver configuration (tactics + lemma table)
+— PAPER §2, §6.  That makes function-granular incremental
+re-verification sound: a change can only affect functions whose
+fingerprinted inputs changed.
+
+This module turns one elaborated :class:`TypedProgram` into an explicit
+graph over those inputs:
+
+==================  ====================================================
+node id             content fingerprinted
+==================  ====================================================
+``spec:<fn>``       the function's raw annotation text
+``body:<fn>``       ``repr`` of the elaborated Caesium body (layouts
+                    of everything it touches are embedded)
+``solver:<fn>``     ``rc::tactics`` list + the ``rc::lemmas`` the spec
+                    pulls in (stable ``repr`` of the parsed lemmas)
+``struct:<name>``   the struct's layout + ``rc::`` annotation text
+``global:<name>``   the global's layout + ``rc::global`` annotation
+``lemmas:``         the whole unit lemma table (``ctx.fn_sorts`` — and
+                    therefore the parse of *any* spec term — derives
+                    from it, so every function depends on it)
+``fn:<fn>``         nothing (task node; exists so reachability is
+                    rooted per function)
+==================  ====================================================
+
+Edges are a sound over-approximation of "consumed during verification":
+
+* ``fn:F`` → its own spec/body/solver nodes, the unit lemma node, and
+  **every** global node — the entry goal introduces every shared global
+  resource into every proof (:func:`repro.refinedc.checker._with_globals`);
+* ``fn:F`` → ``spec:G`` / ``struct:S`` / ``global:G`` for every callee,
+  struct layout and global its body mentions
+  (:func:`repro.refinedc.checker.function_inputs`);
+* ``spec:F`` → the structs / callee specs its annotation text resolves
+  (recorded by the spec parser while elaborating, plus a word-boundary
+  scan of the raw text against the unit's named types, functions and
+  globals as belt and braces);
+* ``struct:A`` → ``struct:B`` when A's invariant mentions B's named
+  types (invariants unfold at check time).
+
+A function's **transitive key** is a SHA-256 over every node reachable
+from its task node together with an *engine fingerprint* (a hash of the
+checker's own sources): any reachable input change — or any change to
+the checker itself — changes the key.  The incremental driver
+(:mod:`repro.driver.incremental`) diffs stored keys against fresh ones
+to find the dirty set.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from ..refinedc.checker import TypedProgram, function_inputs
+
+DEPGRAPH_FORMAT_VERSION = 1
+
+_WORD = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def _fp(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+@dataclass
+class DepGraph:
+    """``nodes`` maps node id → content fingerprint; ``deps`` maps node
+    id → sorted tuple of dependency node ids."""
+
+    nodes: dict[str, str] = field(default_factory=dict)
+    deps: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def reachable(self, root: str) -> set[str]:
+        seen: set[str] = set()
+        frontier = [root]
+        while frontier:
+            nid = frontier.pop()
+            if nid in seen:
+                continue
+            seen.add(nid)
+            frontier.extend(self.deps.get(nid, ()))
+        return seen
+
+    def functions(self) -> list[str]:
+        return [nid[3:] for nid in self.nodes if nid.startswith("fn:")]
+
+    def callees(self, fn: str) -> set[str]:
+        """Functions whose *specs* ``fn``'s task node depends on
+        directly (the call-graph edge used for spec-ripple)."""
+        return {d[5:] for d in self.deps.get(f"fn:{fn}", ())
+                if d.startswith("spec:") and d[5:] != fn}
+
+    def to_dict(self) -> dict:
+        return {"nodes": dict(self.nodes),
+                "deps": {k: list(v) for k, v in self.deps.items()}}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DepGraph":
+        nodes = {str(k): str(v) for k, v in data["nodes"].items()}
+        deps = {str(k): tuple(str(d) for d in v)
+                for k, v in data["deps"].items()}
+        return cls(nodes=nodes, deps=deps)
+
+
+def _resolve_kind(kind: str, name: str, tp: TypedProgram) -> Optional[str]:
+    """Map one recorded ``(kind, name)`` input to a node id (None when
+    the name has no graph node — e.g. a builtin type, whose meaning is
+    part of the engine fingerprint instead)."""
+    if kind == "fnspec":
+        return f"spec:{name}" if name in tp.specs else None
+    if kind == "struct":
+        return f"struct:{name}" if name in tp.struct_texts else None
+    if kind == "global":
+        return f"global:{name}" if name in tp.global_texts else None
+    if kind == "type":
+        src = tp.ctx.type_sources.get(name)
+        return f"struct:{src}" if src in tp.struct_texts else None
+    return None
+
+
+def build_depgraph(tp: TypedProgram, lemmas=None) -> DepGraph:
+    """Build the input graph for one translation unit."""
+    g = DepGraph()
+    # Word → node table for the textual over-approximation.  Priority on
+    # collision: struct > named type > global > function.
+    resolve: dict[str, str] = {}
+    for sname in tp.struct_texts:
+        resolve[sname] = f"struct:{sname}"
+    for tname, sname in tp.ctx.type_sources.items():
+        if sname in tp.struct_texts:
+            resolve.setdefault(tname, f"struct:{sname}")
+    for gname in tp.global_texts:
+        resolve.setdefault(gname, f"global:{gname}")
+    for fname in tp.specs:
+        resolve.setdefault(fname, f"spec:{fname}")
+
+    def scan(texts) -> set[str]:
+        out: set[str] = set()
+        for text in texts:
+            for word in _WORD.findall(text):
+                node = resolve.get(word)
+                if node is not None:
+                    out.add(node)
+        return out
+
+    for sname, stext in tp.struct_texts.items():
+        nid = f"struct:{sname}"
+        g.nodes[nid] = _fp(stext)
+        g.deps[nid] = tuple(sorted(scan([stext]) - {nid}))
+    for gname, gtext in tp.global_texts.items():
+        nid = f"global:{gname}"
+        g.nodes[nid] = _fp(gtext)
+        g.deps[nid] = tuple(sorted(scan([gtext]) - {nid}))
+
+    lemma_table = lemmas or {}
+    g.nodes["lemmas:"] = _fp("\n".join(
+        repr(lemma_table[k]) for k in sorted(lemma_table)))
+    g.deps["lemmas:"] = ()
+
+    all_globals = [f"global:{n}" for n in tp.global_texts]
+    for fname, spec in tp.specs.items():
+        sid, bid = f"spec:{fname}", f"body:{fname}"
+        vid, fid = f"solver:{fname}", f"fn:{fname}"
+
+        stext = tp.spec_texts.get(fname, "")
+        g.nodes[sid] = _fp(stext)
+        sdeps = scan([stext])
+        for kind, name in spec.spec_deps:
+            node = _resolve_kind(kind, name, tp)
+            if node is not None:
+                sdeps.add(node)
+        g.deps[sid] = tuple(sorted(sdeps - {sid}))
+
+        fn = tp.program.functions.get(fname)
+        g.nodes[bid] = _fp(repr(fn) if fn is not None else "<no body>")
+        g.deps[bid] = ()
+
+        g.nodes[vid] = _fp(repr(list(spec.tactics)) + "\n" + "\n".join(
+            repr(lm) for lm in sorted(spec.lemmas, key=lambda lm: lm.name)))
+        g.deps[vid] = ()
+
+        body_deps, texts = function_inputs(tp, fname)
+        fdeps = {sid, bid, vid, "lemmas:"}
+        fdeps.update(all_globals)
+        fdeps.update(scan(texts))
+        for kind, name in body_deps:
+            node = _resolve_kind(kind, name, tp)
+            if node is not None:
+                fdeps.add(node)
+        g.nodes[fid] = ""
+        g.deps[fid] = tuple(sorted(fdeps - {fid}))
+    return g
+
+
+def transitive_key(graph: DepGraph, fn: str, engine: str = "") -> str:
+    """SHA-256 over every (node, fingerprint) pair reachable from
+    ``fn:<fn>`` plus the engine fingerprint — the incremental result
+    cache key, and the dirtiness test (stored key ≠ fresh key)."""
+    h = hashlib.sha256()
+    h.update(f"rc-incr-v{DEPGRAPH_FORMAT_VERSION}\n".encode())
+    h.update(engine.encode())
+    h.update(b"\n")
+    for nid in sorted(graph.reachable(f"fn:{fn}")):
+        h.update(nid.encode())
+        h.update(b"\x00")
+        h.update(graph.nodes.get(nid, "").encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def changed_nodes(old_nodes: dict[str, str], new: DepGraph) -> set[str]:
+    """Node ids whose fingerprint differs from (or is absent in) the
+    previously stored graph."""
+    return {nid for nid, fp in new.nodes.items()
+            if old_nodes.get(nid) != fp}
+
+
+_ENGINE_FP: Optional[str] = None
+
+
+def engine_fingerprint() -> str:
+    """A hash of the checker's own sources (every ``.py`` under the
+    ``repro`` package).  Mixed into every transitive key and stored in
+    the depgraph header: a checker change invalidates all incremental
+    state, which protects against stale CI caches restored via
+    ``restore-keys`` after the engine itself changed."""
+    global _ENGINE_FP
+    if _ENGINE_FP is None:
+        import repro
+        root = Path(repro.__file__).resolve().parent
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(b"\x00")
+            h.update(path.read_bytes())
+            h.update(b"\n")
+        _ENGINE_FP = h.hexdigest()
+    return _ENGINE_FP

@@ -30,7 +30,15 @@ from typing import Optional
 #       roll-ups — see ``repro.trace.profile.trace_summary``).  The
 #       ``trace`` key is **absent** when tracing is off, so v2 consumers
 #       that ignore unknown keys keep working byte-for-byte.
-METRICS_SCHEMA_VERSION = 3
+#   4 — incremental re-verification (repro.driver.incremental): the
+#       per-function ``cache`` state gains "clean" (transitive input key
+#       unchanged, cached outcome reused without re-checking) and "dirty"
+#       (an input changed — or a callee's spec rippled — so the function
+#       was re-checked), and the per-unit record gains the counters
+#       ``functions_clean`` / ``functions_dirty`` / ``results_reused``.
+#       All three are 0 for non-incremental runs, so v3 consumers keep
+#       working unchanged.
+METRICS_SCHEMA_VERSION = 4
 
 
 @dataclass
@@ -58,7 +66,7 @@ class FunctionMetrics:
 
     name: str
     ok: bool
-    cache: str = "off"            # "off" | "hit" | "miss"
+    cache: str = "off"    # "off" | "hit" | "miss" | "clean" | "dirty"
     wall_s: float = 0.0           # check wall time (original, if cached)
     solver_s: float = 0.0
     counters: dict = field(default_factory=dict)  # Stats.counters()
@@ -80,6 +88,12 @@ class DriverMetrics:
     wall_s: float = 0.0           # elapsed checking time (excl. front end)
     solver_cache_hits: int = 0    # summed over live (non-"hit") functions
     terms_interned: int = 0
+    # Schema v4: incremental re-verification accounting.  ``clean`` =
+    # transitive input key unchanged; ``dirty`` = re-checked; ``reused``
+    # = cached outcomes restored for clean functions.
+    functions_clean: int = 0
+    functions_dirty: int = 0
+    results_reused: int = 0
     phases: PhaseTimings = field(default_factory=PhaseTimings)
     functions: list[FunctionMetrics] = field(default_factory=list)
     # Schema v3: the unit names aggregated by ``merge_metrics`` (empty for
@@ -96,7 +110,12 @@ class DriverMetrics:
         self.functions.append(
             FunctionMetrics(name, ok, cache, wall_s, solver_s, counters,
                             solver_cache_hits, terms_interned))
-        if cache != "hit":
+        if cache == "clean":
+            self.functions_clean += 1
+            self.results_reused += 1
+        elif cache == "dirty":
+            self.functions_dirty += 1
+        if cache not in ("hit", "clean"):
             # Cached entries report the *original* run's times; only live
             # checks contribute to this unit's phase totals.
             self.phases.search_s += max(0.0, wall_s - solver_s)
@@ -139,6 +158,11 @@ class DriverMetrics:
             f"search {p.search_s * 1e3:.1f}ms, "
             f"solver {p.solver_s * 1e3:.1f}ms",
         ]
+        if self.functions_clean or self.functions_dirty:
+            lines.append(
+                f"incremental: {self.functions_clean} clean / "
+                f"{self.functions_dirty} dirty, "
+                f"{self.results_reused} result(s) reused")
         if self.solver_cache_hits or self.terms_interned:
             lines.append(
                 f"engine: {self.solver_cache_hits} solver-cache hit(s), "
@@ -173,6 +197,9 @@ def merge_metrics(per_unit: list[DriverMetrics]) -> DriverMetrics:
         total.wall_s += m.wall_s
         total.solver_cache_hits += m.solver_cache_hits
         total.terms_interned += m.terms_interned
+        total.functions_clean += m.functions_clean
+        total.functions_dirty += m.functions_dirty
+        total.results_reused += m.results_reused
         total.phases.parse_s += m.phases.parse_s
         total.phases.elaborate_s += m.phases.elaborate_s
         total.phases.search_s += m.phases.search_s

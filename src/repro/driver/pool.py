@@ -34,6 +34,7 @@ import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
+from dataclasses import field as dataclass_field
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -109,6 +110,34 @@ class Unit:
     lemmas: Optional[dict] = None
     timings: Optional[PhaseTimings] = None   # parse/elaborate, if measured
     front_trace: Optional[FunctionTrace] = None  # parse/elaborate events
+
+
+@dataclass
+class FunctionPlan:
+    """What the incremental planner decided for one function.
+
+    ``action`` is ``"check"`` (re-verify; ``label`` says why it is dirty)
+    or ``"reuse"`` (``result`` holds the cached ``(FunctionResult, wall)``
+    to restore verbatim).  ``store_key`` is the incremental result-cache
+    key — re-checked outcomes are stored under it; ``roots`` lists the
+    changed input nodes that dirtied the function (for telemetry)."""
+
+    action: str                        # "check" | "reuse"
+    label: str = "dirty"               # "dirty" | "clean"
+    store_key: Optional[str] = None
+    result: Optional[tuple] = None     # (FunctionResult, wall_s)
+    roots: tuple[str, ...] = ()
+
+
+@dataclass
+class UnitPlan:
+    """Per-unit schedule from :mod:`repro.driver.incremental`: one
+    :class:`FunctionPlan` per checkable function, plus the dependency
+    (callee-before-caller) order for the dirty subset."""
+
+    functions: dict[str, FunctionPlan] = dataclass_field(
+        default_factory=dict)
+    order: tuple[str, ...] = ()
 
 
 # ---------------------------------------------------------------------
@@ -191,14 +220,21 @@ def _pool_context():
 # The driver proper.
 # ---------------------------------------------------------------------
 
-def run_units(units: Sequence[Unit], config: Optional[DriverConfig] = None
+def run_units(units: Sequence[Unit], config: Optional[DriverConfig] = None,
+              plans: Optional[dict] = None
               ) -> dict[str, tuple[ProgramResult, DriverMetrics]]:
     """Verify several translation units under one scheduler.
 
     Sharing the pool across units is what makes whole-evaluation runs
     scale: pool startup is paid once and the per-function tasks of all
-    units load-balance together."""
+    units load-balance together.
+
+    ``plans`` (unit key → :class:`UnitPlan`) is the incremental path:
+    planned units reuse cached results for clean functions and schedule
+    only the dirty subset, in the plan's dependency order.  Functions a
+    plan does not mention fall back to the legacy whole-key cache path."""
     config = config or DriverConfig()
+    plans = plans or {}
     jobs = config.resolved_jobs()
     store = config.open_cache()
     tracing = config.resolved_trace()
@@ -224,7 +260,21 @@ def run_units(units: Sequence[Unit], config: Optional[DriverConfig] = None
         for name in missing:
             collected[(unit.key, name)] = \
                 (missing_body_result(name), 0.0, "off")
+        plan = plans.get(unit.key)
+        unit_pending: list[str] = []
         for name in to_check:
+            fplan = plan.functions.get(name) if plan is not None else None
+            if fplan is not None:
+                if fplan.action == "reuse" and fplan.result is not None:
+                    fr, wall = fplan.result
+                    collected[(unit.key, name)] = (fr, wall, "clean")
+                    m.cache_hits += 1
+                    continue
+                if store is not None and fplan.store_key is not None:
+                    cache_keys[(unit.key, name)] = fplan.store_key
+                m.cache_misses += 1
+                unit_pending.append(name)
+                continue
             if store is not None:
                 ckey = function_cache_key(unit.tp, name)
                 cache_keys[(unit.key, name)] = ckey
@@ -235,18 +285,30 @@ def run_units(units: Sequence[Unit], config: Optional[DriverConfig] = None
                     m.cache_hits += 1
                     continue
                 m.cache_misses += 1
-            pending.append((unit.key, name))
+            unit_pending.append(name)
+        if plan is not None and plan.order:
+            # Dependency (callee-before-caller) order: at jobs=1 a
+            # caller's re-check always sees already re-validated callee
+            # specs; unordered stragglers keep their spec order.
+            rank = {n: i for i, n in enumerate(plan.order)}
+            unit_pending.sort(key=lambda n: (rank.get(n, len(rank)),))
+        pending.extend((unit.key, name) for name in unit_pending)
 
     if pending:
         live = _run_pending(pending, units_by_key, jobs, tracing)
         for (ukey, name), (fr, wall, trace) in live.items():
-            state = "miss" if store is not None else "off"
+            plan = plans.get(ukey)
+            fplan = plan.functions.get(name) if plan is not None else None
+            if fplan is not None:
+                state = fplan.label
+            else:
+                state = "miss" if store is not None else "off"
             collected[(ukey, name)] = (fr, wall, state)
             if trace is not None:
                 events, dropped = trace
                 traces[(ukey, name)] = FunctionTrace(ukey, name, events,
                                                      dropped)
-            if store is not None:
+            if store is not None and (ukey, name) in cache_keys:
                 store.put(cache_keys[(ukey, name)], fr, wall)
 
     elapsed = time.perf_counter() - t_start
@@ -267,9 +329,11 @@ def run_units(units: Sequence[Unit], config: Optional[DriverConfig] = None
                            solver_cache_hits=fr.stats.solver_cache_hits,
                            terms_interned=fr.stats.terms_interned)
         # Elapsed time is shared by every unit on the pool; a unit's own
-        # checking cost is the sum of its live function walls.
+        # checking cost is the sum of its live function walls.  "hit" and
+        # "clean" entries carry the *original* run's wall time.
         m.wall_s = elapsed if len(units) == 1 else \
-            sum(f.wall_s for f in m.functions if f.cache != "hit")
+            sum(f.wall_s for f in m.functions
+                if f.cache not in ("hit", "clean"))
         if tracing:
             # Deterministic merge: front end first, then the live-checked
             # functions in spec order — independent of the schedule that

@@ -32,7 +32,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
-from .driver import DriverConfig, DriverMetrics, PhaseTimings, Unit, run_units
+from .driver import (DriverConfig, DriverMetrics, PhaseTimings, Unit,
+                     run_units, run_units_incremental)
 from .lang.elaborate import elaborate_unit
 from .lang.parser import parse
 from .proofs.manual import LEMMAS_BY_STUDY
@@ -128,9 +129,16 @@ def verify_source(source: str,
                   jobs: int = 1,
                   cache: bool = False,
                   cache_dir: Optional[Union[str, Path]] = None,
-                  trace: Optional[bool] = None
+                  trace: Optional[bool] = None,
+                  incremental: bool = False
                   ) -> VerificationOutcome:
-    """Verify annotated C source text."""
+    """Verify annotated C source text.
+
+    ``incremental=True`` plans the run through the dependency-aware
+    re-verification engine (:mod:`repro.driver.incremental`): only
+    functions whose fingerprinted inputs changed since the state stored
+    under the cache directory are re-checked; the persistent cache is
+    implied."""
     key = study or "<unit>"
     tracing = trace_env_enabled() if trace is None else bool(trace)
     tp, timings, front = _front_end(source, lemmas, tracing, key)
@@ -138,7 +146,8 @@ def verify_source(source: str,
                           trace=tracing)
     unit = Unit(key=key, source=source, tp=tp, lemmas=lemmas,
                 timings=timings, front_trace=front)
-    result, metrics = run_units([unit], config)[unit.key]
+    runner = run_units_incremental if incremental else run_units
+    result, metrics = runner([unit], config)[unit.key]
     return VerificationOutcome(tp, result, study, metrics)
 
 
@@ -147,7 +156,8 @@ def verify_file(path: Union[str, Path],
                 jobs: int = 1,
                 cache: bool = False,
                 cache_dir: Optional[Union[str, Path]] = None,
-                trace: Optional[bool] = None
+                trace: Optional[bool] = None,
+                incremental: bool = False
                 ) -> VerificationOutcome:
     """Verify an annotated C file.  Manual lemma tables registered for the
     file's stem (see :mod:`repro.proofs.manual`) are picked up
@@ -157,19 +167,23 @@ def verify_file(path: Union[str, Path],
     if lemmas is None:
         lemmas = LEMMAS_BY_STUDY.get(study)
     return verify_source(path.read_text(), lemmas, study, jobs=jobs,
-                         cache=cache, cache_dir=cache_dir, trace=trace)
+                         cache=cache, cache_dir=cache_dir, trace=trace,
+                         incremental=incremental)
 
 
 def verify_files(paths: Sequence[Union[str, Path]], *,
                  jobs: int = 1,
                  cache: bool = False,
                  cache_dir: Optional[Union[str, Path]] = None,
-                 trace: Optional[bool] = None
+                 trace: Optional[bool] = None,
+                 incremental: bool = False
                  ) -> dict[str, VerificationOutcome]:
     """Verify several annotated C files under one shared scheduler.
 
     Returns outcomes keyed by file stem, in input order.  With ``jobs>1``
-    every (file, function) pair is one task on a single process pool."""
+    every (file, function) pair is one task on a single process pool.
+    ``incremental=True`` re-checks only the functions whose fingerprinted
+    inputs changed since the last run against this cache directory."""
     tracing = trace_env_enabled() if trace is None else bool(trace)
     units = []
     tps: dict[str, TypedProgram] = {}
@@ -184,6 +198,7 @@ def verify_files(paths: Sequence[Union[str, Path]], *,
                           timings=timings, front_trace=front))
     config = DriverConfig(jobs=jobs, cache=cache, cache_dir=cache_dir,
                           trace=tracing)
-    results = run_units(units, config)
+    runner = run_units_incremental if incremental else run_units
+    results = runner(units, config)
     return {study: VerificationOutcome(tps[study], result, study, metrics)
             for study, (result, metrics) in results.items()}

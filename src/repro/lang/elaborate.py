@@ -560,6 +560,7 @@ class UnitElaborator:
         self.global_types: dict[str, cst.CType] = {}
         self.lemma_table = lemma_table or {}
         self._context_parts: list[str] = []
+        self._struct_texts: dict[str, str] = {}
         # Uninterpreted spec functions inherit their result sorts from the
         # manual lemma statements that mention them.
         from ..pure.terms import App as _App
@@ -592,9 +593,10 @@ class UnitElaborator:
             self.global_types[g.name] = g.ctype
             tp.globals[g.name] = GlobalSpec(g.name, layout,
                                             g.attrs.first("global"))
-            self._context_parts.append(
-                f"global {g.name}: {layout!r} "
-                f"@ {g.attrs.first('global')!r}")
+            gtext = (f"global {g.name}: {layout!r} "
+                     f"@ {g.attrs.first('global')!r}")
+            self._context_parts.append(gtext)
+            tp.global_texts[g.name] = gtext
         # Two passes over functions: specs first (so calls & fn<> types can
         # refer to any function), then bodies.
         for fd in unit.functions:
@@ -619,6 +621,7 @@ class UnitElaborator:
         for name, layout in self.layouts.items():
             program.structs[name] = layout
         tp.context_text = "\n".join(self._context_parts)
+        tp.struct_texts.update(self._struct_texts)
         return tp
 
     def _elab_struct(self, decl: cst.StructDecl,
@@ -649,8 +652,9 @@ class UnitElaborator:
             tname, _, ttext = ptr_type.partition(":")
             raw.ptr_type = (tname.strip(), ttext.strip())
         define_struct_type(layout, raw, self.ctx)
-        self._context_parts.append(f"struct {decl.name}: {layout!r} "
-                                   f"annot {raw!r}")
+        text = f"struct {decl.name}: {layout!r} annot {raw!r}"
+        self._context_parts.append(text)
+        self._struct_texts[decl.name] = text
 
     def _raw_annotations(self, fd: cst.FuncDef
                          ) -> Optional[RawFunctionAnnotations]:

@@ -55,6 +55,11 @@ class TypedProgram:
     # annotations, globals) every verification depends on.
     spec_texts: dict[str, str] = field(default_factory=dict)
     context_text: str = ""
+    # The same context, itemised per struct / global for the incremental
+    # driver's dependency graph (repro.driver.depgraph): each entry is one
+    # fingerprintable input node instead of one monolithic blob.
+    struct_texts: dict[str, str] = field(default_factory=dict)
+    global_texts: dict[str, str] = field(default_factory=dict)
 
 
 @dataclass
@@ -407,6 +412,119 @@ def verification_targets(tp: TypedProgram) -> tuple[list[str], list[str]]:
         else:
             missing.append(name)
     return to_check, missing
+
+
+# ---------------------------------------------------------------------
+# Verification-input recording (for the incremental driver).
+# ---------------------------------------------------------------------
+
+def _layout_structs(layout, out: set) -> None:
+    from ..caesium.layout import ArrayLayout, StructLayout
+    if isinstance(layout, StructLayout):
+        out.add(("struct", layout.name))
+        for _fname, flayout in layout.fields:
+            _layout_structs(flayout, out)
+    elif isinstance(layout, ArrayLayout):
+        _layout_structs(layout.elem, out)
+
+
+def _expr_inputs(e, tp: TypedProgram, deps: set) -> None:
+    from ..caesium import syntax as cae
+    if isinstance(e, cae.FnPtrE):
+        if e.name in tp.specs:
+            deps.add(("fnspec", e.name))
+        return
+    if isinstance(e, cae.GlobalAddr):
+        deps.add(("global", e.name))
+        return
+    if isinstance(e, cae.FieldOffset):
+        _layout_structs(e.struct, deps)
+        _expr_inputs(e.e, tp, deps)
+        return
+    if isinstance(e, cae.SizeOfE):
+        _layout_structs(e.layout, deps)
+        return
+    if isinstance(e, cae.Use):
+        _layout_structs(e.layout, deps)
+        _expr_inputs(e.e, tp, deps)
+        return
+    if isinstance(e, cae.UnOpE):
+        _expr_inputs(e.e, tp, deps)
+        return
+    if isinstance(e, cae.CastE):
+        _expr_inputs(e.e, tp, deps)
+        return
+    if isinstance(e, cae.BinOpE):
+        _expr_inputs(e.e1, tp, deps)
+        _expr_inputs(e.e2, tp, deps)
+        return
+    if isinstance(e, cae.CallE):
+        _expr_inputs(e.fn, tp, deps)
+        for a in e.args:
+            _expr_inputs(a, tp, deps)
+        return
+    if isinstance(e, cae.CASE):
+        _layout_structs(e.layout, deps)
+        for sub in (e.atom, e.expected, e.desired):
+            _expr_inputs(sub, tp, deps)
+        return
+    # Leaves (IntConst, NullE, VarAddr, ValE) consume no shared inputs.
+
+
+def function_inputs(tp: TypedProgram, name: str
+                    ) -> tuple[set, list[str]]:
+    """The verification inputs function ``name`` actually consumes.
+
+    Returns ``(deps, texts)``:
+
+    * ``deps`` — ``(kind, name)`` pairs with kind in {"fnspec", "struct",
+      "global"}: the callee specs its body calls (directly or as function
+      pointers), the struct layouts its body and locals touch, and the
+      globals it addresses.  Every check also introduces *every* shared
+      global resource (see :func:`_with_globals`), so all globals are
+      included unconditionally.  The spec-side inputs recorded during
+      elaboration (``FunctionSpec.spec_deps``) are merged in.
+    * ``texts`` — annotation strings attached to the function (its raw
+      spec text plus loop-invariant annotations) whose free identifiers
+      the dependency graph additionally resolves against the unit's named
+      types / functions / globals, as a conservative over-approximation.
+    """
+    deps: set = set()
+    texts: list[str] = [tp.spec_texts.get(name, "")]
+    spec = tp.specs.get(name)
+    if spec is not None:
+        deps |= set(spec.spec_deps)
+    for g in tp.globals:
+        deps.add(("global", g))
+    fn = tp.program.functions.get(name)
+    if fn is None:
+        return deps, texts
+    from ..caesium import syntax as cae
+    for _pname, layout in list(fn.params) + list(fn.locals):
+        _layout_structs(layout, deps)
+    if fn.ret_layout is not None:
+        _layout_structs(fn.ret_layout, deps)
+    for block in fn.blocks.values():
+        for stmt in block.stmts:
+            if isinstance(stmt, cae.Assign):
+                _layout_structs(stmt.layout, deps)
+                _expr_inputs(stmt.lhs, tp, deps)
+                _expr_inputs(stmt.rhs, tp, deps)
+            elif isinstance(stmt, cae.ExprS):
+                _expr_inputs(stmt.e, tp, deps)
+        term = block.term
+        if isinstance(term, cae.CondGoto):
+            _expr_inputs(term.cond, tp, deps)
+        elif isinstance(term, cae.Switch):
+            _expr_inputs(term.scrutinee, tp, deps)
+        elif isinstance(term, cae.Ret) and term.value is not None:
+            _expr_inputs(term.value, tp, deps)
+        if block.annot is not None:
+            ann = block.annot
+            texts.extend(s for _n, s in ann.exists)
+            texts.extend(t for _v, t in ann.inv_vars)
+            texts.extend(ann.constraints)
+    return deps, texts
 
 
 def missing_body_result(name: str) -> FunctionResult:

@@ -90,6 +90,18 @@ class SpecContext:
     fn_sorts: dict[str, Sort] = field(default_factory=dict)
     # The rc::ptr_type "..." placeholder, set while elaborating a struct.
     placeholder: Optional[Callable[[], RType]] = None
+    # Which struct definition owns each named RefinedC type (filled by
+    # define_struct_type).  The dependency graph (repro.driver.depgraph)
+    # uses this to map a consumed type name back to its defining struct.
+    type_sources: dict[str, str] = field(default_factory=dict)
+    # When set, parse_type records every named type / fn<> spec it
+    # resolves as a ``(kind, name)`` pair — the "verification inputs
+    # actually consumed" by the annotation being elaborated.
+    recording: Optional[set] = None
+
+    def record(self, kind: str, name: str) -> None:
+        if self.recording is not None:
+            self.recording.add((kind, name))
 
 
 # ---------------------------------------------------------------------
@@ -248,6 +260,7 @@ def _parse_constructor(text: str, refinement: Optional[Term],
         name = _angle_body(text, "fn").strip()
         if name not in ctx.fn_specs:
             raise SpecError(f"fn<{name}>: unknown function spec")
+        ctx.record("fnspec", name)
         return FnT(ctx.fn_specs[name])
     if text.startswith("atomicbool<"):
         parts = _split_top(_angle_body(text, "atomicbool"), ";")
@@ -281,6 +294,7 @@ def _parse_constructor(text: str, refinement: Optional[Term],
             raise SpecError(
                 f"type {name} expects {len(td.param_sorts)} refinement(s), "
                 f"got {len(args)}")
+        ctx.record("type", name)
         return NamedT(name, tuple(args))
     raise SpecError(f"cannot parse type expression {text!r}")
 
@@ -352,6 +366,10 @@ class FunctionSpec:
     lemmas: list[Lemma] = field(default_factory=list)
     trusted: bool = False          # spec assumed without a verified body
     annotation_lines: dict[str, int] = field(default_factory=dict)
+    # The named types and fn<> specs this spec's annotations consumed
+    # during elaboration (``(kind, name)`` pairs, kind in {"type",
+    # "fnspec"}) — the spec-side edges of the dependency graph.
+    spec_deps: frozenset = frozenset()
 
     def spec_env(self) -> dict[str, Term]:
         env: dict[str, Term] = {p.name: p for p in self.params}
@@ -380,7 +398,26 @@ def build_function_spec(name: str, raw: RawFunctionAnnotations,
                         ctx: SpecContext,
                         lemma_table: Optional[Mapping[str, Lemma]] = None,
                         ) -> FunctionSpec:
-    """Elaborate raw annotations into a :class:`FunctionSpec`."""
+    """Elaborate raw annotations into a :class:`FunctionSpec`.
+
+    While the annotations are parsed, ``ctx.recording`` collects every
+    named type and ``fn<>`` spec they resolve; the consumed set lands in
+    ``spec.spec_deps`` for the incremental driver's dependency graph."""
+    consumed: set = set()
+    previous_recording = ctx.recording
+    ctx.recording = consumed
+    try:
+        spec = _build_function_spec(name, raw, ctx, lemma_table)
+    finally:
+        ctx.recording = previous_recording
+    spec.spec_deps = frozenset(consumed)
+    return spec
+
+
+def _build_function_spec(name: str, raw: RawFunctionAnnotations,
+                         ctx: SpecContext,
+                         lemma_table: Optional[Mapping[str, Lemma]] = None,
+                         ) -> FunctionSpec:
     spec = FunctionSpec(name)
     env: dict[str, Term] = {}
     for decl in raw.parameters:
@@ -517,8 +554,10 @@ def define_struct_type(layout: StructLayout, raw: RawStructAnnotations,
                 ctx.placeholder = old
         ctx.types.define(TypeDef(ptr_name, param_sorts, ptr_body,
                                  layout=None, is_ptr_type=True))
+        ctx.type_sources[ptr_name] = layout.name
         return ptr_name
     type_name = raw.typedef_name or layout.name
     ctx.types.define(TypeDef(type_name, param_sorts, struct_body,
                              layout=layout))
+    ctx.type_sources[type_name] = layout.name
     return type_name

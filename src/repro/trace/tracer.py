@@ -108,12 +108,16 @@ class Tracer:
                  "_t0")
 
     def __init__(self, scope: str = "",
-                 limit: int = DEFAULT_EVENT_LIMIT) -> None:
+                 limit: int = DEFAULT_EVENT_LIMIT,
+                 start_seq: int = 0) -> None:
+        """``start_seq`` lets a caller append events to an existing
+        buffer (e.g. the incremental planner annotating a unit's
+        front-end trace) while keeping seq ids strictly increasing."""
         self.scope = scope
         self.events: list[TraceEvent] = []
         self.dropped = 0
         self.limit = limit
-        self._seq = 0
+        self._seq = start_seq
         self._stack: list[Optional[TraceEvent]] = []
         self._t0 = time.perf_counter()
 

@@ -1,0 +1,265 @@
+"""Incremental dependency-aware re-verification: dirty-set precision,
+outcome equality with full runs, and cache-state robustness."""
+
+import json
+import shutil
+
+import pytest
+
+from repro.driver import engine_fingerprint
+from repro.driver.incremental import (STATE_FILE, IncrementalState,
+                                      source_sha)
+from repro.frontend import verify_file, verify_files, verify_source
+
+from .conftest import fingerprint, study_path
+
+# A three-deep call chain where the top caller does NOT mention the leaf:
+# f3 -> f2 -> f1.  A spec edit on f1 must ripple to f2 (direct caller)
+# AND f3 (transitive caller only).
+CHAIN = '''
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<size_t>")]]
+[[rc::requires("{n <= 1000}")]]
+[[rc::returns("{n + 1} @ int<size_t>")]]
+size_t f1(size_t x) { return x + 1; }
+
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<size_t>")]]
+[[rc::requires("{n <= 999}")]]
+[[rc::returns("{n + 2} @ int<size_t>")]]
+size_t f2(size_t x) { return f1(x) + 1; }
+
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<size_t>")]]
+[[rc::requires("{n <= 998}")]]
+[[rc::returns("{n + 3} @ int<size_t>")]]
+size_t f3(size_t x) { return f2(x) + 1; }
+
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<size_t>")]]
+[[rc::returns("n @ int<size_t>")]]
+size_t bystander(size_t x) { return x; }
+'''
+
+
+def states(out):
+    return {f.name: f.cache for f in out.metrics.functions}
+
+
+def rechecked(out):
+    return sorted(f.name for f in out.metrics.functions
+                  if f.cache == "dirty")
+
+
+def run(src, tmp_path, **kw):
+    return verify_source(src, cache_dir=tmp_path / "cache",
+                         incremental=True, **kw)
+
+
+class TestDirtySet:
+    def test_cold_run_checks_everything(self, tmp_path):
+        out = run(CHAIN, tmp_path)
+        assert out.ok
+        assert set(states(out).values()) == {"dirty"}
+        assert out.metrics.functions_dirty == 4
+        assert out.metrics.functions_clean == 0
+
+    def test_noop_rerun_rechecks_nothing(self, tmp_path):
+        first = run(CHAIN, tmp_path)
+        again = run(CHAIN, tmp_path)
+        assert set(states(again).values()) == {"clean"}
+        assert again.metrics.functions_dirty == 0
+        assert again.metrics.functions_clean == 4
+        assert again.metrics.results_reused == 4
+        assert fingerprint(first) == fingerprint(again)
+
+    def test_leaf_body_edit_rechecks_exactly_one(self, tmp_path):
+        run(CHAIN, tmp_path)
+        edited = CHAIN.replace("{ return x + 1; }", "{ return 1 + x; }")
+        out = run(edited, tmp_path)
+        assert out.ok
+        assert rechecked(out) == ["f1"]
+        assert states(out)["f2"] == "clean"
+        assert states(out)["f3"] == "clean"
+        assert states(out)["bystander"] == "clean"
+
+    def test_spec_edit_rechecks_all_transitive_callers(self, tmp_path):
+        run(CHAIN, tmp_path)
+        # Whitespace inside the annotation string: parses identically,
+        # but the recorded spec text (and only it) changes.
+        edited = CHAIN.replace("{n + 1} @ int<size_t>",
+                               "{n + 1 } @ int<size_t>")
+        out = run(edited, tmp_path)
+        assert out.ok
+        # f2 calls f1 directly; f3 only through f2 — both must re-check.
+        assert rechecked(out) == ["f1", "f2", "f3"]
+        assert states(out)["bystander"] == "clean"
+
+    def test_mid_spec_edit_does_not_touch_callees(self, tmp_path):
+        run(CHAIN, tmp_path)
+        edited = CHAIN.replace("{n + 2} @ int<size_t>",
+                               "{n + 2 } @ int<size_t>")
+        out = run(edited, tmp_path)
+        assert rechecked(out) == ["f2", "f3"]
+        assert states(out)["f1"] == "clean"
+
+
+class TestCaseStudies:
+    def test_binary_search_noop_and_leaf_edit(self, tmp_path):
+        src_path = study_path("binary_search")
+        work = tmp_path / "binary_search.c"
+        text = src_path.read_text()
+        work.write_text(text)
+        cache = tmp_path / "cache"
+
+        cold = verify_file(work, cache_dir=cache, incremental=True)
+        assert cold.ok
+
+        noop = verify_file(work, cache_dir=cache, incremental=True)
+        assert noop.metrics.functions_dirty == 0
+        assert noop.metrics.functions_clean == len(noop.result.functions)
+        assert fingerprint(cold) == fingerprint(noop)
+
+        # Leaf body edit: cmp_le only.
+        assert "return x <= y;" in text
+        work.write_text(text.replace("return x <= y;", "return y >= x;"))
+        out = verify_file(work, cache_dir=cache, incremental=True)
+        assert out.ok
+        assert rechecked(out) == ["cmp_le"]
+
+    def test_binary_search_spec_edit_ripples(self, tmp_path):
+        src_path = study_path("binary_search")
+        work = tmp_path / "binary_search.c"
+        text = src_path.read_text()
+        work.write_text(text)
+        cache = tmp_path / "cache"
+        verify_file(work, cache_dir=cache, incremental=True)
+
+        marker = '[[rc::returns("{x <= y} @ bool<int>")]]'
+        assert marker in text
+        work.write_text(text.replace(
+            marker, '[[rc::returns("{x <= y } @ bool<int>")]]', 1))
+        out = verify_file(work, cache_dir=cache, incremental=True)
+        assert out.ok
+        # cmp_le's spec changed; binary_search and find_slot both
+        # (transitively) call it.
+        assert rechecked(out) == ["binary_search", "cmp_le", "find_slot"]
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_incremental_equals_full_run(self, tmp_path, jobs):
+        """After an edit, incremental outcomes (status, counters, error
+        text) are byte-equal to a cache-free full run."""
+        stems = ["binary_search", "hashmap", "mpool"]
+        work_paths = []
+        for stem in stems:
+            p = tmp_path / f"{stem}.c"
+            shutil.copy(study_path(stem), p)
+            work_paths.append(p)
+        cache = tmp_path / "cache"
+        verify_files(work_paths, jobs=jobs, cache_dir=cache,
+                     incremental=True)
+
+        # Edit one leaf in one file; everything else stays clean.
+        bs = tmp_path / "binary_search.c"
+        bs.write_text(bs.read_text().replace("return x <= y;",
+                                             "return y >= x;"))
+        incr = verify_files(work_paths, jobs=jobs, cache_dir=cache,
+                            incremental=True)
+        full = verify_files(work_paths, jobs=jobs)
+        assert {s: fingerprint(o) for s, o in incr.items()} \
+            == {s: fingerprint(o) for s, o in full.items()}
+        assert sum(o.metrics.functions_dirty for o in incr.values()) == 1
+
+    def test_failures_reported_identically_when_reused(self, tmp_path):
+        bad = CHAIN.replace("{ return x; }", "{ return x + 1; }")
+        first = run(bad, tmp_path)
+        again = run(bad, tmp_path)
+        assert not first.ok and not again.ok
+        assert states(again)["bystander"] == "clean"
+        assert fingerprint(first) == fingerprint(again)
+
+
+class TestRobustness:
+    """Any state defect degrades to a full re-verification — never a
+    wrong or missing outcome."""
+
+    def _state_path(self, tmp_path):
+        return tmp_path / "cache" / STATE_FILE
+
+    def test_corrupted_state_degrades_to_full(self, tmp_path):
+        first = run(CHAIN, tmp_path)
+        self._state_path(tmp_path).write_text("{ not json !")
+        out = run(CHAIN, tmp_path)
+        assert set(states(out).values()) == {"dirty"}
+        assert fingerprint(first) == fingerprint(out)
+        # ... and the rewritten state works again on the next run.
+        assert set(states(run(CHAIN, tmp_path)).values()) == {"clean"}
+
+    def test_truncated_state_degrades_to_full(self, tmp_path):
+        first = run(CHAIN, tmp_path)
+        path = self._state_path(tmp_path)
+        path.write_text(path.read_text()[:40])
+        out = run(CHAIN, tmp_path)
+        assert set(states(out).values()) == {"dirty"}
+        assert fingerprint(first) == fingerprint(out)
+
+    def test_version_mismatch_degrades_to_full(self, tmp_path):
+        run(CHAIN, tmp_path)
+        path = self._state_path(tmp_path)
+        data = json.loads(path.read_text())
+        data["format_version"] = 999
+        path.write_text(json.dumps(data))
+        out = run(CHAIN, tmp_path)
+        assert set(states(out).values()) == {"dirty"}
+
+    def test_foreign_engine_state_degrades_to_full(self, tmp_path):
+        """A CI restore-keys cache from an older checker build must not
+        poison results: the engine fingerprint mismatch voids it."""
+        run(CHAIN, tmp_path)
+        path = self._state_path(tmp_path)
+        data = json.loads(path.read_text())
+        assert data["engine"] == engine_fingerprint()
+        data["engine"] = "0" * 64
+        path.write_text(json.dumps(data))
+        out = run(CHAIN, tmp_path)
+        assert set(states(out).values()) == {"dirty"}
+
+    def test_evicted_result_entry_forces_recheck(self, tmp_path):
+        run(CHAIN, tmp_path)
+        # Blow away the result entries but keep depgraph.json: clean
+        # functions can no longer be reused and must re-check.
+        for p in (tmp_path / "cache").iterdir():
+            if p.is_dir():
+                shutil.rmtree(p)
+        out = run(CHAIN, tmp_path)
+        assert out.ok
+        assert set(states(out).values()) == {"dirty"}
+        for f in out.metrics.functions:
+            assert f.ok
+
+    def test_concurrent_writers_leave_usable_state(self, tmp_path):
+        """Two jobs>1 runs against the same cache dir (as racing CI jobs
+        would): both succeed, and the surviving state is valid."""
+        a = verify_source(CHAIN, cache_dir=tmp_path / "cache",
+                          incremental=True, jobs=2)
+        b = verify_source(CHAIN.replace("{ return x; }",
+                                        "{ return x + 0; }"),
+                          cache_dir=tmp_path / "cache",
+                          incremental=True, jobs=2)
+        assert a.ok and b.ok
+        state = IncrementalState.load(tmp_path / "cache",
+                                      engine_fingerprint())
+        assert state.units  # last writer's state parsed fine
+        again = verify_source(CHAIN, cache_dir=tmp_path / "cache",
+                              incremental=True)
+        assert again.ok
+        assert fingerprint(a) == fingerprint(again)
+
+    def test_state_records_source_sha(self, tmp_path):
+        out = run(CHAIN, tmp_path)
+        assert out.ok
+        state = IncrementalState.load(tmp_path / "cache",
+                                      engine_fingerprint())
+        assert state.units["<unit>"].source_sha == source_sha(CHAIN)
+        assert set(state.units["<unit>"].functions) \
+            == set(out.result.functions)

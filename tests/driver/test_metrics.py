@@ -40,7 +40,7 @@ def test_function_metrics_match_results():
 def test_json_export_schema():
     out = verify_file(study_path("mpool"))
     data = json.loads(out.metrics.to_json())
-    assert data["schema_version"] == 3
+    assert data["schema_version"] == 4
     assert data["jobs"] == 1
     assert set(data["phases"]) == {"parse_s", "elaborate_s", "search_s",
                                    "solver_s"}
@@ -52,6 +52,25 @@ def test_json_export_schema():
     # The engine telemetry must never leak into the deterministic counters.
     assert "solver_cache_hits" not in fn["counters"]
     assert data["terms_interned"] > 0
+
+
+def test_json_v4_incremental_counters(tmp_path):
+    """Schema v4: clean/dirty/reused counters are 0 for non-incremental
+    runs and populated by the incremental driver."""
+    out = verify_file(study_path("mpool"))
+    data = json.loads(out.metrics.to_json())
+    assert data["functions_clean"] == 0
+    assert data["functions_dirty"] == 0
+    assert data["results_reused"] == 0
+
+    verify_file(study_path("mpool"), cache_dir=tmp_path, incremental=True)
+    warm = verify_file(study_path("mpool"), cache_dir=tmp_path,
+                       incremental=True)
+    data = json.loads(warm.metrics.to_json())
+    assert data["functions_clean"] == len(data["functions"])
+    assert data["functions_dirty"] == 0
+    assert data["results_reused"] == data["functions_clean"]
+    assert {f["cache"] for f in data["functions"]} == {"clean"}
 
 
 def test_json_v3_trace_key_absent_when_off():
@@ -69,7 +88,7 @@ def test_json_v3_trace_key_absent_when_off():
 def test_json_v3_trace_block_present_when_on():
     out = verify_file(study_path("mpool"), trace=True)
     data = json.loads(out.metrics.to_json())
-    assert data["schema_version"] == 3
+    assert data["schema_version"] == 4
     block = data["trace"]
     assert {"events", "dropped", "rules", "solver",
             "slowest_prove"} <= set(block)
