@@ -147,6 +147,10 @@ class UnitPlan:
 
 _WORKER_STATE: dict = {}
 
+#: cap on the per-worker elaborated-program cache in session mode; fuzz
+#: campaigns stream thousands of distinct one-shot units through one pool
+_SESSION_PROGRAM_CAP = 64
+
 
 def _worker_init(units_blob: bytes, tracing: bool = False) -> None:
     _WORKER_STATE["units"] = pickle.loads(units_blob)
@@ -164,6 +168,83 @@ def _worker_check(unit_key: str, fn_name: str):
     fr, wall, trace = _traced_check(tp, fn_name,
                                     _WORKER_STATE.get("tracing", False))
     return unit_key, fn_name, fr, wall, trace
+
+
+def _session_worker_init() -> None:
+    _WORKER_STATE["session_programs"] = {}
+
+
+def _session_worker_check(unit_key: str, fn_name: str, source: str,
+                          lemmas, tracing: bool):
+    """Session-mode task: the source rides on every task (sources are
+    tiny in the workloads that use sessions) and each worker memoises its
+    elaboration, so the functions of one unit share the front-end work
+    whichever worker they land on."""
+    from ..lang.elaborate import elaborate_source
+    cache = _WORKER_STATE.setdefault("session_programs", {})
+    tp = cache.get(unit_key)
+    if tp is None:
+        tp = elaborate_source(source, lemmas)
+        if len(cache) >= _SESSION_PROGRAM_CAP:
+            cache.clear()
+        cache[unit_key] = tp
+    fr, wall, trace = _traced_check(tp, fn_name, tracing)
+    return unit_key, fn_name, fr, wall, trace
+
+
+class PoolSession:
+    """A worker pool that outlives a single :func:`run_units` call.
+
+    ``run_units`` normally builds a fresh process pool per call, which is
+    right for one big batch but pays pool cold-start (fork + imports) on
+    *every* call when a caller streams many small batches — exactly the
+    fuzz campaign's shape: thousands of tiny units over hundreds of
+    rounds.  A session keeps one pool warm across calls:
+
+        with PoolSession(jobs=4) as session:
+            for batch in rounds:
+                run_units(batch, DriverConfig(jobs=4), session=session)
+
+    Results are byte-identical to sessionless runs: workers reset the
+    fresh-name counters before every check (the same determinism contract
+    as the per-call pool), and the per-worker elaboration cache is keyed
+    by unit, never shared across units.  If the pool breaks (a worker
+    died mid-task), :meth:`reset` discards it; the next call lazily
+    builds a new one."""
+
+    def __init__(self, jobs: int = 0) -> None:
+        self.jobs = jobs if jobs > 0 else max(1, multiprocessing.cpu_count())
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self.batches = 0      # telemetry: run_units calls served
+        self.resets = 0
+
+    def executor(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=_pool_context(),
+                initializer=_session_worker_init)
+        return self._pool
+
+    def reset(self) -> None:
+        """Tear the pool down (it is rebuilt lazily on next use).  Call
+        after a pool-level failure — e.g. the fuzz oracle's crash
+        fallback — so one poisoned worker does not fail every later
+        batch."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self.resets += 1
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "PoolSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def _check_one(tp: TypedProgram, name: str, tracing: bool = False
@@ -221,7 +302,8 @@ def _pool_context():
 # ---------------------------------------------------------------------
 
 def run_units(units: Sequence[Unit], config: Optional[DriverConfig] = None,
-              plans: Optional[dict] = None
+              plans: Optional[dict] = None,
+              session: Optional[PoolSession] = None
               ) -> dict[str, tuple[ProgramResult, DriverMetrics]]:
     """Verify several translation units under one scheduler.
 
@@ -232,7 +314,10 @@ def run_units(units: Sequence[Unit], config: Optional[DriverConfig] = None,
     ``plans`` (unit key → :class:`UnitPlan`) is the incremental path:
     planned units reuse cached results for clean functions and schedule
     only the dirty subset, in the plan's dependency order.  Functions a
-    plan does not mention fall back to the legacy whole-key cache path."""
+    plan does not mention fall back to the legacy whole-key cache path.
+
+    ``session`` reuses a caller-owned warm :class:`PoolSession` instead
+    of starting (and paying for) a fresh pool for this call."""
     config = config or DriverConfig()
     plans = plans or {}
     jobs = config.resolved_jobs()
@@ -295,7 +380,7 @@ def run_units(units: Sequence[Unit], config: Optional[DriverConfig] = None,
         pending.extend((unit.key, name) for name in unit_pending)
 
     if pending:
-        live = _run_pending(pending, units_by_key, jobs, tracing)
+        live = _run_pending(pending, units_by_key, jobs, tracing, session)
         for (ukey, name), (fr, wall, trace) in live.items():
             plan = plans.get(ukey)
             fplan = plan.functions.get(name) if plan is not None else None
@@ -350,9 +435,16 @@ def run_units(units: Sequence[Unit], config: Optional[DriverConfig] = None,
 
 
 def _run_pending(pending: list[tuple[str, str]],
-                 units_by_key: dict[str, Unit], jobs: int, tracing: bool
+                 units_by_key: dict[str, Unit], jobs: int, tracing: bool,
+                 session: Optional[PoolSession] = None
                  ) -> dict[tuple[str, str],
                            tuple[FunctionResult, float, Optional[tuple]]]:
+    if session is not None and session.jobs > 1 and len(pending) > 1:
+        try:
+            return _run_parallel_session(pending, units_by_key, session,
+                                         tracing)
+        except (pickle.PicklingError, AttributeError, TypeError):
+            pass
     if jobs > 1 and len(pending) > 1:
         try:
             return _run_parallel(pending, units_by_key, jobs, tracing)
@@ -367,6 +459,20 @@ def _run_serial(pending, units_by_key, tracing):
     out = {}
     for ukey, name in pending:
         out[(ukey, name)] = _check_one(units_by_key[ukey].tp, name, tracing)
+    return out
+
+
+def _run_parallel_session(pending, units_by_key, session, tracing):
+    pool = session.executor()
+    session.batches += 1
+    futures = [pool.submit(_session_worker_check, ukey, name,
+                           units_by_key[ukey].source,
+                           units_by_key[ukey].lemmas, tracing)
+               for ukey, name in pending]
+    out = {}
+    for fut in as_completed(futures):
+        ukey, name, fr, wall, trace = fut.result()
+        out[(ukey, name)] = (fr, wall, trace)
     return out
 
 

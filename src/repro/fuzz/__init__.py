@@ -23,8 +23,11 @@ the property at scale instead — the validation stance of Flux and Verus:
 """
 
 from .campaign import (FUZZ_SCHEMA_VERSION, CampaignConfig, CampaignStats,
-                       Finding, run_campaign)
+                       Finding, finalize_findings, merge_shard_stats,
+                       run_campaign, run_shard_campaign)
 from .corpus import CorpusEntry, load_corpus, replay_entry, write_entry
+from .coverage import (COVERAGE_SCHEMA_VERSION, CoverageMap, SteeringState,
+                       oracle_keys, template_weights)
 from .generator import (DEFAULT_TEMPLATES, TEMPLATES, GenProgram, Mutant,
                         SpecViolation, generate_program)
 from .mutator import MutantResult, MutantVerdict, evaluate_mutants
@@ -33,11 +36,14 @@ from .oracle import (CheckResult, CheckVerdict, ExecResult, ExecStatus,
 from .shrink import shrink_params
 
 __all__ = [
-    "CampaignConfig", "CampaignStats", "CheckResult", "CheckVerdict",
-    "CorpusEntry", "DEFAULT_TEMPLATES", "ExecResult", "ExecStatus",
+    "COVERAGE_SCHEMA_VERSION", "CampaignConfig", "CampaignStats",
+    "CheckResult", "CheckVerdict", "CorpusEntry", "CoverageMap",
+    "DEFAULT_TEMPLATES", "ExecResult", "ExecStatus",
     "FUZZ_SCHEMA_VERSION", "Finding", "GenProgram", "Mutant",
-    "MutantResult", "MutantVerdict", "SpecViolation", "TEMPLATES",
-    "check_batch", "check_program", "evaluate_mutants", "execute_program",
-    "generate_program", "load_corpus", "replay_entry", "run_campaign",
-    "run_witness", "shrink_params", "write_entry",
+    "MutantResult", "MutantVerdict", "SpecViolation", "SteeringState",
+    "TEMPLATES", "check_batch", "check_program", "evaluate_mutants",
+    "execute_program", "finalize_findings", "generate_program",
+    "load_corpus", "merge_shard_stats", "oracle_keys", "replay_entry",
+    "run_campaign", "run_shard_campaign", "run_witness", "shrink_params",
+    "template_weights", "write_entry",
 ]

@@ -1,10 +1,27 @@
-"""Budgeted fuzzing campaigns on the verification driver.
+"""Budgeted, sharded, coverage-guided fuzzing campaigns.
 
-A campaign is a deterministic stream of generated programs: program
-``i`` of campaign seed ``s`` depends only on ``(s, i)``, never on
-batching or timing.  Rounds of programs are verified as one driver batch
-(``run_units`` on the process pool), accepted programs are executed by
-the oracle, and their mutants are batch-checked and graded.
+A campaign is a deterministic stream of generated programs processed in
+fixed-size **rounds**.  Blind campaigns draw templates uniformly, so
+program ``i`` of seed ``s`` depends only on ``(s, i)``.  Steered
+campaigns additionally weight the template choice by the coverage
+history of *completed* rounds (see :mod:`.coverage`): program ``i`` then
+depends on ``(s, i, coverage of rounds before i's round)`` — still a
+pure function of the seed, because rounds are a fixed partition of the
+index space.
+
+Sharding partitions each round's indices across ``shards`` shards by
+``index % shards``.  Results are always assembled in global index
+order, and shrinking plus corpus filing run centrally after the merge,
+so a campaign is **byte-identical across shard and job counts** (the
+deterministic stats view excludes the run-shape fields).  Two modes:
+
+* in-process (:func:`run_campaign`) — shard batches fan out on one warm
+  :class:`~repro.driver.PoolSession`;
+* distributed (:func:`run_shard_campaign` + :func:`merge_shard_stats`)
+  — each shard runs anywhere, writes mergeable schema-versioned stats
+  JSON, and the merge reproduces the in-process blind campaign exactly.
+  Distributed shards cannot see each other's coverage between rounds,
+  so steering is forced off there.
 
 Two budgets:
 
@@ -22,9 +39,12 @@ import random
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Optional
+from typing import Callable, Mapping, Optional, Sequence
 
+from ..driver import PoolSession
 from .corpus import CorpusEntry, write_entry
+from .coverage import (CoverageMap, SteeringState, oracle_keys,
+                       template_weights)
 from .generator import (DEFAULT_FUEL, DEFAULT_TEMPLATES, TEMPLATES, GenProgram,
                         generate_program)
 from .mutator import MutantVerdict, evaluate_mutants
@@ -32,7 +52,11 @@ from .oracle import (CheckVerdict, ExecStatus, check_batch, check_program,
                      execute_program, run_witness)
 from .shrink import shrink_params
 
-FUZZ_SCHEMA_VERSION = 1
+#: v2: ``fuzz_schema_version`` replaces v1's ``schema_version``; adds the
+#: ``coverage`` block, round/steering fields and corpus dedup counters.
+FUZZ_SCHEMA_VERSION = 2
+
+DEFAULT_ROUND_SIZE = 16
 
 
 @dataclass
@@ -41,6 +65,10 @@ class CampaignConfig:
     budget_s: Optional[float] = None   # time budget …
     count: Optional[int] = None        # … or exact program count
     jobs: int = 1
+    shards: int = 1                    # seed-space partitions per round
+    round_size: int = DEFAULT_ROUND_SIZE
+    coverage: bool = True              # trace checks, record signatures
+    steer: bool = True                 # coverage-guided template weights
     trials: int = 6                    # execution trials per accepted program
     mutant_limit: Optional[int] = None  # per program; None = all
     shrink: bool = True
@@ -52,6 +80,11 @@ class CampaignConfig:
     def template_names(self) -> list[str]:
         return list(self.templates) if self.templates \
             else list(DEFAULT_TEMPLATES)
+
+    def steering(self) -> bool:
+        # Steering feeds on coverage signatures; without them it would
+        # silently degenerate to blind sampling, so tie the two.
+        return self.steer and self.coverage
 
 
 @dataclass
@@ -77,19 +110,48 @@ class Finding:
                 "shrink_checks": self.shrink_checks,
                 "corpus_path": self.corpus_path}
 
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "Finding":
+        return cls(kind=d["kind"], template=d["template"],
+                   params=dict(d["params"]), index=int(d["index"]),
+                   mutant=d.get("mutant"), ub_class=d.get("ub_class"),
+                   detail=d.get("detail", ""),
+                   shrunk_params=d.get("shrunk_params"),
+                   shrink_checks=int(d.get("shrink_checks", 0)),
+                   corpus_path=d.get("corpus_path"))
+
+    def sort_key(self) -> tuple:
+        return (self.index, self.kind, self.mutant or "")
+
+    def dedup_key(self, params: Optional[dict] = None) -> str:
+        """Signature key for corpus dedup: two findings that reduce to
+        the same (kind, template, mutant, UB class, shrunk params) are
+        the same bug and file one corpus entry."""
+        params = params if params is not None else (
+            self.shrunk_params or self.params)
+        return json.dumps(
+            [self.kind, self.template, self.mutant, self.ub_class,
+             dict(sorted(params.items()))], sort_keys=True)
+
 
 @dataclass
 class CampaignStats:
-    """Per-campaign statistics, in the metrics-JSON house style."""
+    """Per-campaign (or per-shard) statistics, metrics-JSON house style."""
 
     seed: int = 0
     mode: str = "count"
     jobs: int = 1
+    shards: int = 1
+    shard: Optional[int] = None        # set only on distributed shard runs
+    round_size: int = DEFAULT_ROUND_SIZE
+    steered: bool = False
+    coverage_on: bool = True
     trials: int = 0
     templates: list[str] = field(default_factory=list)
     mutant_limit: Optional[int] = None
 
     programs: int = 0
+    rounds: int = 0
     accepted: int = 0
     rejected: int = 0
     checker_crashes: int = 0
@@ -109,9 +171,13 @@ class CampaignStats:
 
     shrink_checks: int = 0
     corpus_written: int = 0
+    corpus_deduped: int = 0
     per_template: dict = field(default_factory=dict)
     findings: list[Finding] = field(default_factory=list)
+    coverage: CoverageMap = field(default_factory=CoverageMap)
     wall_s: float = 0.0
+    pool_batches: int = 0
+    pool_resets: int = 0
 
     @property
     def accept_rate(self) -> float:
@@ -133,13 +199,16 @@ class CampaignStats:
 
     def to_dict(self, deterministic: bool = False) -> dict:
         d = {
-            "schema_version": FUZZ_SCHEMA_VERSION,
+            "fuzz_schema_version": FUZZ_SCHEMA_VERSION,
             "seed": self.seed,
-            "jobs": self.jobs,
+            "round_size": self.round_size,
+            "steered": self.steered,
+            "coverage_on": self.coverage_on,
             "trials": self.trials,
             "templates": list(self.templates),
             "mutant_limit": self.mutant_limit,
             "programs": self.programs,
+            "rounds": self.rounds,
             "accepted": self.accepted,
             "rejected": self.rejected,
             "checker_crashes": self.checker_crashes,
@@ -159,23 +228,68 @@ class CampaignStats:
             "soundness_violations": self.soundness_violations,
             "shrink_checks": self.shrink_checks,
             "corpus_written": self.corpus_written,
+            "corpus_deduped": self.corpus_deduped,
             "per_template": {k: dict(sorted(v.items()))
                              for k, v in sorted(self.per_template.items())},
             "findings": [f.to_dict() for f in self.findings],
+            "coverage": self.coverage.to_dict() if self.coverage_on
+            else None,
             "ok": self.ok,
         }
         if not deterministic:
-            # How the budget was specified and how long it took are facts
-            # about the run, not about the computed campaign — a budget
-            # run and its count replay must agree on everything else.
+            # How the budget was specified, how the work was spread over
+            # processes/shards and how long it took are facts about the
+            # *run*, not the computed campaign — a budget run and its
+            # count replay, and a 1-shard and a 4-shard run, must agree
+            # on everything else.
             d["mode"] = self.mode
+            d["jobs"] = self.jobs
+            d["shards"] = self.shards
+            if self.shard is not None:
+                d["shard"] = self.shard
             d["wall_s"] = round(self.wall_s, 3)
+            d["pool_batches"] = self.pool_batches
+            d["pool_resets"] = self.pool_resets
         return d
 
     def to_json(self, deterministic: bool = False, indent: int = 2) -> str:
         return json.dumps(self.to_dict(deterministic), indent=indent)
 
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "CampaignStats":
+        got = d.get("fuzz_schema_version", d.get("schema_version"))
+        if got != FUZZ_SCHEMA_VERSION:
+            raise ValueError(
+                f"fuzz stats schema mismatch: file has {got!r}, this "
+                f"build speaks {FUZZ_SCHEMA_VERSION}")
+        s = cls(seed=d["seed"], mode=d.get("mode", "count"),
+                jobs=d.get("jobs", 1), shards=d.get("shards", 1),
+                shard=d.get("shard"),
+                round_size=d.get("round_size", DEFAULT_ROUND_SIZE),
+                steered=d.get("steered", False),
+                coverage_on=d.get("coverage_on", True),
+                trials=d.get("trials", 0),
+                templates=list(d.get("templates", [])),
+                mutant_limit=d.get("mutant_limit"))
+        for name in ("programs", "rounds", "accepted", "rejected",
+                     "checker_crashes", "exec_trials", "exec_passes",
+                     "exec_inconclusive", "exec_errors", "ub_violations",
+                     "spec_violations", "mutants", "mutants_killed",
+                     "survivors_demonstrated", "survivors_undemonstrated",
+                     "mutant_crashes", "shrink_checks", "corpus_written",
+                     "corpus_deduped"):
+            setattr(s, name, int(d.get(name, 0)))
+        s.per_template = {k: dict(v)
+                          for k, v in d.get("per_template", {}).items()}
+        s.findings = [Finding.from_dict(f) for f in d.get("findings", [])]
+        if d.get("coverage"):
+            s.coverage = CoverageMap.from_dict(d["coverage"])
+        s.wall_s = float(d.get("wall_s", 0.0))
+        return s
+
     def summary(self) -> str:
+        cov = f", {len(self.coverage)} coverage keys" if self.coverage_on \
+            else ""
         return (f"fuzz campaign seed={self.seed}: {self.programs} programs "
                 f"({self.accepted} accepted, {self.rejected} rejected, "
                 f"{self.checker_crashes} crashes), "
@@ -185,7 +299,7 @@ class CampaignStats:
                 f"{self.mutants} mutants "
                 f"({self.mutants_killed} killed, "
                 f"kill rate {self.kill_rate:.1%}), "
-                f"{len(self.findings)} findings, {self.wall_s:.1f}s")
+                f"{len(self.findings)} findings{cov}, {self.wall_s:.1f}s")
 
 
 def _tally(per_template: dict, template: str, key: str, n: int = 1) -> None:
@@ -248,19 +362,33 @@ _EXPECTED: dict[str, Callable[[Finding], dict]] = {
 }
 
 
-def _record_finding(stats: CampaignStats, cfg: CampaignConfig,
-                    finding: Finding) -> None:
-    exec_seed = f"{cfg.seed}:{finding.index}:exec"
-    if cfg.shrink:
-        pred = _fail_predicate(finding.kind, finding.template,
-                               finding.mutant, exec_seed, cfg.trials,
-                               cfg.fuel)
-        shrunk, checks = shrink_params(finding.template, finding.params,
-                                       pred)
-        finding.shrunk_params = shrunk
-        finding.shrink_checks = checks
-        stats.shrink_checks += checks
-    if cfg.write_corpus:
+def finalize_findings(stats: CampaignStats, cfg: CampaignConfig) -> None:
+    """Centralised post-processing: order findings deterministically,
+    shrink each, and auto-file deduped corpus entries.
+
+    Runs once per campaign — after the in-process round loop, or after
+    :func:`merge_shard_stats` in the distributed flow — so shard count
+    never changes which corpus entries exist or what they contain."""
+    stats.findings.sort(key=Finding.sort_key)
+    seen: set[str] = set()
+    for finding in stats.findings:
+        exec_seed = f"{cfg.seed}:{finding.index}:exec"
+        if cfg.shrink and finding.shrunk_params is None:
+            pred = _fail_predicate(finding.kind, finding.template,
+                                   finding.mutant, exec_seed, cfg.trials,
+                                   cfg.fuel)
+            shrunk, checks = shrink_params(finding.template, finding.params,
+                                           pred)
+            finding.shrunk_params = shrunk
+            finding.shrink_checks = checks
+            stats.shrink_checks += checks
+        if not cfg.write_corpus:
+            continue
+        key = finding.dedup_key()
+        if key in seen:
+            stats.corpus_deduped += 1
+            continue
+        seen.add(key)
         entry = CorpusEntry(
             template=finding.template,
             params=finding.shrunk_params or finding.params,
@@ -271,101 +399,295 @@ def _record_finding(stats: CampaignStats, cfg: CampaignConfig,
                  f"{finding.kind} — {finding.detail[:200]}")
         finding.corpus_path = str(write_entry(entry, cfg.corpus_dir))
         stats.corpus_written += 1
-    stats.findings.append(finding)
 
 
 # ---------------------------------------------------------------------
-# The campaign driver.
+# One round: generate → shard → check → execute → mutate → observe.
 # ---------------------------------------------------------------------
+
+def _shard_indices(start: int, k: int, shards: int,
+                   shard: Optional[int]) -> list[list[int]]:
+    """Partition round indices ``start..start+k`` by ``index % shards``.
+    With ``shard`` set (distributed mode), only that slice is returned."""
+    parts = [[] for _ in range(shards)]
+    for i in range(start, start + k):
+        parts[i % shards].append(i)
+    if shard is not None:
+        return [parts[shard]]
+    return parts
+
+
+def _run_round(cfg: CampaignConfig, stats: CampaignStats,
+               programs: list[GenProgram], round_no: int,
+               steering: Optional[SteeringState],
+               session: Optional[PoolSession],
+               checks: Optional[dict] = None) -> None:
+    """Process one round's programs (already generated, any shard
+    subset) and fold the results into ``stats`` in global index order.
+
+    ``checks`` carries pre-computed shard-batch results; without it the
+    round is checked as one batch."""
+    if checks is None:
+        checks = check_batch([(f"g{p.index}", p) for p in programs],
+                             jobs=cfg.jobs, coverage=cfg.coverage,
+                             session=session)
+
+    new_by_index: dict[int, int] = {p.index: 0 for p in programs}
+
+    def observe(keys, index: int) -> int:
+        if not cfg.coverage or keys is None:
+            return 0
+        fresh = stats.coverage.observe(keys, index)
+        new_by_index[index] = new_by_index.get(index, 0) + len(fresh)
+        return len(fresh)
+
+    accepted: list[GenProgram] = []
+    for prog in programs:
+        check = checks[f"g{prog.index}"]
+        _tally(stats.per_template, prog.template, "programs")
+        observe(check.signature, prog.index)
+        if check.verdict is CheckVerdict.CRASH:
+            stats.checker_crashes += 1
+            _tally(stats.per_template, prog.template, "crashes")
+            stats.findings.append(Finding(
+                "checker-crash", prog.template, prog.params,
+                prog.index, detail=check.detail))
+            continue
+        if check.verdict is CheckVerdict.REJECTED:
+            stats.rejected += 1
+            _tally(stats.per_template, prog.template, "rejected")
+            continue
+        stats.accepted += 1
+        _tally(stats.per_template, prog.template, "accepted")
+        accepted.append(prog)
+
+        rng = random.Random(f"{cfg.seed}:{prog.index}:exec")
+        res = execute_program(prog, check.tp, rng, trials=cfg.trials,
+                              fuel=cfg.fuel)
+        stats.exec_trials += res.trials
+        stats.exec_passes += res.passes
+        stats.exec_inconclusive += res.inconclusive
+        observe(oracle_keys(res.status.value, res.ub_class), prog.index)
+        if res.status is ExecStatus.UB:
+            stats.ub_violations += 1
+            stats.findings.append(Finding(
+                "soundness-ub", prog.template, prog.params, prog.index,
+                ub_class=res.ub_class, detail=res.detail))
+        elif res.status is ExecStatus.SPEC_VIOLATION:
+            stats.spec_violations += 1
+            stats.findings.append(Finding(
+                "soundness-spec", prog.template, prog.params,
+                prog.index, detail=res.detail))
+        elif res.status is ExecStatus.EXEC_ERROR:
+            stats.exec_errors += 1
+            stats.findings.append(Finding(
+                "exec-error", prog.template, prog.params, prog.index,
+                detail=res.detail))
+
+    for mr in evaluate_mutants(accepted, jobs=cfg.jobs,
+                               limit=cfg.mutant_limit,
+                               coverage=cfg.coverage,
+                               witness_killed=cfg.coverage,
+                               session=session):
+        stats.mutants += 1
+        _tally(stats.per_template, mr.template, "mutants")
+        observe(mr.signature, mr.index)
+        observe(oracle_keys(None, mr.ub_class), mr.index)
+        if mr.verdict is MutantVerdict.KILLED:
+            stats.mutants_killed += 1
+            _tally(stats.per_template, mr.template, "killed")
+        elif mr.verdict is MutantVerdict.CRASH:
+            stats.mutant_crashes += 1
+            stats.findings.append(Finding(
+                "checker-crash", mr.template, mr.params, mr.index,
+                mutant=mr.mutant.name, detail=mr.detail))
+        elif mr.verdict is MutantVerdict.SURVIVED_DEMONSTRATED:
+            stats.survivors_demonstrated += 1
+            stats.findings.append(Finding(
+                "mutant-survivor", mr.template, mr.params, mr.index,
+                mutant=mr.mutant.name, ub_class=mr.ub_class,
+                detail=mr.detail))
+        else:
+            stats.survivors_undemonstrated += 1
+
+    # new_keys is steered-only bookkeeping: "new to the local map" is
+    # not a shard-mergeable notion, so blind (shardable) campaigns skip
+    # it and merged stats stay byte-identical to in-process ones.
+    if steering is not None:
+        for prog in programs:
+            n_new = new_by_index.get(prog.index, 0)
+            steering.observe(prog.template, n_new, round_no)
+            if n_new:
+                _tally(stats.per_template, prog.template, "new_keys",
+                       n_new)
+
+
+# ---------------------------------------------------------------------
+# The campaign drivers.
+# ---------------------------------------------------------------------
+
+def _round_plan(cfg: CampaignConfig, idx: int) -> int:
+    """Programs in the round starting at ``idx`` under a count budget
+    (full ``round_size`` under a time budget)."""
+    if cfg.count is None:
+        return cfg.round_size
+    return min(cfg.round_size, cfg.count - idx)
+
 
 def run_campaign(cfg: Optional[CampaignConfig] = None) -> CampaignStats:
+    """The in-process engine: rounds of ``round_size`` programs, each
+    round partitioned into ``shards`` shard batches fanned out on one
+    warm pool session, with steering weights recomputed at every round
+    barrier from the merged coverage so far."""
     cfg = cfg or CampaignConfig()
     if cfg.count is None and cfg.budget_s is None:
         cfg = CampaignConfig(**{**cfg.__dict__, "count": 32})
     names = cfg.template_names()
+    steered = cfg.steering()
     stats = CampaignStats(
         seed=cfg.seed, mode="budget" if cfg.count is None else "count",
-        jobs=cfg.jobs, trials=cfg.trials, templates=names,
-        mutant_limit=cfg.mutant_limit)
+        jobs=cfg.jobs, shards=cfg.shards, round_size=cfg.round_size,
+        steered=steered, coverage_on=cfg.coverage,
+        trials=cfg.trials, templates=names, mutant_limit=cfg.mutant_limit)
+    steering = SteeringState() if steered else None
+    session = PoolSession(cfg.jobs) if cfg.jobs > 1 else None
     t0 = time.perf_counter()
-    batch = max(8, 4 * cfg.jobs)
-    idx = 0
+    idx = round_no = 0
 
-    while True:
-        if cfg.count is not None and idx >= cfg.count:
-            break
-        if cfg.count is None and time.perf_counter() - t0 >= cfg.budget_s:
-            break
-        k = batch if cfg.count is None else min(batch, cfg.count - idx)
-        programs = [generate_program(cfg.seed, idx + i, names)
-                    for i in range(k)]
-        checks = check_batch([(f"g{p.index}", p) for p in programs],
-                             jobs=cfg.jobs)
-
-        accepted: list[GenProgram] = []
-        for prog in programs:
-            check = checks[f"g{prog.index}"]
-            _tally(stats.per_template, prog.template, "programs")
-            if check.verdict is CheckVerdict.CRASH:
-                stats.checker_crashes += 1
-                _tally(stats.per_template, prog.template, "crashes")
-                _record_finding(stats, cfg, Finding(
-                    "checker-crash", prog.template, prog.params,
-                    prog.index, detail=check.detail))
-                continue
-            if check.verdict is CheckVerdict.REJECTED:
-                stats.rejected += 1
-                _tally(stats.per_template, prog.template, "rejected")
-                continue
-            stats.accepted += 1
-            _tally(stats.per_template, prog.template, "accepted")
-            accepted.append(prog)
-
-            rng = random.Random(f"{cfg.seed}:{prog.index}:exec")
-            res = execute_program(prog, check.tp, rng, trials=cfg.trials,
-                                  fuel=cfg.fuel)
-            stats.exec_trials += res.trials
-            stats.exec_passes += res.passes
-            stats.exec_inconclusive += res.inconclusive
-            if res.status is ExecStatus.UB:
-                stats.ub_violations += 1
-                _record_finding(stats, cfg, Finding(
-                    "soundness-ub", prog.template, prog.params, prog.index,
-                    ub_class=res.ub_class, detail=res.detail))
-            elif res.status is ExecStatus.SPEC_VIOLATION:
-                stats.spec_violations += 1
-                _record_finding(stats, cfg, Finding(
-                    "soundness-spec", prog.template, prog.params,
-                    prog.index, detail=res.detail))
-            elif res.status is ExecStatus.EXEC_ERROR:
-                stats.exec_errors += 1
-                _record_finding(stats, cfg, Finding(
-                    "exec-error", prog.template, prog.params, prog.index,
-                    detail=res.detail))
-
-        for mr in evaluate_mutants(accepted, jobs=cfg.jobs,
-                                   limit=cfg.mutant_limit):
-            stats.mutants += 1
-            _tally(stats.per_template, mr.template, "mutants")
-            if mr.verdict is MutantVerdict.KILLED:
-                stats.mutants_killed += 1
-                _tally(stats.per_template, mr.template, "killed")
-            elif mr.verdict is MutantVerdict.CRASH:
-                stats.mutant_crashes += 1
-                _record_finding(stats, cfg, Finding(
-                    "checker-crash", mr.template, mr.params, mr.index,
-                    mutant=mr.mutant.name, detail=mr.detail))
-            elif mr.verdict is MutantVerdict.SURVIVED_DEMONSTRATED:
-                stats.survivors_demonstrated += 1
-                _record_finding(stats, cfg, Finding(
-                    "mutant-survivor", mr.template, mr.params, mr.index,
-                    mutant=mr.mutant.name, ub_class=mr.ub_class,
-                    detail=mr.detail))
-            else:
-                stats.survivors_undemonstrated += 1
-
-        idx += k
+    try:
+        while True:
+            if cfg.count is not None and idx >= cfg.count:
+                break
+            if cfg.count is None \
+                    and time.perf_counter() - t0 >= cfg.budget_s:
+                break
+            k = _round_plan(cfg, idx)
+            weights = template_weights(names, steering, round_no) \
+                if steering is not None else None
+            programs: dict[int, GenProgram] = {}
+            checks: dict = {}
+            for part in _shard_indices(idx, k, cfg.shards, None):
+                # Each shard's slice is checked as its own batch on the
+                # shared warm pool — the in-process analogue of the
+                # distributed fan-out.
+                batch = [generate_program(cfg.seed, i, names,
+                                          weights=weights) for i in part]
+                programs.update({p.index: p for p in batch})
+                checks.update(check_batch(
+                    [(f"g{p.index}", p) for p in batch], jobs=cfg.jobs,
+                    coverage=cfg.coverage, session=session))
+            # Centralised assembly: whatever the shard partition, the
+            # round is processed in global index order.
+            _run_round(cfg, stats,
+                       [programs[i] for i in sorted(programs)],
+                       round_no, steering, session, checks=checks)
+            idx += k
+            round_no += 1
+    finally:
+        if session is not None:
+            stats.pool_batches = session.batches
+            stats.pool_resets = session.resets
+            session.close()
 
     stats.programs = idx
+    stats.rounds = round_no
+    finalize_findings(stats, cfg)
     stats.wall_s = time.perf_counter() - t0
     return stats
+
+
+def run_shard_campaign(cfg: CampaignConfig, shard: int) -> CampaignStats:
+    """Distributed mode: run shard ``shard`` of ``cfg.shards`` — only
+    the indices with ``index % shards == shard`` — and return mergeable
+    per-shard stats.  Shards cannot see each other's coverage between
+    rounds, so steering is forced off; findings stay raw (unshrunk,
+    unfiled) for the central merge to finalise."""
+    if not 0 <= shard < cfg.shards:
+        raise ValueError(f"shard {shard} outside 0..{cfg.shards - 1}")
+    if cfg.count is None:
+        raise ValueError("distributed shards need a count budget: a time "
+                         "budget would give each shard a different slice")
+    names = cfg.template_names()
+    stats = CampaignStats(
+        seed=cfg.seed, mode="shard", jobs=cfg.jobs, shards=cfg.shards,
+        shard=shard, round_size=cfg.round_size, steered=False,
+        coverage_on=cfg.coverage, trials=cfg.trials, templates=names,
+        mutant_limit=cfg.mutant_limit)
+    session = PoolSession(cfg.jobs) if cfg.jobs > 1 else None
+    t0 = time.perf_counter()
+    idx = round_no = 0
+    try:
+        while idx < cfg.count:
+            k = _round_plan(cfg, idx)
+            [part] = _shard_indices(idx, k, cfg.shards, shard)
+            _run_round(cfg, stats,
+                       [generate_program(cfg.seed, i, names) for i in part],
+                       round_no, None, session)
+            stats.programs += len(part)
+            idx += k
+            round_no += 1
+    finally:
+        if session is not None:
+            stats.pool_batches = session.batches
+            stats.pool_resets = session.resets
+            session.close()
+    stats.rounds = round_no
+    stats.wall_s = time.perf_counter() - t0
+    return stats
+
+
+def merge_shard_stats(shard_stats: Sequence[CampaignStats],
+                      cfg: Optional[CampaignConfig] = None) -> CampaignStats:
+    """Merge per-shard stats (the shard/merge protocol) back into one
+    campaign.  Validates that the shards agree on the campaign identity
+    and cover every shard exactly once; with ``cfg``, finalisation
+    (deterministic ordering, shrinking, corpus filing) runs centrally so
+    the merged result is byte-identical to the in-process campaign."""
+    if not shard_stats:
+        raise ValueError("nothing to merge")
+    first = shard_stats[0]
+    seen_shards: set[int] = set()
+    merged = CampaignStats(
+        seed=first.seed, mode="merged", jobs=first.jobs,
+        shards=first.shards, round_size=first.round_size, steered=False,
+        coverage_on=first.coverage_on, trials=first.trials,
+        templates=list(first.templates), mutant_limit=first.mutant_limit)
+    for s in shard_stats:
+        ident = (s.seed, s.shards, s.round_size, tuple(s.templates),
+                 s.trials, s.mutant_limit, s.coverage_on)
+        want = (first.seed, first.shards, first.round_size,
+                tuple(first.templates), first.trials, first.mutant_limit,
+                first.coverage_on)
+        if ident != want:
+            raise ValueError(f"shard {s.shard} belongs to a different "
+                             f"campaign: {ident} != {want}")
+        if s.shard is None or s.shard in seen_shards:
+            raise ValueError(f"duplicate or missing shard id: {s.shard}")
+        if s.steered:
+            raise ValueError(f"shard {s.shard} was steered: distributed "
+                             "shards must run blind")
+        seen_shards.add(s.shard)
+        for name in ("programs", "rounds", "accepted", "rejected",
+                     "checker_crashes", "exec_trials", "exec_passes",
+                     "exec_inconclusive", "exec_errors", "ub_violations",
+                     "spec_violations", "mutants", "mutants_killed",
+                     "survivors_demonstrated", "survivors_undemonstrated",
+                     "mutant_crashes"):
+            setattr(merged, name, getattr(merged, name) + getattr(s, name))
+        for template, tallies in s.per_template.items():
+            for key, n in tallies.items():
+                _tally(merged.per_template, template, key, n)
+        merged.findings.extend(s.findings)
+        merged.coverage.merge(s.coverage)
+        merged.wall_s = max(merged.wall_s, s.wall_s)
+    if seen_shards != set(range(first.shards)):
+        missing = sorted(set(range(first.shards)) - seen_shards)
+        raise ValueError(f"incomplete merge: missing shards {missing}")
+    # Every shard ran the same number of rounds over the same index
+    # space; the campaign's round count is theirs, not the sum.
+    merged.rounds = first.rounds
+    if cfg is not None:
+        finalize_findings(merged, cfg)
+    else:
+        merged.findings.sort(key=Finding.sort_key)
+    return merged

@@ -972,14 +972,41 @@ DEFAULT_TEMPLATES: tuple[str, ...] = tuple(TEMPLATES)
 
 
 def generate_program(seed: int, index: int,
-                     templates: Optional[list[str]] = None) -> GenProgram:
+                     templates: Optional[list[str]] = None,
+                     weights: Optional[dict[str, float]] = None
+                     ) -> GenProgram:
     """Generate the ``index``-th program of campaign ``seed``.
 
     Deterministic and batching-independent: program ``(seed, index)`` is
     the same whatever came before it, because each draws from its own
-    ``Random(f"{seed}:{index}")`` stream."""
+    ``Random(f"{seed}:{index}")`` stream.
+
+    ``weights`` (steered campaigns) biases the template choice; the
+    draw stays a pure function of ``(seed, index, templates, weights)``,
+    so two campaigns that compute the same weights for the same index
+    generate the same program regardless of sharding."""
     names = list(templates) if templates else list(DEFAULT_TEMPLATES)
     rng = random.Random(f"{seed}:{index}")
-    template = TEMPLATES[names[rng.randrange(len(names))]]
+    if weights is None:
+        chosen = names[rng.randrange(len(names))]
+    else:
+        chosen = _weighted_choice(names, weights, rng)
+    template = TEMPLATES[chosen]
     params = template.sample_params(rng)
     return template.build(params, index)
+
+
+def _weighted_choice(names: list[str], weights: dict[str, float],
+                     rng: random.Random) -> str:
+    """Cumulative-sum weighted draw (no ``random.choices`` so the stream
+    consumes exactly one ``rng.random()`` and stays reproducible)."""
+    acc = sum(max(weights.get(name, 1.0), 0.0) for name in names)
+    if acc <= 0.0:
+        return names[rng.randrange(len(names))]
+    target = rng.random() * acc
+    run = 0.0
+    for name in names:
+        run += max(weights.get(name, 1.0), 0.0)
+        if target < run:
+            return name
+    return names[-1]

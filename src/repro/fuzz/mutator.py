@@ -21,6 +21,7 @@ import enum
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from ..driver import PoolSession
 from .generator import GenProgram, Mutant
 from .oracle import CheckResult, CheckVerdict, check_batch, run_witness
 
@@ -41,6 +42,9 @@ class MutantResult:
     index: int = 0            # campaign index of the parent program
     ub_class: Optional[str] = None
     detail: str = ""
+    #: coverage signature of the mutant's *check* (rejection paths
+    #: exercise rules the sound originals never reach)
+    signature: Optional[frozenset] = None
 
 
 def _as_program(prog: GenProgram, mutant: Mutant) -> GenProgram:
@@ -51,18 +55,28 @@ def _as_program(prog: GenProgram, mutant: Mutant) -> GenProgram:
                       entry=prog.entry, concurrent=prog.concurrent)
 
 
-def grade_mutant(prog: GenProgram, mutant: Mutant, check: CheckResult
-                 ) -> MutantResult:
+def grade_mutant(prog: GenProgram, mutant: Mutant, check: CheckResult,
+                 witness_killed: bool = False) -> MutantResult:
     """Turn a mutant's check result into a verdict, running the UB
-    witness for accepted mutants that carry one."""
+    witness for accepted mutants that carry one.
+
+    With ``witness_killed=True`` the witness also runs for *killed*
+    mutants: the demonstrated UB class does not change the verdict, but
+    it records which UB classes the differential oracle exercised — the
+    ``ub:`` dimension of campaign coverage."""
     if check.verdict is CheckVerdict.CRASH:
         return MutantResult(prog.template, prog.params, mutant,
                             MutantVerdict.CRASH, index=prog.index,
-                            detail=check.detail)
+                            detail=check.detail, signature=check.signature)
     if check.verdict is CheckVerdict.REJECTED:
+        ub = None
+        if witness_killed and mutant.has_witness and check.tp is not None:
+            ub = run_witness(prog.template, mutant.name, prog.params,
+                             check.tp)
         return MutantResult(prog.template, prog.params, mutant,
                             MutantVerdict.KILLED, index=prog.index,
-                            detail=check.detail)
+                            ub_class=ub, detail=check.detail,
+                            signature=check.signature)
     # Accepted: a designed-unsound annotation got through.
     if mutant.has_witness and check.tp is not None:
         ub = run_witness(prog.template, mutant.name, prog.params, check.tp)
@@ -71,15 +85,20 @@ def grade_mutant(prog: GenProgram, mutant: Mutant, check: CheckResult
                 prog.template, prog.params, mutant,
                 MutantVerdict.SURVIVED_DEMONSTRATED, index=prog.index,
                 ub_class=ub,
-                detail=f"accepted mutant exhibits {ub} at runtime")
+                detail=f"accepted mutant exhibits {ub} at runtime",
+                signature=check.signature)
     return MutantResult(prog.template, prog.params, mutant,
                         MutantVerdict.SURVIVED_UNDEMONSTRATED,
                         index=prog.index,
-                        detail="accepted; no UB witness demonstrated")
+                        detail="accepted; no UB witness demonstrated",
+                        signature=check.signature)
 
 
 def evaluate_mutants(progs: Sequence[GenProgram], jobs: int = 1,
-                     limit: Optional[int] = None) -> list[MutantResult]:
+                     limit: Optional[int] = None, coverage: bool = False,
+                     witness_killed: bool = False,
+                     session: Optional[PoolSession] = None
+                     ) -> list[MutantResult]:
     """Check every mutant of every program (up to ``limit`` per program)
     as one driver batch, then grade survivors with their witnesses."""
     work: list[tuple[str, GenProgram, Mutant]] = []
@@ -88,6 +107,8 @@ def evaluate_mutants(progs: Sequence[GenProgram], jobs: int = 1,
         for mutant in chosen:
             work.append((f"p{i}:{mutant.name}", prog, mutant))
     checks = check_batch([(key, _as_program(prog, mutant))
-                          for key, prog, mutant in work], jobs=jobs)
-    return [grade_mutant(prog, mutant, checks[key])
+                          for key, prog, mutant in work], jobs=jobs,
+                         coverage=coverage, session=session)
+    return [grade_mutant(prog, mutant, checks[key],
+                         witness_killed=witness_killed)
             for key, prog, mutant in work]

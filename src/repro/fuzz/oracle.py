@@ -24,10 +24,11 @@ from typing import Optional, Sequence
 
 from ..caesium.eval import FuelExhausted
 from ..caesium.values import UndefinedBehavior
-from ..driver import DriverConfig, Unit, run_units
+from ..driver import DriverConfig, PoolSession, Unit, run_units
 from ..lang.elaborate import elaborate_source
 from ..lithium.search import VerificationError
 from ..refinedc.checker import TypedProgram
+from ..trace.signature import signature_of
 from .generator import DEFAULT_FUEL, TEMPLATES, GenProgram, SpecViolation
 
 
@@ -50,6 +51,9 @@ class CheckResult:
     verdict: CheckVerdict
     detail: str = ""                   # first error / traceback summary
     tp: Optional[TypedProgram] = None  # present when elaboration succeeded
+    #: coverage signature of the check (rule/search/solver keys distilled
+    #: from the trace); only populated when checking with ``coverage=True``
+    signature: Optional[frozenset] = None
 
 
 @dataclass
@@ -73,12 +77,19 @@ def _first_failure(result) -> str:
     return ""
 
 
-def check_program(prog: GenProgram) -> CheckResult:
-    """Serial reference path: verify one generated program."""
-    return _check_serial(prog)
+def check_program(prog: GenProgram, coverage: bool = False) -> CheckResult:
+    """Serial reference path: verify one generated program.
+
+    With ``coverage=True`` the check runs under tracing and the result
+    carries the distilled coverage signature."""
+    return _check_serial(prog, coverage=coverage)
 
 
-def _check_serial(prog: GenProgram) -> CheckResult:
+def _signature(result) -> Optional[frozenset]:
+    return signature_of(result.trace) if result.trace is not None else None
+
+
+def _check_serial(prog: GenProgram, coverage: bool = False) -> CheckResult:
     try:
         tp = elaborate_source(prog.source)
     except Exception:
@@ -89,26 +100,36 @@ def _check_serial(prog: GenProgram) -> CheckResult:
     try:
         result, _ = run_units(
             [Unit(key="fuzz", source=prog.source, tp=tp)],
-            DriverConfig(jobs=1))["fuzz"]
+            DriverConfig(jobs=1, trace=coverage))["fuzz"]
     except VerificationError as e:
         return CheckResult(CheckVerdict.REJECTED, str(e), tp)
     except Exception:
         return CheckResult(CheckVerdict.CRASH,
                            traceback.format_exc(limit=4), tp)
     if result.ok:
-        return CheckResult(CheckVerdict.ACCEPTED, tp=tp)
-    return CheckResult(CheckVerdict.REJECTED, _first_failure(result), tp)
+        return CheckResult(CheckVerdict.ACCEPTED, tp=tp,
+                           signature=_signature(result))
+    return CheckResult(CheckVerdict.REJECTED, _first_failure(result), tp,
+                       signature=_signature(result))
 
 
-def check_batch(progs: Sequence[tuple[str, GenProgram]],
-                jobs: int = 1) -> dict[str, CheckResult]:
+def check_batch(progs: Sequence[tuple[str, GenProgram]], jobs: int = 1,
+                coverage: bool = False,
+                session: Optional[PoolSession] = None
+                ) -> dict[str, CheckResult]:
     """Verify a batch of generated programs on the driver's process pool.
 
     ``progs`` is a sequence of ``(key, program)`` pairs with unique keys.
     With ``jobs > 1`` all functions of all programs load-balance on one
-    pool.  If the pooled run blows up (a checker crash takes the whole
-    pool down), every program is retried serially so the crash is
-    *attributed* to the program that caused it."""
+    pool — a warm caller-owned ``session`` skips pool cold-start per
+    batch.  If the pooled run blows up (a checker crash takes the whole
+    pool down), the session is reset and every program is retried
+    serially so the crash is *attributed* to the program that caused it.
+
+    With ``coverage=True`` checks run under tracing and every result
+    carries its coverage signature; signatures are deterministic across
+    ``jobs`` and across the serial fallback (the trace determinism
+    contract)."""
     units, out = [], {}
     tps: dict[str, TypedProgram] = {}
     for key, prog in progs:
@@ -122,20 +143,27 @@ def check_batch(progs: Sequence[tuple[str, GenProgram]],
         units.append(Unit(key=key, source=prog.source, tp=tp))
     if units:
         try:
-            results = run_units(units, DriverConfig(jobs=jobs))
+            results = run_units(units, DriverConfig(jobs=jobs,
+                                                    trace=coverage),
+                                session=session)
             for key, (result, _metrics) in results.items():
                 if result.ok:
                     out[key] = CheckResult(CheckVerdict.ACCEPTED,
-                                           tp=tps[key])
+                                           tp=tps[key],
+                                           signature=_signature(result))
                 else:
                     out[key] = CheckResult(CheckVerdict.REJECTED,
-                                           _first_failure(result), tps[key])
+                                           _first_failure(result), tps[key],
+                                           signature=_signature(result))
         except Exception:
-            # Pool-level failure: attribute per program on the serial
-            # reference path.
+            # Pool-level failure: drop the poisoned pool, then attribute
+            # per program on the serial reference path.
+            if session is not None:
+                session.reset()
             by_key = dict(progs)
             for unit in units:
-                out[unit.key] = _check_serial(by_key[unit.key])
+                out[unit.key] = _check_serial(by_key[unit.key],
+                                              coverage=coverage)
     return out
 
 

@@ -351,8 +351,11 @@ class SearchState:
                 # Rule spans live in the "rule" category and are *named*
                 # after the typing rule, so the Chrome view and the
                 # per-rule profile read directly in paper vocabulary.
+                # ``key`` is the goal's full dispatch key — the (judgment,
+                # type-constructor) pair coverage signatures are built on.
                 tr.begin("rule", rule.name, judgment=f.describe(),
-                         goal=type(f).__name__)
+                         goal=type(f).__name__,
+                         key=":".join(str(c) for c in f.dispatch_key()))
             try:
                 premise = rule.apply(f, self)
                 self._run(premise)

@@ -30,6 +30,8 @@ the merged per-function buffers are exposed as
 from .chrome import (chrome_trace, to_jsonl, validate_chrome_trace,
                      write_chrome_trace, write_jsonl)
 from .profile import SelfProfile, build_profile, render_profile, trace_summary
+from .signature import (RULE_PREFIX, SIGNATURE_SCHEMA_VERSION, rule_keys,
+                        signature_of)
 from .stuck import StuckGoalReport, build_stuck_report
 from .tracer import (FunctionTrace, TraceEvent, Tracer, UnitTrace,
                      current_tracer, merge_function_traces, set_current,
@@ -37,6 +39,8 @@ from .tracer import (FunctionTrace, TraceEvent, Tracer, UnitTrace,
 
 __all__ = [
     "FunctionTrace",
+    "RULE_PREFIX",
+    "SIGNATURE_SCHEMA_VERSION",
     "SelfProfile",
     "StuckGoalReport",
     "TraceEvent",
@@ -48,7 +52,9 @@ __all__ = [
     "current_tracer",
     "merge_function_traces",
     "render_profile",
+    "rule_keys",
     "set_current",
+    "signature_of",
     "to_jsonl",
     "trace_env_enabled",
     "trace_summary",

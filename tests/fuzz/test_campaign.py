@@ -35,9 +35,30 @@ def test_campaign_is_pure_function_of_seed():
 def test_stats_json_is_serializable_and_versioned():
     stats = run_campaign(CampaignConfig(seed=1, count=6, trials=2))
     blob = json.loads(stats.to_json())
-    assert blob["schema_version"] >= 1
+    assert blob["fuzz_schema_version"] == 2
+    assert "schema_version" not in blob          # the v1 spelling is gone
     assert blob["programs"] == 6
     assert "per_template" in blob
+    assert blob["coverage"]["coverage_schema_version"] >= 1
+    assert blob["rounds"] >= 1
+
+
+def test_stats_roundtrip_through_json():
+    from repro.fuzz import CampaignStats
+    stats = run_campaign(CampaignConfig(seed=1, count=6, trials=2))
+    back = CampaignStats.from_dict(json.loads(stats.to_json()))
+    assert back.to_dict(deterministic=True) == \
+        stats.to_dict(deterministic=True)
+
+
+def test_budget_campaign_replays_from_count():
+    budget = run_campaign(CampaignConfig(seed=3, budget_s=2.0, trials=2,
+                                         round_size=8))
+    assert budget.programs >= 8
+    replay = run_campaign(CampaignConfig(seed=3, count=budget.programs,
+                                         trials=2, round_size=8))
+    assert replay.to_dict(deterministic=True) == \
+        budget.to_dict(deterministic=True)
 
 
 def test_mutation_kill_rate_on_fixed_sample():

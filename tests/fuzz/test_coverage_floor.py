@@ -1,0 +1,71 @@
+"""Coverage-floor regression: the seeded CI campaign must keep
+exercising every rule signature pinned in ``coverage_baseline.json``.
+
+A shrinking signature set means a checker change silently stopped
+reaching rules (or a generator change stopped producing the programs
+that exercise them) — the kind of regression a green test suite does
+not catch on its own.  The failure message names exactly the keys that
+went missing.
+
+Regenerate the baseline only when coverage is *intentionally* expected
+to change:
+
+    PYTHONPATH=src python scripts/fuzz.py --count 24 --round-size 8 \
+        --seed 0 --stats /tmp/fuzz.json
+    # then copy stats["coverage"]["keys"] into coverage_baseline.json
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import CampaignConfig, run_campaign
+from repro.fuzz.coverage import COVERAGE_SCHEMA_VERSION
+
+pytestmark = pytest.mark.fuzz
+
+BASELINE_PATH = Path(__file__).parent / "coverage_baseline.json"
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    blob = json.loads(BASELINE_PATH.read_text())
+    assert blob["coverage_schema_version"] == COVERAGE_SCHEMA_VERSION
+    return blob
+
+
+@pytest.fixture(scope="module")
+def campaign(baseline):
+    gen = baseline["generated_by"]
+    return run_campaign(CampaignConfig(
+        seed=gen["seed"], count=gen["count"],
+        round_size=gen["round_size"], steer=gen["steer"],
+        trials=gen["trials"], coverage=True))
+
+
+def test_baseline_is_pinned_and_nontrivial(baseline):
+    keys = baseline["keys"]
+    assert len(keys) >= 50
+    assert keys == sorted(keys)
+    assert any(k.startswith("rule:") for k in keys)
+    assert any(k.startswith("ub:") for k in keys)
+
+
+def test_campaign_meets_the_coverage_floor(baseline, campaign):
+    missing = campaign.coverage.missing(baseline["keys"])
+    assert not missing, (
+        "coverage floor regression — these pinned signatures are no "
+        "longer exercised by the seeded campaign:\n  "
+        + "\n  ".join(missing)
+        + "\nIf this is an intentional rule/generator change, "
+        "regenerate tests/fuzz/coverage_baseline.json (see module "
+        "docstring); otherwise the checker lost reachability.")
+
+
+def test_floor_diff_mechanism_reports_missing_keys(baseline, campaign):
+    # the diff really is a diff: spiking the baseline must surface
+    # exactly the spiked key
+    spiked = baseline["keys"] + ["rule:imaginary:RULE-NOT-REAL"]
+    missing = campaign.coverage.missing(spiked)
+    assert missing == ["rule:imaginary:RULE-NOT-REAL"]

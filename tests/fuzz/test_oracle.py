@@ -115,3 +115,82 @@ class TestWitness:
             # unsigned wrap-around is defined behavior: no runtime UB
             # witness exists for any loop_sum mutant
             assert not mutant.has_witness
+
+
+class TestPoolCrashFallback:
+    """A non-``VerificationError`` escaping the pooled batch must not
+    lose the batch: the oracle resets the session, retries every program
+    serially, and attributes the crash to the program that caused it —
+    a robustness bug, not a lost round."""
+
+    def _progs(self, n=3):
+        return [(f"p{i}", generate_program(0, i)) for i in range(n)]
+
+    def test_pool_failure_retries_serially_with_identical_verdicts(
+            self, monkeypatch):
+        import repro.fuzz.oracle as oracle_mod
+        real = oracle_mod.run_units
+        progs = self._progs()
+        expected = {key: check_program(p).verdict for key, p in progs}
+        calls = {"batch": 0}
+
+        def exploding(units, config, *args, **kwargs):
+            if len(units) > 1:          # the pooled batch call
+                calls["batch"] += 1
+                raise RuntimeError("worker died mid-batch")
+            return real(units, config, *args, **kwargs)
+
+        monkeypatch.setattr(oracle_mod, "run_units", exploding)
+        out = check_batch(progs, jobs=2)
+        assert calls["batch"] == 1
+        assert {k: r.verdict for k, r in out.items()} == expected
+
+    def test_pool_failure_resets_the_session(self, monkeypatch):
+        import repro.fuzz.oracle as oracle_mod
+        from repro.driver import PoolSession
+        real = oracle_mod.run_units
+        progs = self._progs()
+        armed = {"on": False}
+
+        def exploding(units, config, *args, **kwargs):
+            if armed["on"] and len(units) > 1:
+                raise RuntimeError("worker died mid-batch")
+            return real(units, config, *args, **kwargs)
+
+        monkeypatch.setattr(oracle_mod, "run_units", exploding)
+        with PoolSession(2) as session:
+            # first batch warms the pool; then a poisoned batch must
+            # tear it down so later batches get a fresh one
+            check_batch(progs, jobs=2, session=session)
+            armed["on"] = True
+            out = check_batch(progs, jobs=2, session=session)
+            assert session.resets == 1
+            armed["on"] = False
+            again = check_batch(progs, jobs=2, session=session)
+        assert all(r.verdict is CheckVerdict.ACCEPTED
+                   for r in out.values())
+        assert all(r.verdict is CheckVerdict.ACCEPTED
+                   for r in again.values())
+
+    def test_crashing_program_is_classified_as_robustness_bug(
+            self, monkeypatch):
+        import repro.fuzz.oracle as oracle_mod
+        real = oracle_mod.run_units
+        progs = self._progs()
+        poison_source = progs[1][1].source
+
+        def exploding(units, config, *args, **kwargs):
+            # the poisoned program kills whatever pool runs it — the
+            # batch first, then its own serial retry
+            if any(u.source == poison_source for u in units):
+                raise RuntimeError("interpreter segfault")
+            return real(units, config, *args, **kwargs)
+
+        monkeypatch.setattr(oracle_mod, "run_units", exploding)
+        out = check_batch(progs, jobs=2, coverage=True)
+        assert out["p1"].verdict is CheckVerdict.CRASH
+        assert "interpreter segfault" in out["p1"].detail
+        # innocent neighbours keep their verdicts and their coverage
+        for key in ("p0", "p2"):
+            assert out[key].verdict is CheckVerdict.ACCEPTED
+            assert out[key].signature

@@ -1,0 +1,120 @@
+"""The shard/merge protocol: campaigns are byte-identical across shard
+counts, and distributed per-shard stats merge back into exactly the
+in-process campaign."""
+
+import json
+
+import pytest
+
+from repro.fuzz import (CampaignConfig, CampaignStats, Finding,
+                        finalize_findings, merge_shard_stats, run_campaign,
+                        run_shard_campaign)
+
+pytestmark = pytest.mark.fuzz
+
+
+def _cfg(**kw):
+    base = dict(seed=0, count=12, trials=2, round_size=6, coverage=True)
+    base.update(kw)
+    return CampaignConfig(**base)
+
+
+def test_in_process_sharding_is_byte_identical():
+    one = run_campaign(_cfg(shards=1))
+    four = run_campaign(_cfg(shards=4))
+    assert one.to_json(deterministic=True) == \
+        four.to_json(deterministic=True)
+
+
+def test_in_process_sharding_is_byte_identical_when_steered():
+    # steering weights are computed at round barriers from the merged
+    # coverage of completed rounds, so they cannot depend on sharding
+    one = run_campaign(_cfg(shards=1, steer=True))
+    three = run_campaign(_cfg(shards=3, steer=True))
+    assert one.to_json(deterministic=True) == \
+        three.to_json(deterministic=True)
+
+
+def test_sharding_files_identical_corpus_entries(tmp_path):
+    # force findings by disabling shrink-resistant clean behaviour: use
+    # a campaign over a template mix known to stay clean, then compare
+    # the corpus dirs — both empty is still "identical", and if a future
+    # checker regression produces findings, dedup + central filing must
+    # keep the two dirs in lockstep.
+    d1, d4 = tmp_path / "s1", tmp_path / "s4"
+    one = run_campaign(_cfg(shards=1, write_corpus=True, corpus_dir=d1))
+    four = run_campaign(_cfg(shards=4, write_corpus=True, corpus_dir=d4))
+
+    files1 = sorted(p.name for p in d1.glob("*.json")) if d1.exists() else []
+    files4 = sorted(p.name for p in d4.glob("*.json")) if d4.exists() else []
+    assert files1 == files4
+    for name in files1:
+        assert (d1 / name).read_text() == (d4 / name).read_text()
+    assert one.corpus_written == four.corpus_written
+    assert one.corpus_deduped == four.corpus_deduped
+
+
+def test_distributed_merge_equals_in_process_blind():
+    cfg = _cfg(shards=4, steer=False)
+    shards = [run_shard_campaign(cfg, k) for k in range(4)]
+    assert sum(s.programs for s in shards) == cfg.count
+    merged = merge_shard_stats(shards, cfg)
+    in_process = run_campaign(cfg)
+    assert merged.to_json(deterministic=True) == \
+        in_process.to_json(deterministic=True)
+
+
+def test_shard_stats_roundtrip_through_json():
+    cfg = _cfg(shards=2, steer=False)
+    shards = [run_shard_campaign(cfg, k) for k in range(2)]
+    revived = [CampaignStats.from_dict(json.loads(s.to_json()))
+               for s in shards]
+    merged = merge_shard_stats(revived, cfg)
+    assert merged.to_json(deterministic=True) == \
+        merge_shard_stats(shards, cfg).to_json(deterministic=True)
+
+
+def test_merge_rejects_incomplete_and_mismatched_shards():
+    cfg = _cfg(shards=3, steer=False)
+    shards = [run_shard_campaign(cfg, k) for k in range(2)]  # missing 2
+    with pytest.raises(ValueError, match="missing shards"):
+        merge_shard_stats(shards, cfg)
+    with pytest.raises(ValueError, match="duplicate"):
+        merge_shard_stats([shards[0], shards[0]], cfg)
+    other = run_shard_campaign(_cfg(seed=99, shards=3, steer=False), 2)
+    with pytest.raises(ValueError, match="different campaign"):
+        merge_shard_stats(shards + [other], cfg)
+
+
+def test_finalize_dedups_corpus_by_signature_key(tmp_path):
+    # two findings that reduce to the same (kind, template, mutant,
+    # UB class, params) are one bug: one corpus entry, one dedup tick —
+    # whichever shard surfaced each copy
+    params = {"a": 3, "b": 1}
+    stats = CampaignStats(seed=0)
+    stats.findings = [
+        Finding("mutant-survivor", "div", dict(params), index=9,
+                mutant="drop-req-bpos", detail="copy from shard 1"),
+        Finding("mutant-survivor", "div", dict(params), index=2,
+                mutant="drop-req-bpos", detail="copy from shard 0"),
+        Finding("mutant-survivor", "div", {"a": 7, "b": 2}, index=5,
+                mutant="drop-req-bpos", detail="a different bug"),
+    ]
+    cfg = CampaignConfig(seed=0, count=12, shrink=False, write_corpus=True,
+                         corpus_dir=tmp_path)
+    finalize_findings(stats, cfg)
+    assert [f.index for f in stats.findings] == [2, 5, 9]  # sorted
+    assert stats.corpus_written == 2
+    assert stats.corpus_deduped == 1
+    assert len(list(tmp_path.glob("*.json"))) == 2
+    # the surviving entry for the duplicated bug is the lowest-index one
+    filed = [f for f in stats.findings if f.corpus_path]
+    assert sorted(f.index for f in filed) == [2, 5]
+
+
+def test_shard_campaign_rejects_bad_shard_ids_and_time_budgets():
+    with pytest.raises(ValueError, match="outside"):
+        run_shard_campaign(_cfg(shards=2), 2)
+    with pytest.raises(ValueError, match="count budget"):
+        run_shard_campaign(CampaignConfig(seed=0, budget_s=1.0, shards=2),
+                           0)

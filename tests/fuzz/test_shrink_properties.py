@@ -1,0 +1,138 @@
+"""Property tests for the shrinker (Hypothesis).
+
+The two contracts a shrinker must keep for auto-filed findings to be
+trustworthy regression tests:
+
+* **verdict preservation** — the shrunk params still fail the same way
+  (same oracle verdict, and for witness-backed findings the same UB
+  class), otherwise the corpus entry pins a different bug than the one
+  found;
+* **idempotence** — ``shrink(shrink(p)) == shrink(p)`` when the check
+  budget is large enough for the greedy descent to converge; a second
+  pass finding more to cut would mean campaigns file non-minimal
+  entries depending on scheduling.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fuzz.generator import TEMPLATES, GenProgram
+from repro.fuzz.oracle import CheckVerdict, check_program, run_witness
+from repro.fuzz.shrink import shrink_params
+
+pytestmark = pytest.mark.fuzz
+
+# enough for the greedy descent to run to a fixpoint on every template's
+# parameter space — idempotence only holds for converged shrinks
+CONVERGED = 10_000
+
+
+def _sample(template_name: str, seed: int) -> dict:
+    template = TEMPLATES[template_name]
+    return template.sample_params(random.Random(f"shrinkprop:{seed}"))
+
+
+def _mutant_program(template_name: str, mutant_name: str,
+                    params: dict) -> GenProgram:
+    prog = TEMPLATES[template_name].build(params)
+    mutant = next(m for m in prog.mutants if m.name == mutant_name)
+    return GenProgram(template=prog.template, params=prog.params,
+                      index=prog.index, source=mutant.source,
+                      entry=prog.entry, concurrent=prog.concurrent)
+
+
+@settings(max_examples=8, deadline=None, database=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_shrunk_params_preserve_checker_verdict(seed):
+    # the div template's drop-req-bpos mutant is reliably rejected: the
+    # canonical "killed mutant" finding
+    params = _sample("div", seed)
+
+    def still_fails(p):
+        return check_program(
+            _mutant_program("div", "drop-req-bpos", p)
+        ).verdict is CheckVerdict.REJECTED
+
+    assert still_fails(params), "precondition: the mutant must be killed"
+    shrunk, checks = shrink_params("div", params, still_fails,
+                                   max_checks=CONVERGED)
+    assert still_fails(shrunk)
+    assert checks <= CONVERGED
+    # shrinking never grows a parameter past its starting point
+    for key, value in shrunk.items():
+        if isinstance(value, int) and not isinstance(value, bool):
+            assert value <= params[key]
+
+
+@settings(max_examples=6, deadline=None, database=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_shrunk_params_preserve_ub_class(seed):
+    # witness-backed finding: shrinking must keep demonstrating the
+    # *same* UB class, not merely any failure
+    params = _sample("div", seed)
+    check = check_program(TEMPLATES["div"].build(params))
+    assert check.verdict is CheckVerdict.ACCEPTED and check.tp is not None
+    ub = run_witness("div", "drop-req-bpos", params, check.tp)
+    assert ub is not None, "precondition: the witness demonstrates UB"
+
+    def same_ub(p):
+        c = check_program(TEMPLATES["div"].build(p))
+        if c.verdict is not CheckVerdict.ACCEPTED or c.tp is None:
+            return False
+        return run_witness("div", "drop-req-bpos", p, c.tp) == ub
+
+    shrunk, _ = shrink_params("div", params, same_ub,
+                              max_checks=CONVERGED)
+    assert same_ub(shrunk)
+
+
+@settings(max_examples=8, deadline=None, database=None)
+@given(template=st.sampled_from(["div", "arith", "loop_sum"]),
+       seed=st.integers(min_value=0, max_value=10_000))
+def test_converged_shrink_is_idempotent(template, seed):
+    params = _sample(template, seed)
+
+    def always_fails(p):
+        # predicate-independence: idempotence is a property of the
+        # descent itself, so use the most permissive failure predicate
+        return True
+
+    once, _ = shrink_params(template, params, always_fails,
+                            max_checks=CONVERGED)
+    twice, extra = shrink_params(template, once, always_fails,
+                                 max_checks=CONVERGED)
+    assert twice == once
+    # and with everything at its floor, the second pass is nearly free
+    assert extra <= len(once)
+
+
+@settings(max_examples=8, deadline=None, database=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_idempotent_under_real_predicate(seed):
+    params = _sample("div", seed)
+
+    def still_fails(p):
+        return check_program(
+            _mutant_program("div", "drop-req-bpos", p)
+        ).verdict is CheckVerdict.REJECTED
+
+    once, _ = shrink_params("div", params, still_fails,
+                            max_checks=CONVERGED)
+    twice, _ = shrink_params("div", once, still_fails,
+                             max_checks=CONVERGED)
+    assert twice == once
+
+
+def test_truncated_shrink_is_not_trusted_as_minimal():
+    # a tiny max_checks can stop mid-descent; campaigns therefore always
+    # converge before filing (finalize_findings uses the default budget
+    # on re-shrink, and the property above pins convergence semantics)
+    params = {"a": 1_000_000, "b": 900_000}
+    once, checks = shrink_params("arith", params, lambda p: True,
+                                 max_checks=1)
+    assert checks == 1
+    again, _ = shrink_params("arith", once, lambda p: True,
+                             max_checks=CONVERGED)
+    assert again != once or once == params
