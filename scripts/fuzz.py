@@ -267,11 +267,16 @@ def do_merge(args) -> int:
     shards = [CampaignStats.from_dict(json.loads(p.read_text()))
               for p in args.merge]
     cfg = build_config(args)
+    # The merge's shrink predicates must reproduce the shard runs'
+    # conditions, so every shrink-relevant knob (seed, trials, fuel,
+    # mutant budget) comes from the shard stats, never the merge's own
+    # command line.
     cfg = CampaignConfig(**{**cfg.__dict__, "seed": shards[0].seed,
                             "trials": shards[0].trials,
                             "shards": shards[0].shards,
                             "round_size": shards[0].round_size,
-                            "mutant_limit": shards[0].mutant_limit})
+                            "mutant_limit": shards[0].mutant_limit,
+                            "fuel": shards[0].fuel})
     merged = merge_shard_stats(shards, cfg)
     print(f"merged {len(shards)} shards: {merged.summary()}")
     write_stats(args, merged)

@@ -54,7 +54,13 @@ from .shrink import shrink_params
 
 #: v2: ``fuzz_schema_version`` replaces v1's ``schema_version``; adds the
 #: ``coverage`` block, round/steering fields and corpus dedup counters.
-FUZZ_SCHEMA_VERSION = 2
+#: v3: records ``fuel`` (shard stats must carry every shrink-relevant
+#: knob so a central ``--merge`` reproduces findings without repeating
+#: the shard command line); the corpus-filing fields (``corpus_written``,
+#: ``corpus_deduped``, per-finding ``corpus_path``) move out of the
+#: deterministic view — whether findings were persisted is a fact about
+#: the run, not the computed campaign.
+FUZZ_SCHEMA_VERSION = 3
 
 DEFAULT_ROUND_SIZE = 16
 
@@ -102,13 +108,17 @@ class Finding:
     shrink_checks: int = 0
     corpus_path: Optional[str] = None
 
-    def to_dict(self) -> dict:
-        return {"kind": self.kind, "template": self.template,
-                "params": self.params, "index": self.index,
-                "mutant": self.mutant, "ub_class": self.ub_class,
-                "detail": self.detail, "shrunk_params": self.shrunk_params,
-                "shrink_checks": self.shrink_checks,
-                "corpus_path": self.corpus_path}
+    def to_dict(self, deterministic: bool = False) -> dict:
+        d = {"kind": self.kind, "template": self.template,
+             "params": self.params, "index": self.index,
+             "mutant": self.mutant, "ub_class": self.ub_class,
+             "detail": self.detail, "shrunk_params": self.shrunk_params,
+             "shrink_checks": self.shrink_checks}
+        if not deterministic:
+            # Where (and whether) the finding was filed depends on the
+            # run's --write-corpus/--corpus flags, not on the seed.
+            d["corpus_path"] = self.corpus_path
+        return d
 
     @classmethod
     def from_dict(cls, d: Mapping) -> "Finding":
@@ -149,6 +159,7 @@ class CampaignStats:
     trials: int = 0
     templates: list[str] = field(default_factory=list)
     mutant_limit: Optional[int] = None
+    fuel: int = DEFAULT_FUEL
 
     programs: int = 0
     rounds: int = 0
@@ -207,6 +218,7 @@ class CampaignStats:
             "trials": self.trials,
             "templates": list(self.templates),
             "mutant_limit": self.mutant_limit,
+            "fuel": self.fuel,
             "programs": self.programs,
             "rounds": self.rounds,
             "accepted": self.accepted,
@@ -227,26 +239,28 @@ class CampaignStats:
             "mutant_crashes": self.mutant_crashes,
             "soundness_violations": self.soundness_violations,
             "shrink_checks": self.shrink_checks,
-            "corpus_written": self.corpus_written,
-            "corpus_deduped": self.corpus_deduped,
             "per_template": {k: dict(sorted(v.items()))
                              for k, v in sorted(self.per_template.items())},
-            "findings": [f.to_dict() for f in self.findings],
+            "findings": [f.to_dict(deterministic) for f in self.findings],
             "coverage": self.coverage.to_dict() if self.coverage_on
             else None,
             "ok": self.ok,
         }
         if not deterministic:
             # How the budget was specified, how the work was spread over
-            # processes/shards and how long it took are facts about the
-            # *run*, not the computed campaign — a budget run and its
-            # count replay, and a 1-shard and a 4-shard run, must agree
-            # on everything else.
+            # processes/shards, how long it took, and whether findings
+            # were persisted to a corpus are facts about the *run*, not
+            # the computed campaign — a budget run and its count replay,
+            # a 1-shard and a 4-shard run, and a --write-corpus run and
+            # its corpus-less --verify-replay, must agree on everything
+            # else.
             d["mode"] = self.mode
             d["jobs"] = self.jobs
             d["shards"] = self.shards
             if self.shard is not None:
                 d["shard"] = self.shard
+            d["corpus_written"] = self.corpus_written
+            d["corpus_deduped"] = self.corpus_deduped
             d["wall_s"] = round(self.wall_s, 3)
             d["pool_batches"] = self.pool_batches
             d["pool_resets"] = self.pool_resets
@@ -270,7 +284,8 @@ class CampaignStats:
                 coverage_on=d.get("coverage_on", True),
                 trials=d.get("trials", 0),
                 templates=list(d.get("templates", [])),
-                mutant_limit=d.get("mutant_limit"))
+                mutant_limit=d.get("mutant_limit"),
+                fuel=int(d.get("fuel", DEFAULT_FUEL)))
         for name in ("programs", "rounds", "accepted", "rejected",
                      "checker_crashes", "exec_trials", "exec_passes",
                      "exec_inconclusive", "exec_errors", "ub_violations",
@@ -548,7 +563,8 @@ def run_campaign(cfg: Optional[CampaignConfig] = None) -> CampaignStats:
         seed=cfg.seed, mode="budget" if cfg.count is None else "count",
         jobs=cfg.jobs, shards=cfg.shards, round_size=cfg.round_size,
         steered=steered, coverage_on=cfg.coverage,
-        trials=cfg.trials, templates=names, mutant_limit=cfg.mutant_limit)
+        trials=cfg.trials, templates=names, mutant_limit=cfg.mutant_limit,
+        fuel=cfg.fuel)
     steering = SteeringState() if steered else None
     session = PoolSession(cfg.jobs) if cfg.jobs > 1 else None
     t0 = time.perf_counter()
@@ -612,7 +628,7 @@ def run_shard_campaign(cfg: CampaignConfig, shard: int) -> CampaignStats:
         seed=cfg.seed, mode="shard", jobs=cfg.jobs, shards=cfg.shards,
         shard=shard, round_size=cfg.round_size, steered=False,
         coverage_on=cfg.coverage, trials=cfg.trials, templates=names,
-        mutant_limit=cfg.mutant_limit)
+        mutant_limit=cfg.mutant_limit, fuel=cfg.fuel)
     session = PoolSession(cfg.jobs) if cfg.jobs > 1 else None
     t0 = time.perf_counter()
     idx = round_no = 0
@@ -651,13 +667,14 @@ def merge_shard_stats(shard_stats: Sequence[CampaignStats],
         seed=first.seed, mode="merged", jobs=first.jobs,
         shards=first.shards, round_size=first.round_size, steered=False,
         coverage_on=first.coverage_on, trials=first.trials,
-        templates=list(first.templates), mutant_limit=first.mutant_limit)
+        templates=list(first.templates), mutant_limit=first.mutant_limit,
+        fuel=first.fuel)
     for s in shard_stats:
         ident = (s.seed, s.shards, s.round_size, tuple(s.templates),
-                 s.trials, s.mutant_limit, s.coverage_on)
+                 s.trials, s.mutant_limit, s.coverage_on, s.fuel)
         want = (first.seed, first.shards, first.round_size,
                 tuple(first.templates), first.trials, first.mutant_limit,
-                first.coverage_on)
+                first.coverage_on, first.fuel)
         if ident != want:
             raise ValueError(f"shard {s.shard} belongs to a different "
                              f"campaign: {ident} != {want}")

@@ -102,10 +102,14 @@ def evaluate_mutants(progs: Sequence[GenProgram], jobs: int = 1,
     """Check every mutant of every program (up to ``limit`` per program)
     as one driver batch, then grade survivors with their witnesses."""
     work: list[tuple[str, GenProgram, Mutant]] = []
-    for i, prog in enumerate(progs):
+    for prog in progs:
         chosen = prog.mutants[:limit] if limit is not None else prog.mutants
         for mutant in chosen:
-            work.append((f"p{i}:{mutant.name}", prog, mutant))
+            # Key by the campaign-global program index, never the position
+            # within this call: a warm PoolSession memoises elaborated
+            # programs per unit key across batches, so a repeating key
+            # would silently serve a stale elaboration to a later round.
+            work.append((f"p{prog.index}:{mutant.name}", prog, mutant))
     checks = check_batch([(key, _as_program(prog, mutant))
                           for key, prog, mutant in work], jobs=jobs,
                          coverage=coverage, session=session)

@@ -33,11 +33,13 @@ def test_campaign_is_pure_function_of_seed():
 
 
 def test_stats_json_is_serializable_and_versioned():
-    stats = run_campaign(CampaignConfig(seed=1, count=6, trials=2))
+    stats = run_campaign(CampaignConfig(seed=1, count=6, trials=2,
+                                        fuel=12345))
     blob = json.loads(stats.to_json())
-    assert blob["fuzz_schema_version"] == 2
+    assert blob["fuzz_schema_version"] == 3
     assert "schema_version" not in blob          # the v1 spelling is gone
     assert blob["programs"] == 6
+    assert blob["fuel"] == 12345                 # shrink knobs ride along
     assert "per_template" in blob
     assert blob["coverage"]["coverage_schema_version"] >= 1
     assert blob["rounds"] >= 1
@@ -59,6 +61,47 @@ def test_budget_campaign_replays_from_count():
                                          trials=2, round_size=8))
     assert replay.to_dict(deterministic=True) == \
         budget.to_dict(deterministic=True)
+
+
+def test_mutant_unit_keys_are_campaign_global(monkeypatch):
+    # The warm PoolSession memoises elaborated programs by unit key
+    # across batches, so keys must never repeat between rounds: a
+    # repeating key would serve round N a stale elaboration from round M.
+    from repro.fuzz import mutator as mutator_mod
+    from repro.fuzz.oracle import CheckResult, CheckVerdict
+    batches = []
+
+    def record_check_batch(progs, jobs=1, coverage=False, session=None):
+        batches.append([key for key, _ in progs])
+        return {key: CheckResult(CheckVerdict.REJECTED)
+                for key, _ in progs}
+
+    monkeypatch.setattr(mutator_mod, "check_batch", record_check_batch)
+    evaluate_mutants([generate_program(0, i) for i in range(4)])
+    evaluate_mutants([generate_program(0, i) for i in range(4, 8)])
+    keys = [k for batch in batches for k in batch]
+    assert keys and len(keys) == len(set(keys))
+
+
+def test_deterministic_view_excludes_corpus_filing():
+    # --write-corpus --verify-replay: the replay runs corpus-less, so
+    # the filing counters and per-finding paths must not participate in
+    # the deterministic comparison.
+    from repro.fuzz import CampaignStats, Finding
+
+    def stats(corpus_path):
+        s = CampaignStats(seed=0)
+        s.findings = [Finding("mutant-survivor", "div", {"a": 2, "b": 1},
+                              index=3, mutant="drop-req-bpos",
+                              corpus_path=corpus_path)]
+        if corpus_path:
+            s.corpus_written, s.corpus_deduped = 1, 2
+        return s
+
+    filed, bare = stats("tests/fuzz/corpus/x.json"), stats(None)
+    assert filed.to_json(deterministic=True) == \
+        bare.to_json(deterministic=True)
+    assert filed.to_json() != bare.to_json()    # the full view keeps them
 
 
 def test_mutation_kill_rate_on_fixed_sample():
