@@ -1,16 +1,22 @@
 #!/usr/bin/env python3
-"""Benchmark the memoized pure-solver pipeline: caches on vs. off.
+"""Benchmark the pure-solver pipeline: caches off / caches on / compiled.
 
-Verifies the Figure-7 case-study suite twice — once with every pure-stack
-cache disabled (``set_cache_enabled(False)``, the reference semantics) and
-once with them enabled (hash-consed terms feeding the simplify / linarith
-/ lists / sets / prove memo tables) — and
+Verifies the Figure-7 case-study suite in three configurations —
+``cache_off`` (every pure-stack cache *and* the ``RC_COMPILE`` fast
+paths disabled: the reference semantics), ``cache_on`` (hash-consed
+terms feeding the simplify / linarith / lists / sets / prove memo
+tables, compiler still off: the previous baseline) and ``compiled``
+(caches plus the compiled hot paths: flat rule dispatch, node-stamped
+closures, integer-matrix Fourier–Motzkin) — and
 
-  1. asserts the two modes are *observationally identical*: per-function
-     outcome, ``Stats.counters()`` and exact error text match byte for
-     byte (the caches may only change speed, never results);
-  2. reports the wall-clock speedup and asserts it meets the threshold
-     (default >=2x, skipped under ``--quick``);
+  1. asserts all three modes are *observationally identical*:
+     per-function outcome, ``Stats.counters()`` and exact error text
+     match byte for byte (caches and compiler may only change speed,
+     never results);
+  2. reports the wall-clock speedups and asserts they meet the
+     thresholds (``--threshold`` for cache_on vs cache_off,
+     ``--compile-threshold`` for compiled vs cache_on; both skipped
+     under ``--quick``);
   3. writes a ``BENCH_solver.json`` artifact (schema shared with
      ``bench_driver.py`` — see ``repro.driver.benchio``);
   4. guards the no-op fast path of ``repro.trace``: with tracing *off*
@@ -20,12 +26,13 @@ once with them enabled (hash-consed terms feeding the simplify / linarith
      recorded on the same platform, so CI runners skip it — and a
      tracing-*on* pass is timed for information.
 
-The asserted ratio is measured on the *checking-phase* wall
-(``search_s + solver_s``) — the phase the caches operate in; parsing and
-elaboration are identical work in both modes.  The total process wall is
-reported alongside.  Every cached repetition starts cold
-(``clear_pure_caches()``), so the ratio reflects within-suite redundancy
-only, not warm re-runs.
+The asserted ratios are measured on the *checking-phase* wall
+(``search_s + solver_s``) — the phase the caches and the compiler
+operate in; parsing and elaboration are identical work in all modes.
+The total process wall is reported alongside.  Every repetition starts
+cold (``clear_pure_caches()``, which also drops the node-stamped
+compiled forms via the intern tables), so the ratios reflect
+within-suite redundancy only, not warm re-runs.
 
 Run:  PYTHONPATH=src python scripts/bench_solver.py [--quick] [--json PATH]
 """
@@ -42,6 +49,8 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 from repro.driver.benchio import (bench_envelope, sample_stats,  # noqa: E402
                                   write_bench_json)
 from repro.frontend import verify_file                         # noqa: E402
+from repro.pure.compiled import (compile_enabled,              # noqa: E402
+                                 set_compile_enabled)
 from repro.pure.memo import (cache_enabled, clear_pure_caches,  # noqa: E402
                              set_cache_enabled)
 from repro.report import (EXTRA_STUDIES, FIGURE7_STUDIES,      # noqa: E402
@@ -58,11 +67,12 @@ def fingerprint(outcomes):
     return fp
 
 
-def run_suite(paths, cached, traced=False):
+def run_suite(paths, cached, traced=False, compiled=False):
     """One cold pass over the suite; returns (total_wall, check_wall,
     outcomes)."""
     set_cache_enabled(cached)
-    if cached:
+    set_compile_enabled(compiled)
+    if cached or compiled:
         clear_pure_caches()
     t0 = time.perf_counter()
     check = 0.0
@@ -91,7 +101,12 @@ def main(argv=None) -> int:
     ap.add_argument("--repeat", type=int, default=None,
                     help="repetitions per mode (default 5; 2 with --quick)")
     ap.add_argument("--threshold", type=float, default=2.0,
-                    help="minimum required checking-phase speedup")
+                    help="minimum required checking-phase speedup, "
+                         "cache_on vs cache_off")
+    ap.add_argument("--compile-threshold", type=float, default=1.3,
+                    help="minimum required checking-phase speedup, "
+                         "compiled vs cache_on (measured ~1.6x on the "
+                         "reference machine; the floor absorbs noise)")
     ap.add_argument("--extras", action="store_true",
                     help="also measure the non-Figure-7 extra studies")
     ap.add_argument("--json", dest="json_path", default="BENCH_solver.json",
@@ -115,20 +130,30 @@ def main(argv=None) -> int:
           f"{' (quick)' if args.quick else ''}")
 
     previous = cache_enabled()
+    previous_compiled = compile_enabled()
     try:
         # Warmup pass per mode (interpreter/import effects), capturing the
-        # fingerprints and the cached-mode telemetry outside the timing.
+        # fingerprints and the per-mode telemetry outside the timing.
         _, _, out_off = run_suite(paths, cached=False)
         _, _, out_on = run_suite(paths, cached=True)
+        _, _, out_jit = run_suite(paths, cached=True, compiled=True)
         fp_off, fp_on = fingerprint(out_off), fingerprint(out_on)
-        identical = fp_off == fp_on
+        fp_jit = fingerprint(out_jit)
+        identical = fp_off == fp_on == fp_jit
         hits = sum(f.solver_cache_hits
                    for o in out_on.values() for f in o.metrics.functions)
         interned = sum(f.terms_interned
                        for o in out_on.values() for f in o.metrics.functions)
+        dispatch_hits = sum(f.dispatch_table_hits
+                            for o in out_jit.values()
+                            for f in o.metrics.functions)
+        compiled_terms = sum(f.terms_compiled
+                             for o in out_jit.values()
+                             for f in o.metrics.functions)
         nfunctions = sum(len(o.result.functions) for o in out_off.values())
 
         off_total, off_check, on_total, on_check = [], [], [], []
+        jit_total, jit_check = [], []
         for _ in range(repeat):
             t, c, _ = run_suite(paths, cached=False)
             off_total.append(t)
@@ -136,6 +161,9 @@ def main(argv=None) -> int:
             t, c, _ = run_suite(paths, cached=True)
             on_total.append(t)
             on_check.append(c)
+            t, c, _ = run_suite(paths, cached=True, compiled=True)
+            jit_total.append(t)
+            jit_check.append(c)
         # Tracing-on cost, for information (same cache-free work, plus
         # the event stream); the *off* path is what the baseline guards.
         run_suite(paths, cached=False, traced=True)     # warmup
@@ -171,18 +199,27 @@ def main(argv=None) -> int:
             trace_regress = regress()
     finally:
         set_cache_enabled(previous)
+        set_compile_enabled(previous_compiled)
 
     speedup_check = min(off_check) / min(on_check)
     speedup_total = min(off_total) / min(on_total)
+    speedup_compile = min(on_check) / min(jit_check)
+    speedup_compile_total = min(on_total) / min(jit_total)
 
     print(f"  cache off: check {min(off_check) * 1e3:8.1f}ms   "
           f"total {min(off_total) * 1e3:8.1f}ms   (best of {repeat})")
     print(f"  cache on:  check {min(on_check) * 1e3:8.1f}ms   "
           f"total {min(on_total) * 1e3:8.1f}ms")
+    print(f"  compiled:  check {min(jit_check) * 1e3:8.1f}ms   "
+          f"total {min(jit_total) * 1e3:8.1f}ms")
     print(f"  speedup:   check {speedup_check:5.2f}x   "
-          f"total {speedup_total:5.2f}x")
+          f"total {speedup_total:5.2f}x   (cache on vs off)")
+    print(f"             check {speedup_compile:5.2f}x   "
+          f"total {speedup_compile_total:5.2f}x   (compiled vs cache on)")
     print(f"  telemetry: {hits} solver-cache hits, "
           f"{interned} terms interned, {nfunctions} functions")
+    print(f"             {dispatch_hits} dispatch-table hits, "
+          f"{compiled_terms} terms compiled")
     trace_cost = (min(traced_check) / min(off_check) - 1.0) * 100.0
     print(f"  tracing:   on {min(traced_check) * 1e3:8.1f}ms   "
           f"({trace_cost:+.1f}% vs off)")
@@ -195,14 +232,18 @@ def main(argv=None) -> int:
 
     failures = []
     if not identical:
-        diffs = [s for s in fp_off if fp_off[s] != fp_on.get(s)]
-        failures.append("cached results differ from cache-free results "
+        diffs = [s for s in fp_off
+                 if fp_off[s] != fp_on.get(s) or fp_off[s] != fp_jit.get(s)]
+        failures.append("cached/compiled results differ from the reference "
                         f"in: {', '.join(diffs)}")
     if not all(o.ok for o in out_off.values()):
         failures.append("reference run has verification failures")
     if not args.quick and speedup_check < args.threshold:
         failures.append(f"checking-phase speedup {speedup_check:.2f}x "
                         f"< {args.threshold:.1f}x")
+    if not args.quick and speedup_compile < args.compile_threshold:
+        failures.append(f"compiled-vs-cached speedup {speedup_compile:.2f}x "
+                        f"< {args.compile_threshold:.1f}x")
     if trace_regress is not None and trace_regress > args.max_trace_overhead:
         failures.append(
             f"tracing-off checking wall regressed {trace_regress:+.1f}% "
@@ -222,6 +263,12 @@ def main(argv=None) -> int:
                 "solver_cache_hits": hits,
                 "terms_interned": interned,
             },
+            "compiled": {
+                "total_wall_s": sample_stats(jit_total),
+                "check_wall_s": sample_stats(jit_check),
+                "dispatch_table_hits": dispatch_hits,
+                "terms_compiled": compiled_terms,
+            },
             "trace_on": {
                 "check_wall_s": sample_stats(traced_check),
             },
@@ -239,6 +286,10 @@ def main(argv=None) -> int:
             "check_wall": round(speedup_check, 3),
             "total_wall": round(speedup_total, 3),
             "threshold": args.threshold if not args.quick else None,
+            "compiled_check_wall": round(speedup_compile, 3),
+            "compiled_total_wall": round(speedup_compile_total, 3),
+            "compiled_threshold": (args.compile_threshold
+                                   if not args.quick else None),
         }
         payload["checks"] = {
             "fingerprint_identical": identical,
@@ -254,10 +305,13 @@ def main(argv=None) -> int:
         for f in failures:
             print(f"  - {f}")
         return 1
-    print("\nOK: cached and cache-free runs are observationally identical"
+    print("\nOK: cache-free, cached and compiled runs are observationally "
+          "identical"
           + ("." if args.quick
-             else f"; speedup {speedup_check:.2f}x >= "
-                  f"{args.threshold:.1f}x."))
+             else f"; speedups {speedup_check:.2f}x >= "
+                  f"{args.threshold:.1f}x (cached), "
+                  f"{speedup_compile:.2f}x >= "
+                  f"{args.compile_threshold:.1f}x (compiled)."))
     return 0
 
 

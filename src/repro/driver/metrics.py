@@ -38,7 +38,13 @@ from typing import Optional
 #       ``functions_clean`` / ``functions_dirty`` / ``results_reused``.
 #       All three are 0 for non-incremental runs, so v3 consumers keep
 #       working unchanged.
-METRICS_SCHEMA_VERSION = 4
+#   5 — compiled hot path (repro.pure.compiled): the per-function and
+#       per-unit records gain ``dispatch_table_hits`` (flat-table rule
+#       dispatch hits) and ``terms_compiled`` (closure forms stamped onto
+#       interned nodes).  Like ``solver_cache_hits``, both are telemetry —
+#       excluded from ``counters`` so outcomes stay byte-identical across
+#       RC_COMPILE settings; both are 0 with the compiler off.
+METRICS_SCHEMA_VERSION = 5
 
 
 @dataclass
@@ -74,6 +80,9 @@ class FunctionMetrics:
     # with the cache configuration while counters stay byte-identical.
     solver_cache_hits: int = 0
     terms_interned: int = 0
+    # Compiled hot path telemetry (schema v5) — same exclusion rationale.
+    dispatch_table_hits: int = 0
+    terms_compiled: int = 0
 
 
 @dataclass
@@ -88,6 +97,8 @@ class DriverMetrics:
     wall_s: float = 0.0           # elapsed checking time (excl. front end)
     solver_cache_hits: int = 0    # summed over live (non-"hit") functions
     terms_interned: int = 0
+    dispatch_table_hits: int = 0  # schema v5, summed like the two above
+    terms_compiled: int = 0
     # Schema v4: incremental re-verification accounting.  ``clean`` =
     # transitive input key unchanged; ``dirty`` = re-checked; ``reused``
     # = cached outcomes restored for clean functions.
@@ -106,10 +117,13 @@ class DriverMetrics:
     def add_function(self, name: str, ok: bool, cache: str, wall_s: float,
                      solver_s: float, counters: dict,
                      solver_cache_hits: int = 0,
-                     terms_interned: int = 0) -> None:
+                     terms_interned: int = 0,
+                     dispatch_table_hits: int = 0,
+                     terms_compiled: int = 0) -> None:
         self.functions.append(
             FunctionMetrics(name, ok, cache, wall_s, solver_s, counters,
-                            solver_cache_hits, terms_interned))
+                            solver_cache_hits, terms_interned,
+                            dispatch_table_hits, terms_compiled))
         if cache == "clean":
             self.functions_clean += 1
             self.results_reused += 1
@@ -122,6 +136,8 @@ class DriverMetrics:
             self.phases.solver_s += solver_s
             self.solver_cache_hits += solver_cache_hits
             self.terms_interned += terms_interned
+            self.dispatch_table_hits += dispatch_table_hits
+            self.terms_compiled += terms_compiled
 
     @property
     def cache_hit_rate(self) -> float:
@@ -167,6 +183,10 @@ class DriverMetrics:
             lines.append(
                 f"engine: {self.solver_cache_hits} solver-cache hit(s), "
                 f"{self.terms_interned} term(s) interned")
+        if self.dispatch_table_hits or self.terms_compiled:
+            lines.append(
+                f"compiled: {self.dispatch_table_hits} dispatch-table "
+                f"hit(s), {self.terms_compiled} term(s) compiled")
         if self.trace is not None:
             solver = self.trace.get("solver", {})
             lines.append(
@@ -197,6 +217,8 @@ def merge_metrics(per_unit: list[DriverMetrics]) -> DriverMetrics:
         total.wall_s += m.wall_s
         total.solver_cache_hits += m.solver_cache_hits
         total.terms_interned += m.terms_interned
+        total.dispatch_table_hits += m.dispatch_table_hits
+        total.terms_compiled += m.terms_compiled
         total.functions_clean += m.functions_clean
         total.functions_dirty += m.functions_dirty
         total.results_reused += m.results_reused

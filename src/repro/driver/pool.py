@@ -68,7 +68,9 @@ def reset_fresh_counters() -> None:
     # and the checked conditions repeat heavily across the functions of a
     # unit — cross-function hits are where most of the cached-mode
     # speedup comes from.  Verification results are unaffected either
-    # way; only hit-rate telemetry varies with schedule.
+    # way; only hit-rate telemetry varies with schedule.  (Compiled-mode
+    # node slots die with the tables; the dict-level compiled caches
+    # re-stamp them on first reuse, so this costs one lookup per node.)
     _terms.clear_term_caches()
 
 
@@ -412,7 +414,9 @@ def run_units(units: Sequence[Unit], config: Optional[DriverConfig] = None,
             m.add_function(name, fr.ok, state, wall, fr.stats.solver_time,
                            fr.stats.counters(),
                            solver_cache_hits=fr.stats.solver_cache_hits,
-                           terms_interned=fr.stats.terms_interned)
+                           terms_interned=fr.stats.terms_interned,
+                           dispatch_table_hits=fr.stats.dispatch_table_hits,
+                           terms_compiled=fr.stats.terms_compiled)
         # Elapsed time is shared by every unit on the pool; a unit's own
         # checking cost is the sum of its live function walls.  "hit" and
         # "clean" entries carry the *original* run's wall time.

@@ -15,14 +15,28 @@ a rule is chosen, RefinedC does not backtrack on the choice" (§5, fn. 5).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from functools import lru_cache
+from itertools import product
+from typing import TYPE_CHECKING, Callable, Optional
 
+from ..pure.compiled import COMPILE
 from .goals import BasicGoal, Goal
 
 if TYPE_CHECKING:  # pragma: no cover
     from .search import SearchState
 
 RuleFn = Callable[[BasicGoal, "SearchState"], Goal]
+
+
+@lru_cache(maxsize=None)
+def _wildcard_masks(arity: int) -> tuple[tuple[bool, ...], ...]:
+    """The wildcard substitution masks for a key of ``arity`` trailing
+    components, in precedence order: fewer wildcards first, later
+    positions generalised first.  There are only a handful of arities
+    across all dispatch keys, so the sorted product is computed once
+    per arity instead of on every lookup."""
+    return tuple(sorted(product((False, True), repeat=arity),
+                        key=lambda m: (sum(m), tuple(reversed(m)))))
 
 
 class RuleError(Exception):
@@ -50,6 +64,14 @@ class RuleRegistry:
 
     def __init__(self) -> None:
         self._rules: dict[tuple, list[Rule]] = {}
+        # Flat dispatch table (RC_COMPILE): concrete dispatch key ->
+        # selected rule, lazily filled through the slow path so the
+        # precedence order is _candidates' by construction.  Registering
+        # a rule bumps the generation, which invalidates the table.
+        self._generation = 0
+        self._dispatch: dict[tuple, Rule] = {}
+        self._dispatch_generation = -1
+        self.dispatch_hits = 0  # telemetry only; never in counters()
 
     def register(self, rule: Rule) -> None:
         bucket = self._rules.setdefault(rule.key, [])
@@ -57,6 +79,7 @@ class RuleRegistry:
             raise RuleError(f"duplicate rule name {rule.name!r} for {rule.key}")
         bucket.append(rule)
         bucket.sort(key=lambda r: -r.priority)
+        self._generation += 1
 
     def rule(self, name: str, key: tuple, priority: int = 0,
              doc: str = "") -> Callable[[RuleFn], RuleFn]:
@@ -76,23 +99,46 @@ class RuleRegistry:
         home (e.g. ``("subsume_loc", "*", "named")``) while keeping lookup
         deterministic — the cornerstone of no-backtracking search.
         """
-        from itertools import product
         head, rest = key[0], key[1:]
-        masks = sorted(product((False, True), repeat=len(rest)),
-                       key=lambda m: (sum(m), tuple(reversed(m))))
         out = []
-        for mask in masks:
+        for mask in _wildcard_masks(len(rest)):
             out.append((head,) + tuple("*" if star else comp
                                        for comp, star in zip(rest, mask)))
         for klen in range(len(key) - 1, 0, -1):
             out.append(key[:klen])
         return out
 
+    def _dispatch_table(self) -> dict[tuple, Rule]:
+        """The flat table for the current generation, dropped whenever a
+        rule registration changes what any key could resolve to."""
+        if self._dispatch_generation != self._generation:
+            self._dispatch = {}
+            self._dispatch_generation = self._generation
+        return self._dispatch
+
     def lookup(self, f: BasicGoal) -> Rule:
         """Select the unique applicable rule for ``F`` — case (5) of proof
-        search.  No backtracking: exactly one rule is chosen."""
+        search.  No backtracking: exactly one rule is chosen.
+
+        With ``RC_COMPILE`` on, resolved keys are remembered in a flat
+        per-generation table so the steady-state lookup is one dict hit;
+        misses (including every erroring key) take the interpreted path,
+        which keeps rule choice and error text identical by construction.
+        """
         key = f.dispatch_key()
-        bucket = None
+        if COMPILE.enabled:
+            table = self._dispatch_table()
+            rule = table.get(key)
+            if rule is not None:
+                self.dispatch_hits += 1
+                return rule
+            rule = self._lookup_slow(key, f)
+            table[key] = rule
+            return rule
+        return self._lookup_slow(key, f)
+
+    def _lookup_slow(self, key: tuple, f: BasicGoal) -> Rule:
+        bucket: Optional[list[Rule]] = None
         for candidate in self._candidates(key):
             bucket = self._rules.get(candidate)
             if bucket:

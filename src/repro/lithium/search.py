@@ -131,6 +131,8 @@ class Stats:
     # on-disk result cache).
     solver_cache_hits: int = 0
     terms_interned: int = 0
+    dispatch_table_hits: int = 0
+    terms_compiled: int = 0
 
     def counters(self) -> dict:
         """The deterministic portion of the statistics: every counter, but

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from . import linarith
+from .compiled import COMPILE
 from .memo import MEMO, register_cache, trim_cache
 from .simplify import _mset_parts, simplify
 from .terms import App, Lit, Sort, Term, eq, le, mall_ge, mall_le
@@ -60,7 +61,12 @@ class MultisetSolver:
         self._memo_key = tuple(hyps)
         self.rewrites: dict[Term, Term] = {}
         self.facts: list[Term] = []
+        # RC_COMPILE: per-instance normal-form cache.  Only valid once
+        # ``rewrites`` is final, i.e. after ``_ingest`` returns.
+        self._norm_cache: dict[Term, Term] = {}
+        self._frozen = False
         self._ingest(hyps)
+        self._frozen = True
 
     def _ingest(self, hyps: Iterable[Term]) -> None:
         pending = [simplify(h) for h in hyps]
@@ -104,6 +110,12 @@ class MultisetSolver:
 
     def normalise(self, t: Term) -> Term:
         """Apply the oriented hypothesis rewrites, then simplify."""
+        cacheable = self._frozen and COMPILE.enabled
+        if cacheable:
+            hit = self._norm_cache.get(t)
+            if hit is not None:
+                return hit
+        t0 = t
         changed = True
         guard = 0
         while changed and guard < 32:
@@ -112,6 +124,8 @@ class MultisetSolver:
             t2 = simplify(t2)
             changed = t2 != t
             t = t2
+        if cacheable:
+            self._norm_cache[t0] = t
         return t
 
     def normalise_mset(self, t: Term) -> Term:

@@ -21,9 +21,12 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from .compiled import COMPILE, note_compiled
 from .memo import MEMO, register_cache, trim_cache
 from .terms import (App, Lit, Sort, Term, add, and_, app, eq, intlit, le,
                     mall_ge, mall_le, msize, not_, sub)
+
+_set = object.__setattr__
 
 # Memoization over interned terms: simplify is a pure function of its
 # (immutable, hash-consed) argument, so caching term -> normal form is
@@ -34,9 +37,21 @@ _HYP_CACHE: dict[Term, tuple[Term, ...]] = register_cache({})
 
 
 def simplify(t: Term) -> Term:
-    """Normalise a term bottom-up.  Idempotent and semantics-preserving."""
+    """Normalise a term bottom-up.  Idempotent and semantics-preserving.
+
+    With ``RC_COMPILE`` on, each interned node dispatches through a flat
+    per-operator closure table and remembers its normal form in a slot on
+    the node itself (``_simp``) — the compiled form of the term.  The
+    node slot dies with the intern table (cleared per function check);
+    the dict cache persists across functions, so both are consulted.
+    """
     if not isinstance(t, App):
         return t
+    if COMPILE.enabled:
+        hit = getattr(t, "_simp", None)
+        if hit is not None:
+            return hit
+        return _simplify_compiled(t)
     if MEMO.enabled:
         hit = _SIMPLIFY_CACHE.get(t)
         if hit is not None:
@@ -52,6 +67,40 @@ def simplify(t: Term) -> Term:
             out = simplify(out)
     else:
         out = t2
+    if MEMO.enabled:
+        trim_cache(_SIMPLIFY_CACHE)
+        _SIMPLIFY_CACHE[t] = out
+    return out
+
+
+def _simplify_compiled(t: Term) -> Term:
+    """Compiled simplify: same recursion, flat closure dispatch, results
+    attached to the interned nodes."""
+    if not isinstance(t, App):
+        return t
+    hit = getattr(t, "_simp", None)
+    if hit is not None:
+        return hit
+    if MEMO.enabled:
+        hit = _SIMPLIFY_CACHE.get(t)
+        if hit is not None:
+            _set(t, "_simp", hit)
+            return hit
+    args = tuple(_simplify_compiled(a) for a in t.args)
+    op = t.op
+    if op.startswith("fn:") or op == "list_lit":
+        t2: Term = App(op, args, t.result_sort)
+    else:
+        t2 = app(op, *args, sort=t.result_sort)
+    if isinstance(t2, App):
+        handler = _NODE_RULES.get(t2.op)
+        out = handler(t2) if handler is not None else t2
+        if out is not t2:
+            out = _simplify_compiled(out)
+    else:
+        out = t2
+    _set(t, "_simp", out)
+    note_compiled()
     if MEMO.enabled:
         trim_cache(_SIMPLIFY_CACHE)
         _SIMPLIFY_CACHE[t] = out
@@ -208,6 +257,183 @@ def _simplify_node(t: App) -> Term:
     return t
 
 
+# ------------------------------------------------------------------
+# Compiled node rules (RC_COMPILE): one closure per App head, together
+# equivalent to the `_simplify_node` if-chain above.  Each closure takes
+# the canonicalised node and returns the rewritten term, or the node
+# itself when no rewrite applies — the same contract `_simplify_node`
+# satisfies, just dispatched through one dict hit instead of a linear
+# scan over every operator's guard.  The differential test suite checks
+# closure-for-branch equivalence on random terms.
+# ------------------------------------------------------------------
+
+
+def _c_list_lit(t: App) -> Term:
+    out: Term = app("nil")
+    for x in reversed(t.args):
+        out = app("cons", x, out)
+    return out
+
+
+def _c_msize(t: App) -> Term:
+    inner = t.args[0]
+    if isinstance(inner, App):
+        if inner.op == "mempty":
+            return intlit(0)
+        if inner.op == "msingle":
+            return intlit(1)
+        if inner.op == "munion":
+            return add(*(msize(a) for a in inner.args))
+    return t
+
+
+def _c_len(t: App) -> Term:
+    inner = t.args[0]
+    if isinstance(inner, App):
+        if inner.op == "nil":
+            return intlit(0)
+        if inner.op == "cons":
+            return add(intlit(1), app("len", inner.args[1]))
+        if inner.op == "append":
+            return add(app("len", inner.args[0]), app("len", inner.args[1]))
+        if inner.op == "list_lit":
+            return intlit(len(inner.args))
+        if inner.op == "store":
+            return app("len", inner.args[0])
+    return t
+
+
+def _c_sub(t: App) -> Term:
+    a, b = t.args
+    a_parts = list(a.args) if isinstance(a, App) and a.op == "add" else [a]
+    b_parts = list(b.args) if isinstance(b, App) and b.op == "add" else [b]
+    remaining = list(a_parts)
+    for bp in b_parts:
+        if bp in remaining:
+            remaining.remove(bp)
+        elif isinstance(bp, Lit):
+            lit = next((x for x in remaining if isinstance(x, Lit)), None)
+            if lit is None:
+                return t
+            remaining.remove(lit)
+            remaining.append(intlit(int(lit.value) - int(bp.value)))
+        else:
+            return t
+    if not remaining:
+        return intlit(0)
+    return add(*remaining)
+
+
+def _c_append(t: App) -> Term:
+    a, b = t.args
+    if isinstance(a, App) and a.op == "nil":
+        return b
+    if isinstance(b, App) and b.op == "nil":
+        return a
+    if isinstance(a, App) and a.op == "cons":
+        return app("cons", a.args[0], app("append", a.args[1], b))
+    if isinstance(a, App) and a.op == "list_lit" and a.args:
+        out = b
+        for x in reversed(a.args):
+            out = app("cons", x, out)
+        return out
+    if isinstance(a, App) and a.op == "append":
+        return app("append", a.args[0], app("append", a.args[1], b))
+    return t
+
+
+def _c_head(t: App) -> Term:
+    if isinstance(t.args[0], App) and t.args[0].op == "cons":
+        return t.args[0].args[0]
+    return t
+
+
+def _c_tail(t: App) -> Term:
+    if isinstance(t.args[0], App) and t.args[0].op == "cons":
+        return t.args[0].args[1]
+    return t
+
+
+def _c_index(t: App) -> Term:
+    xs0, j = t.args
+    if isinstance(xs0, App) and xs0.op == "cons" and isinstance(j, Lit):
+        i = int(j.value)
+        if i == 0:
+            return xs0.args[0]
+        return app("index", xs0.args[1], intlit(i - 1))
+    if isinstance(xs0, App) and xs0.op == "store":
+        xs, i, v = xs0.args
+        if i == j:
+            return v
+        if isinstance(i, Lit) and isinstance(j, Lit):
+            return app("index", xs, j)
+    return t
+
+
+def _c_implies(t: App) -> Term:
+    if t.args[1] == Lit(False):
+        return not_(t.args[0])
+    return t
+
+
+def _c_eq(t: App) -> Term:
+    decomposed = _decompose_eq(t.args[0], t.args[1])
+    return t if decomposed is None else decomposed
+
+
+def _c_mall_ge(t: App) -> Term:
+    s, n = t.args
+    if isinstance(s, App):
+        if s.op == "mempty":
+            return Lit(True)
+        if s.op == "msingle":
+            return le(n, s.args[0])
+        if s.op == "munion":
+            return and_(*(mall_ge(a, n) for a in s.args))
+    return t
+
+
+def _c_mall_le(t: App) -> Term:
+    s, n = t.args
+    if isinstance(s, App):
+        if s.op == "mempty":
+            return Lit(True)
+        if s.op == "msingle":
+            return le(s.args[0], n)
+        if s.op == "munion":
+            return and_(*(mall_le(a, n) for a in s.args))
+    return t
+
+
+def _c_mmember(t: App) -> Term:
+    k, s = t.args
+    if isinstance(s, App):
+        if s.op == "mempty":
+            return Lit(False)
+        if s.op == "msingle":
+            return eq(k, s.args[0])
+        if s.op == "munion":
+            return app("or", *(app("mmember", k, a) for a in s.args))
+    return t
+
+
+_NODE_RULES: dict[str, Callable[[App], Term]] = {
+    "list_lit": _c_list_lit,
+    "msize": _c_msize,
+    "len": _c_len,
+    "sub": _c_sub,
+    "append": _c_append,
+    "head": _c_head,
+    "tail": _c_tail,
+    "index": _c_index,
+    "implies": _c_implies,
+    "eq": _c_eq,
+    "mall_ge": _c_mall_ge,
+    "mall_le": _c_mall_le,
+    "mmember": _c_mmember,
+}
+
+
 def _decompose_eq(a: Term, b: Term) -> Optional[Term]:
     """Structural decomposition of constructor-led equalities."""
     if a.sort is Sort.LIST:
@@ -266,6 +492,11 @@ def _rebuild_mset_eq(ra: list[Term], rb: list[Term]) -> Term:
 HypRule = Callable[[Term], Optional[list[Term]]]
 _HYP_RULES: list[HypRule] = []
 
+# Bumped on every rule registration; compiled decompositions attached to
+# term nodes carry the generation they were computed under, so a stale
+# one is recomputed rather than replayed.
+_HYP_GEN = 0
+
 
 def register_hyp_rule(rule: HypRule) -> None:
     """Register a user-extensible hypothesis simplification rule.
@@ -274,18 +505,29 @@ def register_hyp_rule(rule: HypRule) -> None:
     or ``None`` if it does not apply.  Rules should be equivalences unless
     the user deliberately opts into implications (the paper's escape hatch).
     """
+    global _HYP_GEN
     _HYP_RULES.append(rule)
     # Cached decompositions may be stale w.r.t. the new rule set.
     _HYP_CACHE.clear()
+    _HYP_GEN += 1
 
 
 def simplify_hyp(phi: Term) -> list[Term]:
     """Normalise a hypothesis into a list of simpler hypotheses."""
+    if COMPILE.enabled and isinstance(phi, App):
+        hit = getattr(phi, "_hypx", None)
+        if hit is not None and hit[0] == _HYP_GEN:
+            return list(hit[1])
     if MEMO.enabled:
         hit = _HYP_CACHE.get(phi)
         if hit is not None:
+            if COMPILE.enabled and isinstance(phi, App):
+                _set(phi, "_hypx", (_HYP_GEN, hit))
             return list(hit)
     out = _simplify_hyp(phi)
+    if COMPILE.enabled and isinstance(phi, App):
+        _set(phi, "_hypx", (_HYP_GEN, tuple(out)))
+        note_compiled()
     if MEMO.enabled:
         trim_cache(_HYP_CACHE)
         _HYP_CACHE[phi] = tuple(out)

@@ -25,11 +25,30 @@ from typing import Iterable, Optional, Sequence
 
 from ..trace import tracer as _trace
 from . import linarith
+from .compiled import COMPILE
 from .lists import ListSolver
 from .memo import MEMO, register_cache, trim_cache
 from .sets import multiset_solver, set_solver
 from .simplify import simplify, simplify_hyp
 from .terms import App, Lit, Sort, Term, Var, subst_vars
+
+
+def _app_subterms(t: Term) -> tuple[App, ...]:
+    """All ``App`` subterms of ``t``, pre-order, duplicates included.
+
+    With compilation on, the tuple is cached on the (interned) node so
+    repeated forward-chaining passes over the same hypotheses skip the
+    generator walk.
+    """
+    if isinstance(t, App):
+        if COMPILE.enabled:
+            subs = getattr(t, "_subs", None)
+            if subs is None:
+                subs = tuple(s for s in t.subterms() if isinstance(s, App))
+                object.__setattr__(t, "_subs", subs)
+            return subs
+        return tuple(s for s in t.subterms() if isinstance(s, App))
+    return ()
 
 
 def _find_ite(t: Term) -> Optional[App]:
@@ -331,9 +350,11 @@ class PureSolver:
         if not triggered:
             return False
         pool: list[Term] = []
+        seen: set[Term] = set()
         for t in hyps + [goal]:
-            for s in t.subterms():
-                if isinstance(s, App) and s not in pool:
+            for s in _app_subterms(t):
+                if s not in seen:
+                    seen.add(s)
                     pool.append(s)
         derived: list[Term] = []
         for lemma, patterns in triggered:
@@ -359,7 +380,7 @@ class PureSolver:
     def _instantiations(self, lemma: Lemma, patterns, pool):
         """Enumerate (boundedly many) full instantiations of the lemma
         parameters by unifying trigger patterns with pool terms."""
-        from .terms import Subst, fresh_evar
+        from .terms import EVar, Subst, fresh_evar
         from .unify import unify
 
         def go(idx: int, subst: Subst, evmap, budget: list[int]):
@@ -380,10 +401,12 @@ class PureSolver:
                 return
             pat = subst_vars(patterns[idx], evmap)
             for cand in pool:
-                trial = Subst()
-                for eid, t in subst.snapshot().items():
-                    from .terms import EVar
-                    trial.bind_evar(EVar(eid, t.sort), t)
+                if COMPILE.enabled:
+                    trial = subst.copy()
+                else:
+                    trial = Subst()
+                    for eid, t in subst.snapshot().items():
+                        trial.bind_evar(EVar(eid, t.sort), t)
                 if unify(pat, cand, trial):
                     yield from go(idx + 1, trial, evmap, budget)
 

@@ -351,8 +351,15 @@ class App(Term):
     have ``op`` of the form ``"fn:<name>"`` and carry their result sort.
     """
 
+    # The trailing slots hold *compiled forms* (RC_COMPILE): the
+    # simplified normal form, the hypothesis decomposition (stamped with
+    # the hyp-rule generation) and the linear row of the node.  They are
+    # left unset until first use — reads go through ``getattr(t, s, None)``
+    # and writes through ``object.__setattr__`` — so construction pays
+    # nothing for them.
     __slots__ = ("op", "args", "result_sort", "_hash", "_iid",
-                 "_hevars", "_size", "_fvs", "_evs")
+                 "_hevars", "_size", "_fvs", "_evs",
+                 "_simp", "_hypx", "_lrow", "_subs")
 
     def __new__(cls, op: str, args: Sequence[Term],
                 result_sort: Sort) -> "App":
@@ -795,6 +802,21 @@ class Subst:
     def snapshot(self) -> dict[int, Term]:
         """Return a copy of the raw store (used by tests/diagnostics)."""
         return dict(self._evar)
+
+    def copy(self) -> "Subst":
+        """An independent clone with the same bindings.
+
+        Equivalent to rebinding every snapshot entry into a fresh
+        :class:`Subst` (the bindings are identical, so every later
+        ``resolve`` agrees), but skips the per-entry occurs/sort
+        re-checks, which matters on the unification-heavy forward
+        chaining path.
+        """
+        out = Subst.__new__(Subst)
+        out._evar = dict(self._evar)
+        out.generation = self.generation
+        out._resolve_memo = {}
+        return out
 
 
 def subst_vars(t: Term, mapping: Mapping[Var, Term]) -> Term:

@@ -21,6 +21,7 @@ from ..lithium.goals import (Atom, BasicGoal, GBasic, GExists, Goal, GSep,
                              GTrue, GWand, HAtom, HPure)
 from ..lithium.search import SearchState, Stats, VerificationError
 from ..pure.solver import PureSolver
+from ..pure.compiled import compiled_count
 from ..pure.terms import Sort, Subst, Term, Var, eq, intern_count, intlit, var
 from .judgments import (CASJ, HookJ, LocType, StmtsJ, SubsumeLocJ, SubsumeValJ,
                         TokenAtom, ValType)
@@ -325,6 +326,8 @@ def check_function(tp: TypedProgram, name: str) -> FunctionResult:
                            function=name, stats=stats, subst=subst)
 
     interned0 = intern_count()
+    compiled0 = compiled_count()
+    dispatch0 = REGISTRY.dispatch_hits
     try:
         state = new_state()
         goal = _entry_goal(tp, sigma, state)
@@ -337,21 +340,25 @@ def check_function(tp: TypedProgram, name: str) -> FunctionResult:
             goal2 = _with_param_facts(sigma, goal2)
             derivations.append(st2.run(goal2))
     except VerificationError as exc:
-        _record_cache_stats(stats, solver, interned0)
+        _record_cache_stats(stats, solver, interned0, compiled0, dispatch0)
         return FunctionResult(name, False, stats, exc, derivations)
-    _record_cache_stats(stats, solver, interned0)
+    _record_cache_stats(stats, solver, interned0, compiled0, dispatch0)
     return FunctionResult(name, True, stats, None, derivations)
 
 
-def _record_cache_stats(stats: Stats, solver: PureSolver,
-                        interned0: int) -> None:
+def _record_cache_stats(stats: Stats, solver: PureSolver, interned0: int,
+                        compiled0: int, dispatch0: int) -> None:
     """Engine telemetry (not Stats counters — see Stats.counters()).
 
     The solver instance lives for the whole function, so its cache_hits
     total also covers prove calls made outside ``_prove_timed`` (e.g. the
-    ownership layer's direct side-condition checks)."""
+    ownership layer's direct side-condition checks).  ``terms_compiled``
+    and ``dispatch_table_hits`` are deltas of the process-wide compile
+    counters over this check, mirroring ``terms_interned``."""
     stats.solver_cache_hits = solver.cache_hits
     stats.terms_interned = intern_count() - interned0
+    stats.terms_compiled = compiled_count() - compiled0
+    stats.dispatch_table_hits = REGISTRY.dispatch_hits - dispatch0
 
 
 def _entry_goal(tp: TypedProgram, sigma: FnCtx, state: SearchState) -> Goal:

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 from ..caesium.layout import Layout
 from ..caesium.syntax import Expr, Stmt, Terminator
 from ..lithium.goals import Atom, BasicGoal, Goal
+from ..pure.compiled import COMPILE
 from ..pure.terms import Subst, Term
 from .types import RType
 
@@ -61,8 +62,11 @@ class LocType(Atom):
         return self.shared
 
     def resolve(self, subst: Subst) -> "LocType":
-        return LocType(subst.resolve(self.loc), self.ty.resolve(subst),
-                       self.shared)
+        loc = subst.resolve(self.loc)
+        ty = self.ty.resolve(subst)
+        if COMPILE.enabled and loc is self.loc and ty is self.ty:
+            return self
+        return LocType(loc, ty, self.shared)
 
     def __repr__(self) -> str:
         mark = "◁ₛ" if self.shared else "◁ₗ"
@@ -86,7 +90,11 @@ class ValType(Atom):
         return fn_app("val$", [self.val], Sort.BOOL)
 
     def resolve(self, subst: Subst) -> "ValType":
-        return ValType(subst.resolve(self.val), self.ty.resolve(subst))
+        val = subst.resolve(self.val)
+        ty = self.ty.resolve(subst)
+        if COMPILE.enabled and val is self.val and ty is self.ty:
+            return self
+        return ValType(val, ty)
 
     def __repr__(self) -> str:
         return f"{self.val!r} ◁ᵥ {self.ty!r}"
@@ -112,7 +120,9 @@ class TokenAtom(Atom):
         return self.dup
 
     def resolve(self, subst: Subst) -> "TokenAtom":
-        return TokenAtom(self.name, subst.resolve(self.index), self.dup)
+        index = subst.resolve(self.index)
+        return self if COMPILE.enabled and index is self.index \
+            else TokenAtom(self.name, index, self.dup)
 
     def __repr__(self) -> str:
         kind = "ptok" if self.dup else "tok"
@@ -182,9 +192,14 @@ class BinOpJ(BasicGoal):
         return ("binop", self.op, self.t1.head, self.t2.head)
 
     def resolve(self, subst: Subst) -> "BinOpJ":
-        return BinOpJ(self.sigma, self.op, subst.resolve(self.v1),
-                      self.t1.resolve(subst), subst.resolve(self.v2),
-                      self.t2.resolve(subst), self.cont)
+        v1 = subst.resolve(self.v1)
+        t1 = self.t1.resolve(subst)
+        v2 = subst.resolve(self.v2)
+        t2 = self.t2.resolve(subst)
+        if COMPILE.enabled and v1 is self.v1 and t1 is self.t1 and v2 is self.v2 \
+                and t2 is self.t2:
+            return self
+        return BinOpJ(self.sigma, self.op, v1, t1, v2, t2, self.cont)
 
     def describe(self) -> str:
         return f"({self.v1!r} : {self.t1!r}) {self.op} ({self.v2!r} : {self.t2!r})"
@@ -202,8 +217,11 @@ class UnOpJ(BasicGoal):
         return ("unop", self.op, self.t.head)
 
     def resolve(self, subst: Subst) -> "UnOpJ":
-        return UnOpJ(self.sigma, self.op, subst.resolve(self.v),
-                     self.t.resolve(subst), self.cont)
+        v = subst.resolve(self.v)
+        t = self.t.resolve(subst)
+        if COMPILE.enabled and v is self.v and t is self.t:
+            return self
+        return UnOpJ(self.sigma, self.op, v, t, self.cont)
 
     def describe(self) -> str:
         return f"{self.op}({self.v!r} : {self.t!r})"
@@ -224,8 +242,11 @@ class IfJ(BasicGoal):
         return ("if", self.ty.head)
 
     def resolve(self, subst: Subst) -> "IfJ":
-        return IfJ(self.sigma, subst.resolve(self.v), self.ty.resolve(subst),
-                   self.then_label, self.else_label)
+        v = subst.resolve(self.v)
+        ty = self.ty.resolve(subst)
+        if COMPILE.enabled and v is self.v and ty is self.ty:
+            return self
+        return IfJ(self.sigma, v, ty, self.then_label, self.else_label)
 
     def describe(self) -> str:
         return f"if ({self.v!r} : {self.ty!r})"
@@ -261,8 +282,9 @@ class ReadJ(BasicGoal):
         return ("read",)
 
     def resolve(self, subst: Subst) -> "ReadJ":
-        return ReadJ(self.sigma, subst.resolve(self.loc), self.layout,
-                     self.atomic, self.cont)
+        loc = subst.resolve(self.loc)
+        return self if COMPILE.enabled and loc is self.loc \
+            else ReadJ(self.sigma, loc, self.layout, self.atomic, self.cont)
 
     def describe(self) -> str:
         return f"read {self.layout!r} at {self.loc!r}"
@@ -283,8 +305,11 @@ class ReadAtJ(BasicGoal):
         return ("read_at", self.ty.head)
 
     def resolve(self, subst: Subst) -> "ReadAtJ":
-        return ReadAtJ(self.sigma, subst.resolve(self.loc),
-                       self.ty.resolve(subst), self.layout, self.atomic,
+        loc = subst.resolve(self.loc)
+        ty = self.ty.resolve(subst)
+        if COMPILE.enabled and loc is self.loc and ty is self.ty:
+            return self
+        return ReadAtJ(self.sigma, loc, ty, self.layout, self.atomic,
                        self.cont)
 
     def describe(self) -> str:
@@ -307,9 +332,13 @@ class WriteJ(BasicGoal):
         return ("write",)
 
     def resolve(self, subst: Subst) -> "WriteJ":
-        return WriteJ(self.sigma, subst.resolve(self.loc),
-                      subst.resolve(self.v), self.vty.resolve(subst),
-                      self.layout, self.atomic, self.cont)
+        loc = subst.resolve(self.loc)
+        v = subst.resolve(self.v)
+        vty = self.vty.resolve(subst)
+        if COMPILE.enabled and loc is self.loc and v is self.v and vty is self.vty:
+            return self
+        return WriteJ(self.sigma, loc, v, vty, self.layout, self.atomic,
+                      self.cont)
 
     def describe(self) -> str:
         return f"write {self.v!r} : {self.vty!r} to {self.loc!r}"
@@ -332,10 +361,15 @@ class WriteAtJ(BasicGoal):
         return ("write_at", self.old_ty.head)
 
     def resolve(self, subst: Subst) -> "WriteAtJ":
-        return WriteAtJ(self.sigma, subst.resolve(self.loc),
-                        self.old_ty.resolve(subst), subst.resolve(self.v),
-                        self.vty.resolve(subst), self.layout, self.atomic,
-                        self.cont)
+        loc = subst.resolve(self.loc)
+        old_ty = self.old_ty.resolve(subst)
+        v = subst.resolve(self.v)
+        vty = self.vty.resolve(subst)
+        if COMPILE.enabled and loc is self.loc and old_ty is self.old_ty and v is self.v \
+                and vty is self.vty:
+            return self
+        return WriteAtJ(self.sigma, loc, old_ty, v, vty, self.layout,
+                        self.atomic, self.cont)
 
     def describe(self) -> str:
         return f"write {self.v!r} over {self.old_ty!r} at {self.loc!r}"
@@ -355,8 +389,11 @@ class ToPlaceJ(BasicGoal):
         return ("to_place", self.ty.head)
 
     def resolve(self, subst: Subst) -> "ToPlaceJ":
-        return ToPlaceJ(self.sigma, subst.resolve(self.v),
-                        self.ty.resolve(subst), self.cont)
+        v = subst.resolve(self.v)
+        ty = self.ty.resolve(subst)
+        if COMPILE.enabled and v is self.v and ty is self.ty:
+            return self
+        return ToPlaceJ(self.sigma, v, ty, self.cont)
 
     def describe(self) -> str:
         return f"place of ({self.v!r} : {self.ty!r})"
@@ -376,9 +413,12 @@ class SubsumeLocJ(BasicGoal):
         return ("subsume_loc", self.have.head, self.want.head)
 
     def resolve(self, subst: Subst) -> "SubsumeLocJ":
-        return SubsumeLocJ(self.sigma, subst.resolve(self.loc),
-                           self.have.resolve(subst), self.want.resolve(subst),
-                           self.cont)
+        loc = subst.resolve(self.loc)
+        have = self.have.resolve(subst)
+        want = self.want.resolve(subst)
+        if COMPILE.enabled and loc is self.loc and have is self.have and want is self.want:
+            return self
+        return SubsumeLocJ(self.sigma, loc, have, want, self.cont)
 
     def describe(self) -> str:
         return f"{self.loc!r} ◁ₗ {self.have!r} <: {self.want!r}"
@@ -399,9 +439,12 @@ class SubsumeValJ(BasicGoal):
         return ("subsume_val", self.have.head, self.want.head)
 
     def resolve(self, subst: Subst) -> "SubsumeValJ":
-        return SubsumeValJ(self.sigma, subst.resolve(self.v),
-                           self.have.resolve(subst), self.want.resolve(subst),
-                           self.cont)
+        v = subst.resolve(self.v)
+        have = self.have.resolve(subst)
+        want = self.want.resolve(subst)
+        if COMPILE.enabled and v is self.v and have is self.have and want is self.want:
+            return self
+        return SubsumeValJ(self.sigma, v, have, want, self.cont)
 
     def describe(self) -> str:
         return f"{self.v!r} ◁ᵥ {self.have!r} <: {self.want!r}"
@@ -425,8 +468,11 @@ class ProvePlaceJ(BasicGoal):
         return ("prove_place", self.want.head)
 
     def resolve(self, subst: Subst) -> "ProvePlaceJ":
-        return ProvePlaceJ(self.sigma, subst.resolve(self.loc),
-                           self.want.resolve(subst), self.cont)
+        loc = subst.resolve(self.loc)
+        want = self.want.resolve(subst)
+        if COMPILE.enabled and loc is self.loc and want is self.want:
+            return self
+        return ProvePlaceJ(self.sigma, loc, want, self.cont)
 
     def describe(self) -> str:
         return f"establish {self.loc!r} ◁ₗ {self.want!r}"
@@ -483,10 +529,18 @@ class CASJ(BasicGoal):
         return ("cas", self.atom_ty.head, self.exp_ty.head, self.des_ty.head)
 
     def resolve(self, subst: Subst) -> "CASJ":
-        return CASJ(self.sigma, subst.resolve(self.atom_loc),
-                    self.atom_ty.resolve(subst), subst.resolve(self.exp_loc),
-                    self.exp_ty.resolve(subst), subst.resolve(self.des_v),
-                    self.des_ty.resolve(subst), self.layout, self.cont)
+        atom_loc = subst.resolve(self.atom_loc)
+        atom_ty = self.atom_ty.resolve(subst)
+        exp_loc = subst.resolve(self.exp_loc)
+        exp_ty = self.exp_ty.resolve(subst)
+        des_v = subst.resolve(self.des_v)
+        des_ty = self.des_ty.resolve(subst)
+        if COMPILE.enabled and atom_loc is self.atom_loc and atom_ty is self.atom_ty \
+                and exp_loc is self.exp_loc and exp_ty is self.exp_ty \
+                and des_v is self.des_v and des_ty is self.des_ty:
+            return self
+        return CASJ(self.sigma, atom_loc, atom_ty, exp_loc, exp_ty, des_v,
+                    des_ty, self.layout, self.cont)
 
     def describe(self) -> str:
         return (f"CAS({self.atom_loc!r} : {self.atom_ty!r}, "

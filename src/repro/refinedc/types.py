@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from ..caesium.layout import PTR_SIZE, IntType, Layout, StructLayout
+from ..pure.compiled import COMPILE
 from ..pure.terms import Sort, Subst, Term, intlit
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -78,7 +79,8 @@ class IntT(RType):
     def resolve(self, subst: Subst) -> "IntT":
         if self.refinement is None:
             return self
-        return IntT(self.itype, subst.resolve(self.refinement))
+        r = subst.resolve(self.refinement)
+        return self if COMPILE.enabled and r is self.refinement else IntT(self.itype, r)
 
     def layout_size(self) -> Term:
         return intlit(self.itype.size)
@@ -103,7 +105,8 @@ class BoolT(RType):
     def resolve(self, subst: Subst) -> "BoolT":
         if self.phi is None:
             return self
-        return BoolT(self.itype, subst.resolve(self.phi))
+        r = subst.resolve(self.phi)
+        return self if COMPILE.enabled and r is self.phi else BoolT(self.itype, r)
 
     def layout_size(self) -> Term:
         return intlit(self.itype.size)
@@ -130,8 +133,11 @@ class OwnPtr(RType):
         return "own"
 
     def resolve(self, subst: Subst) -> "OwnPtr":
-        return OwnPtr(self.inner.resolve(subst),
-                      subst.resolve(self.loc) if self.loc is not None else None)
+        inner = self.inner.resolve(subst)
+        loc = subst.resolve(self.loc) if self.loc is not None else None
+        if COMPILE.enabled and inner is self.inner and loc is self.loc:
+            return self
+        return OwnPtr(inner, loc)
 
     def layout_size(self) -> Term:
         return intlit(PTR_SIZE)
@@ -152,7 +158,8 @@ class UninitT(RType):
         return "uninit"
 
     def resolve(self, subst: Subst) -> "UninitT":
-        return UninitT(subst.resolve(self.size))
+        r = subst.resolve(self.size)
+        return self if COMPILE.enabled and r is self.size else UninitT(r)
 
     def layout_size(self) -> Term:
         return self.size
@@ -189,9 +196,13 @@ class OptionalT(RType):
         return "optional"
 
     def resolve(self, subst: Subst) -> "OptionalT":
-        return OptionalT(subst.resolve(self.phi),
-                         self.then_type.resolve(subst),
-                         self.else_type.resolve(subst))
+        phi = subst.resolve(self.phi)
+        then_t = self.then_type.resolve(subst)
+        else_t = self.else_type.resolve(subst)
+        if COMPILE.enabled and phi is self.phi and then_t is self.then_type \
+                and else_t is self.else_type:
+            return self
+        return OptionalT(phi, then_t, else_t)
 
     def layout_size(self) -> Optional[Term]:
         return self.then_type.layout_size()
@@ -214,8 +225,12 @@ class WandT(RType):
         return "wand"
 
     def resolve(self, subst: Subst) -> "WandT":
-        return WandT(tuple(a.resolve(subst) for a in self.hole),
-                     self.inner.resolve(subst))
+        hole = tuple(a.resolve(subst) for a in self.hole)
+        inner = self.inner.resolve(subst)
+        if COMPILE.enabled and inner is self.inner \
+                and all(a is b for a, b in zip(hole, self.hole)):
+            return self
+        return WandT(hole, inner)
 
     def __repr__(self) -> str:
         return f"wand<{list(self.hole)!r}, {self.inner!r}>"
@@ -233,8 +248,10 @@ class StructT(RType):
         return "struct"
 
     def resolve(self, subst: Subst) -> "StructT":
-        return StructT(self.layout,
-                       tuple((n, t.resolve(subst)) for n, t in self.fields))
+        fields = tuple((n, t.resolve(subst)) for n, t in self.fields)
+        if COMPILE.enabled and all(t is u for (_, t), (_, u) in zip(fields, self.fields)):
+            return self
+        return StructT(self.layout, fields)
 
     def field_type(self, name: str) -> RType:
         for n, t in self.fields:
@@ -263,9 +280,20 @@ class ExistsT(RType):
         return "exists"
 
     def resolve(self, subst: Subst) -> "ExistsT":
+        # ``resolve`` is idempotent, so once the body has been wrapped to
+        # resolve against *this* store (bindings only ever accumulate,
+        # and unfolding reads the store's state at unfold time), wrapping
+        # again against the same store is the identity.  Collapsing the
+        # stack is a compiled-mode optimisation only; the interpreted
+        # reference keeps the plain wrapper chain.
+        if COMPILE.enabled and getattr(self, "_rsubst", None) is subst:
+            return self
         body = self.body
-        return ExistsT(self.sort, self.hint,
-                       lambda x: body(x).resolve(subst))
+        out = ExistsT(self.sort, self.hint,
+                      lambda x: body(x).resolve(subst))
+        if COMPILE.enabled:
+            object.__setattr__(out, "_rsubst", subst)
+        return out
 
     def __repr__(self) -> str:
         return f"∃{self.hint}. …"
@@ -283,7 +311,11 @@ class ConstrainedT(RType):
         return "constrained"
 
     def resolve(self, subst: Subst) -> "ConstrainedT":
-        return ConstrainedT(self.inner.resolve(subst), subst.resolve(self.phi))
+        inner = self.inner.resolve(subst)
+        phi = subst.resolve(self.phi)
+        if COMPILE.enabled and inner is self.inner and phi is self.phi:
+            return self
+        return ConstrainedT(inner, phi)
 
     def layout_size(self) -> Optional[Term]:
         return self.inner.layout_size()
@@ -305,7 +337,11 @@ class PaddedT(RType):
         return "padded"
 
     def resolve(self, subst: Subst) -> "PaddedT":
-        return PaddedT(self.inner.resolve(subst), subst.resolve(self.size))
+        inner = self.inner.resolve(subst)
+        size = subst.resolve(self.size)
+        if COMPILE.enabled and inner is self.inner and size is self.size:
+            return self
+        return PaddedT(inner, size)
 
     def layout_size(self) -> Term:
         return self.size
@@ -328,8 +364,11 @@ class ArrayT(RType):
         return "array"
 
     def resolve(self, subst: Subst) -> "ArrayT":
-        return ArrayT(self.itype, subst.resolve(self.xs),
-                      subst.resolve(self.length))
+        xs = subst.resolve(self.xs)
+        length = subst.resolve(self.length)
+        if COMPILE.enabled and xs is self.xs and length is self.length:
+            return self
+        return ArrayT(self.itype, xs, length)
 
     def layout_size(self) -> Term:
         from ..pure.terms import mul
@@ -355,7 +394,8 @@ class ValueT(RType):
         return "value"
 
     def resolve(self, subst: Subst) -> "ValueT":
-        return ValueT(subst.resolve(self.v), self.layout)
+        v = subst.resolve(self.v)
+        return self if COMPILE.enabled and v is self.v else ValueT(v, self.layout)
 
     def layout_size(self) -> Optional[Term]:
         if self.layout is None:
@@ -398,9 +438,12 @@ class AtomicBoolT(RType):
         return "atomicbool"
 
     def resolve(self, subst: Subst) -> "AtomicBoolT":
-        return AtomicBoolT(self.itype,
-                           tuple(a.resolve(subst) for a in self.h_true),
-                           tuple(a.resolve(subst) for a in self.h_false))
+        h_true = tuple(a.resolve(subst) for a in self.h_true)
+        h_false = tuple(a.resolve(subst) for a in self.h_false)
+        if COMPILE.enabled and all(a is b for a, b in zip(h_true, self.h_true)) \
+                and all(a is b for a, b in zip(h_false, self.h_false)):
+            return self
+        return AtomicBoolT(self.itype, h_true, h_false)
 
     def layout_size(self) -> Term:
         return intlit(self.itype.size)
@@ -423,7 +466,10 @@ class NamedT(RType):
         return "named"
 
     def resolve(self, subst: Subst) -> "NamedT":
-        return NamedT(self.name, tuple(subst.resolve(a) for a in self.args))
+        args = tuple(subst.resolve(a) for a in self.args)
+        if COMPILE.enabled and all(a is b for a, b in zip(args, self.args)):
+            return self
+        return NamedT(self.name, args)
 
     def __repr__(self) -> str:
         if not self.args:

@@ -1,0 +1,76 @@
+"""End-to-end observational purity of the compiled hot paths.
+
+``RC_COMPILE=0`` must restore the interpreted reference implementation
+wholesale: per-function outcome, ``Stats.counters()`` and exact error
+text are byte-identical across modes.  The compiler may only surface in
+the (non-counter) telemetry fields ``dispatch_table_hits`` /
+``terms_compiled``.  Mirror of ``test_pure_cache.py`` for the
+``RC_COMPILE`` switch."""
+
+import pytest
+
+from repro.frontend import verify_file, verify_source
+from repro.pure.compiled import (compile_disabled, compile_enabled,
+                                 set_compile_enabled)
+from repro.pure.memo import clear_pure_caches
+
+from .conftest import fingerprint, study_path
+
+STUDIES = ["alloc", "mpool", "binary_search", "hashmap"]
+
+
+@pytest.fixture(autouse=True)
+def _compiled_on():
+    previous = set_compile_enabled(True)
+    clear_pure_caches()
+    yield
+    set_compile_enabled(previous)
+
+
+@pytest.mark.parametrize("study", STUDIES)
+def test_compiled_equals_interpreted(study):
+    path = study_path(study)
+    compiled = verify_file(path)
+    with compile_disabled():
+        reference = verify_file(path)
+    assert compiled.ok == reference.ok
+    assert fingerprint(compiled) == fingerprint(reference)
+
+
+def test_compiled_equals_interpreted_on_failure():
+    """Error text is fingerprint-relevant: a failing proof must report
+    the identical diagnostic on both paths."""
+    src = study_path("alloc").read_text().replace(
+        "{n <= a} @ optional", "{n < a} @ optional")
+    compiled = verify_source(src)
+    with compile_disabled():
+        reference = verify_source(src)
+    assert not compiled.ok and not reference.ok
+    assert fingerprint(compiled) == fingerprint(reference)
+
+
+def test_compile_telemetry_is_populated():
+    out = verify_file(study_path("mpool"))
+    m = out.metrics
+    assert m.dispatch_table_hits > 0
+    assert m.terms_compiled > 0
+    assert m.dispatch_table_hits == sum(f.dispatch_table_hits
+                                        for f in m.functions)
+    assert m.terms_compiled == sum(f.terms_compiled for f in m.functions)
+
+
+def test_disabled_compiler_reports_zero_telemetry():
+    with compile_disabled():
+        out = verify_file(study_path("mpool"))
+    assert out.metrics.dispatch_table_hits == 0
+    assert out.metrics.terms_compiled == 0
+
+
+def test_toggle_restores_previous_state():
+    assert compile_enabled() is True
+    with compile_disabled():
+        assert compile_enabled() is False
+        with compile_disabled():
+            assert compile_enabled() is False
+        assert compile_enabled() is False
+    assert compile_enabled() is True

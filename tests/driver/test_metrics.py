@@ -40,17 +40,20 @@ def test_function_metrics_match_results():
 def test_json_export_schema():
     out = verify_file(study_path("mpool"))
     data = json.loads(out.metrics.to_json())
-    assert data["schema_version"] == 4
+    assert data["schema_version"] == 5
     assert data["jobs"] == 1
     assert set(data["phases"]) == {"parse_s", "elaborate_s", "search_s",
                                    "solver_s"}
     assert isinstance(data["functions"], list)
     fn = data["functions"][0]
     assert {"name", "ok", "cache", "wall_s", "solver_s",
-            "counters", "solver_cache_hits", "terms_interned"} <= set(fn)
+            "counters", "solver_cache_hits", "terms_interned",
+            "dispatch_table_hits", "terms_compiled"} <= set(fn)
     assert fn["counters"]["backtracks"] == 0
     # The engine telemetry must never leak into the deterministic counters.
     assert "solver_cache_hits" not in fn["counters"]
+    assert "dispatch_table_hits" not in fn["counters"]
+    assert "terms_compiled" not in fn["counters"]
     assert data["terms_interned"] > 0
 
 
@@ -73,6 +76,47 @@ def test_json_v4_incremental_counters(tmp_path):
     assert {f["cache"] for f in data["functions"]} == {"clean"}
 
 
+def test_json_v5_compiled_telemetry():
+    """Schema v5: dispatch-table and term-compilation telemetry is
+    populated with the compiler on, zero with it off, and never changes
+    the deterministic counters (round-trips through JSON either way)."""
+    from repro.pure.compiled import COMPILE, set_compile_enabled
+    from repro.pure.memo import clear_pure_caches
+
+    prev = COMPILE.enabled
+    try:
+        set_compile_enabled(True)
+        # Cold pass: the process-wide memo dicts survive across functions
+        # (by design), and a warm dict satisfies lookups before any
+        # closure needs compiling — terms_compiled would then be 0.
+        clear_pure_caches()
+        hot = json.loads(verify_file(study_path("mpool")).metrics.to_json())
+        set_compile_enabled(False)
+        cold = json.loads(
+            verify_file(study_path("mpool")).metrics.to_json())
+    finally:
+        set_compile_enabled(prev)
+
+    assert hot["dispatch_table_hits"] > 0
+    assert hot["terms_compiled"] > 0
+    assert cold["dispatch_table_hits"] == 0
+    assert cold["terms_compiled"] == 0
+    for h, c in zip(hot["functions"], cold["functions"]):
+        assert h["counters"] == c["counters"]
+        assert h["ok"] == c["ok"]
+    assert hot == json.loads(json.dumps(hot))     # JSON round-trip
+    assert cold == json.loads(json.dumps(cold))
+
+
+def test_merge_metrics_sums_compiled_telemetry():
+    a = verify_file(study_path("mpool")).metrics
+    b = verify_file(study_path("spinlock")).metrics
+    total = merge_metrics([a, b])
+    assert total.dispatch_table_hits \
+        == a.dispatch_table_hits + b.dispatch_table_hits
+    assert total.terms_compiled == a.terms_compiled + b.terms_compiled
+
+
 def test_json_v3_trace_key_absent_when_off():
     """An untraced v3 record must stay byte-compatible with v2 consumers:
     no ``trace`` key at all (not a null), and a round-trip through JSON
@@ -88,7 +132,7 @@ def test_json_v3_trace_key_absent_when_off():
 def test_json_v3_trace_block_present_when_on():
     out = verify_file(study_path("mpool"), trace=True)
     data = json.loads(out.metrics.to_json())
-    assert data["schema_version"] == 4
+    assert data["schema_version"] == 5
     block = data["trace"]
     assert {"events", "dropped", "rules", "solver",
             "slowest_prove"} <= set(block)
