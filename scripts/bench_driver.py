@@ -35,6 +35,7 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.frontend import verify_files                    # noqa: E402
+from repro.obs import record_run                           # noqa: E402
 from repro.report import (EXTRA_STUDIES, FIGURE7_STUDIES,  # noqa: E402
                           casestudies_dir)
 
@@ -186,6 +187,19 @@ def main(argv=None) -> int:
         }
         path = write_bench_json(args.json_path, payload)
         print(f"  wrote {path}")
+
+    # One summarising run-ledger record (no-op unless RC_LEDGER is set).
+    # The individual verify_files passes above already appended their own
+    # "verify" records, each in its own comparability pool; this one
+    # tracks the serial reference wall plus the headline speedups.
+    record_run("bench", wall_s=t_serial, jobs=1,
+               suite=[stem for stem, _cls in
+                      FIGURE7_STUDIES + EXTRA_STUDIES],
+               extra={"script": "bench_driver",
+                      "parallel_jobs": args.jobs,
+                      "speedup_parallel": round(speedup_par, 3),
+                      "speedup_warm_cache": round(speedup_warm, 3),
+                      "speedup_incremental_noop": round(speedup_noop, 3)})
 
     if failures:
         print("\nFAILED:")

@@ -24,7 +24,14 @@ closures, integer-matrix Fourier–Motzkin) — and
      ``--max-trace-overhead`` (2%) against the previously recorded
      ``BENCH_solver.json`` — asserted only when that baseline was
      recorded on the same platform, so CI runners skip it — and a
-     tracing-*on* pass is timed for information.
+     tracing-*on* pass is timed for information.  The guard covers both
+     the interpreted (``cache_off``) and the ``RC_COMPILE`` (``compiled``)
+     configuration: the compiled hot path moved the baseline, so its
+     instrumentation sites need their own watchdog;
+  5. guards the observability layer the same way: per traced pass the
+     run-ledger record is built (rule-cost aggregation included,
+     ``repro.obs``) against a scratch ledger and its cost is asserted to
+     stay under ``--max-trace-overhead`` of the checking wall.
 
 The asserted ratios are measured on the *checking-phase* wall
 (``search_s + solver_s``) — the phase the caches and the compiler
@@ -42,6 +49,7 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
@@ -49,6 +57,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 from repro.driver.benchio import (bench_envelope, sample_stats,  # noqa: E402
                                   write_bench_json)
 from repro.frontend import verify_file                         # noqa: E402
+from repro.obs import costs_of_outcomes, record_run            # noqa: E402
 from repro.pure.compiled import (compile_enabled,              # noqa: E402
                                  set_compile_enabled)
 from repro.pure.memo import (cache_enabled, clear_pure_caches,  # noqa: E402
@@ -166,37 +175,83 @@ def main(argv=None) -> int:
             jit_check.append(c)
         # Tracing-on cost, for information (same cache-free work, plus
         # the event stream); the *off* path is what the baseline guards.
+        # Each traced pass also builds the full observability record —
+        # rule-cost aggregation plus a ledger append to a scratch file —
+        # and times that separately: the ledger must stay inside the
+        # trace budget too.
         run_suite(paths, cached=False, traced=True)     # warmup
-        traced_check = []
-        for _ in range(repeat):
-            _, c, _ = run_suite(paths, cached=False, traced=True)
+        traced_check, ledger_extra = [], []
+        fd, scratch_ledger = tempfile.mkstemp(suffix=".rc-ledger.jsonl")
+        os.close(fd)
+
+        def traced_pass():
+            _, c, outs = run_suite(paths, cached=False, traced=True)
             traced_check.append(c)
+            t_obs = time.perf_counter()
+            record_run("bench", wall_s=c,
+                       metrics=[o.metrics for o in outs.values()],
+                       costs=costs_of_outcomes(outs.values()),
+                       path=scratch_ledger)
+            ledger_extra.append(time.perf_counter() - t_obs)
+
+        try:
+            for _ in range(repeat):
+                traced_pass()
+
+            def ledger_overhead():
+                return min(ledger_extra) / min(traced_check) * 100.0
+
+            # Same retry discipline as the baseline guards: a load spike
+            # during one pass is likelier than a real aggregation
+            # slowdown.
+            retries = 0
+            while ledger_overhead() > args.max_trace_overhead \
+                    and retries < 3:
+                traced_pass()
+                retries += 1
+            ledger_cost = ledger_overhead()
+        finally:
+            try:
+                os.unlink(scratch_ledger)
+            except OSError:
+                pass
 
         baseline = load_baseline(args.json_path) if args.json_path else None
-        trace_regress = None
-        baseline_comparable = (
-            baseline is not None
-            and baseline.get("platform") == platform.platform()
-            and "cache_off" in baseline.get("configs", {}))
-        if baseline_comparable:
-            # Best-of-now vs *median*-of-baseline: robust to the
-            # baseline having caught one lucky sample, still trips on a
-            # real slowdown of the instrumented-but-off fast path.  A
-            # pending failure gets extra cold passes first — on shared
-            # hardware a single load spike is far more likely than a
-            # genuine regression of a few `is None` checks.
-            stats = baseline["configs"]["cache_off"]["check_wall_s"]
-            base_check = stats.get("median", stats["min"])
+        trace_regress = compiled_regress = None
+        same_platform = (baseline is not None
+                         and baseline.get("platform") == platform.platform())
+
+        def guarded_regress(samples, base_stats, rerun):
+            """Best-of-now vs *median*-of-baseline: robust to the
+            baseline having caught one lucky sample, still trips on a
+            real slowdown of the instrumented-but-off fast path.  A
+            pending failure gets extra cold passes first — on shared
+            hardware a single load spike is far more likely than a
+            genuine regression of a few `is None` checks."""
+            base_check = base_stats.get("median", base_stats["min"])
 
             def regress():
-                return (min(off_check) / base_check - 1.0) * 100.0
+                return (min(samples) / base_check - 1.0) * 100.0
 
             retries = 0
             while regress() > args.max_trace_overhead and retries < 3:
-                _, c, _ = run_suite(paths, cached=False)
-                off_check.append(c)
+                _, c, _ = rerun()
+                samples.append(c)
                 retries += 1
-            trace_regress = regress()
+            return regress()
+
+        if same_platform and "cache_off" in baseline.get("configs", {}):
+            trace_regress = guarded_regress(
+                off_check, baseline["configs"]["cache_off"]["check_wall_s"],
+                lambda: run_suite(paths, cached=False))
+        if same_platform and "check_wall_s" in baseline.get(
+                "configs", {}).get("compiled", {}):
+            # The RC_COMPILE path has its own instrumentation sites (the
+            # flat dispatch table bypasses some, hits others), so it gets
+            # its own trace-off watchdog against its own baseline.
+            compiled_regress = guarded_regress(
+                jit_check, baseline["configs"]["compiled"]["check_wall_s"],
+                lambda: run_suite(paths, cached=True, compiled=True))
     finally:
         set_cache_enabled(previous)
         set_compile_enabled(previous_compiled)
@@ -223,12 +278,18 @@ def main(argv=None) -> int:
     trace_cost = (min(traced_check) / min(off_check) - 1.0) * 100.0
     print(f"  tracing:   on {min(traced_check) * 1e3:8.1f}ms   "
           f"({trace_cost:+.1f}% vs off)")
-    if trace_regress is not None:
-        print(f"  trace-off overhead vs baseline: {trace_regress:+.1f}% "
-              f"(limit +{args.max_trace_overhead:.1f}%)")
-    else:
-        print("  trace-off overhead vs baseline: skipped "
-              "(no same-platform baseline artifact)")
+    print(f"  ledger:    +{min(ledger_extra) * 1e3:.2f}ms per pass   "
+          f"({ledger_cost:+.2f}% of checking wall, "
+          f"limit +{args.max_trace_overhead:.1f}%)")
+    for label, value in (("trace-off overhead vs baseline", trace_regress),
+                         ("compiled trace-off overhead vs baseline",
+                          compiled_regress)):
+        if value is not None:
+            print(f"  {label}: {value:+.1f}% "
+                  f"(limit +{args.max_trace_overhead:.1f}%)")
+        else:
+            print(f"  {label}: skipped "
+                  "(no same-platform baseline artifact)")
 
     failures = []
     if not identical:
@@ -249,6 +310,18 @@ def main(argv=None) -> int:
             f"tracing-off checking wall regressed {trace_regress:+.1f}% "
             f"vs baseline (> +{args.max_trace_overhead:.1f}%): the no-op "
             "fast path of repro.trace must stay free")
+    if compiled_regress is not None \
+            and compiled_regress > args.max_trace_overhead:
+        failures.append(
+            f"RC_COMPILE tracing-off checking wall regressed "
+            f"{compiled_regress:+.1f}% vs baseline "
+            f"(> +{args.max_trace_overhead:.1f}%): the compiled hot path "
+            "must stay free of instrumentation cost too")
+    if ledger_cost > args.max_trace_overhead:
+        failures.append(
+            f"ledger+aggregation overhead {ledger_cost:+.2f}% of the "
+            f"checking wall (> +{args.max_trace_overhead:.1f}%): the "
+            "observability layer must stay inside the trace budget")
 
     if args.json_path:
         payload = bench_envelope("solver", studies, repeat)
@@ -277,8 +350,18 @@ def main(argv=None) -> int:
             "on_vs_off_pct": round(trace_cost, 2),
             "off_vs_baseline_pct": (round(trace_regress, 2)
                                     if trace_regress is not None else None),
+            "compiled_off_vs_baseline_pct": (
+                round(compiled_regress, 2)
+                if compiled_regress is not None else None),
             "limit_pct": args.max_trace_overhead,
             "asserted": trace_regress is not None,
+            "compiled_asserted": compiled_regress is not None,
+        }
+        payload["ledger_overhead"] = {
+            "extra_ms_per_pass": round(min(ledger_extra) * 1e3, 3),
+            "pct_of_check_wall": round(ledger_cost, 3),
+            "limit_pct": args.max_trace_overhead,
+            "asserted": True,
         }
         payload["speedup"] = {
             "basis": "min-of-repetitions",
@@ -299,6 +382,24 @@ def main(argv=None) -> int:
         }
         path = write_bench_json(args.json_path, payload)
         print(f"  wrote {path}")
+
+    # One run-ledger record (no-op unless RC_LEDGER is set).  The
+    # recorded wall is the checking wall of the configuration the
+    # environment selects — RC_COMPILE runs land in their own
+    # comparability pool, so the sentinel tracks each mode separately.
+    compiled_env = os.environ.get("RC_COMPILE", "").strip().lower() \
+        not in ("", "0", "false", "off", "no")
+    record_run("bench",
+               wall_s=min(jit_check if compiled_env else on_check),
+               jobs=1, suite=studies,
+               extra={"script": "bench_solver", "quick": args.quick,
+                      "check_wall_s": {
+                          "cache_off": round(min(off_check), 6),
+                          "cache_on": round(min(on_check), 6),
+                          "compiled": round(min(jit_check), 6)},
+                      "speedup_check": round(speedup_check, 3),
+                      "speedup_compiled": round(speedup_compile, 3),
+                      "ledger_overhead_pct": round(ledger_cost, 3)})
 
     if failures:
         print("\nFAILED:")

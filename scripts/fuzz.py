@@ -43,7 +43,25 @@ from repro.fuzz import (DEFAULT_TEMPLATES, CampaignConfig,  # noqa: E402
                         CampaignStats, load_corpus, merge_shard_stats,
                         replay_entry, run_campaign, run_shard_campaign)
 from repro.fuzz.corpus import DEFAULT_CORPUS_DIR  # noqa: E402
+from repro.obs import RuleCostMap, record_run  # noqa: E402
 from repro.trace.signature import RULE_PREFIX  # noqa: E402
+
+
+def ledger_record(stats: CampaignStats) -> None:
+    """One run-ledger record per finished campaign/merge (no-op unless
+    RC_LEDGER is set).  The campaign retains coverage signatures, not
+    traces, so the rules block is count-only — hit counts per rule
+    dispatch key and solver outcome, no wall columns (``rcstat
+    --top-rules`` then orders by count)."""
+    costs = RuleCostMap()
+    costs.add_counts(stats.coverage.counts)
+    record_run("fuzz", wall_s=stats.wall_s, jobs=stats.jobs,
+               suite=stats.templates, costs=costs,
+               extra={"seed": stats.seed, "programs": stats.programs,
+                      "coverage_keys": len(stats.coverage),
+                      "rule_keys": len(stats.coverage.rule_keys()),
+                      "kill_rate": round(stats.kill_rate, 6),
+                      "findings": len(stats.findings), "ok": stats.ok})
 
 
 def parse_args(argv):
@@ -281,6 +299,7 @@ def do_merge(args) -> int:
     print(f"merged {len(shards)} shards: {merged.summary()}")
     write_stats(args, merged)
     emit_dashboard(args, merged)
+    ledger_record(merged)
     rc = 0 if merged.ok else 1
     if args.check_floor:
         rc = max(rc, check_floor(merged, args.check_floor))
@@ -351,6 +370,7 @@ def do_campaign(args) -> int:
 
     write_stats(args, stats)
     emit_dashboard(args, stats)
+    ledger_record(stats)
 
     rc = 0 if stats.ok else 1
     if args.check_floor:

@@ -36,7 +36,10 @@ import tempfile
 from pathlib import Path
 from typing import Optional
 
-from ..lithium.search import Stats, VerificationError
+from dataclasses import fields as _dc_fields
+
+from ..lithium.search import (TELEMETRY_KEYS, WALL_CLOCK_KEYS, Stats,
+                              VerificationError)
 from ..refinedc.checker import FunctionResult, TypedProgram
 
 CACHE_FORMAT_VERSION = 1
@@ -65,11 +68,14 @@ def atomic_write_json(path: Path, obj) -> None:
     except OSError:
         pass
 
-_COUNTER_FIELDS = (
-    "rule_applications", "evars_created", "evars_instantiated",
-    "side_conditions_auto", "side_conditions_manual", "atom_matches",
-    "conj_forks", "backtracks", "solver_calls",
-)
+# The plain integer counters persisted per cache entry: every Stats
+# field except the telemetry/wall-clock exclusions (shared with
+# Stats.counters() via TELEMETRY_KEYS) and the two structured fields
+# serialized separately below.
+_COUNTER_FIELDS = tuple(
+    f.name for f in _dc_fields(Stats)
+    if f.name not in TELEMETRY_KEYS + WALL_CLOCK_KEYS
+    + ("rules_used", "manual_conditions"))
 
 
 def function_cache_key(tp: TypedProgram, name: str) -> str:

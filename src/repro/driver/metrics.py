@@ -19,6 +19,8 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Optional
 
+from ..lithium.search import TELEMETRY_KEYS
+
 # Schema history:
 #   1 — initial per-phase metrics.
 #   2 — adds per-function and per-unit ``solver_cache_hits`` (pure-solver
@@ -44,7 +46,17 @@ from typing import Optional
 #       interned nodes).  Like ``solver_cache_hits``, both are telemetry —
 #       excluded from ``counters`` so outcomes stay byte-identical across
 #       RC_COMPILE settings; both are 0 with the compiler off.
-METRICS_SCHEMA_VERSION = 5
+#   6 — observability (repro.obs): the per-unit record gains
+#       ``elab_memo_hits`` / ``elab_memo_misses`` (per-worker elaborated-
+#       program cache effectiveness on the parallel paths; both 0 for
+#       serial runs, where the front end elaborates exactly once) and the
+#       derived ``cache_effectiveness`` block — one hits/total/ratio
+#       entry per caching layer (result cache, solver memo, dispatch
+#       table, elaboration memo, depgraph reuse) — consumed by the run
+#       ledger (``repro.obs.ledger``) and the regression sentinel.  v5
+#       records still load through ``DriverMetrics.from_dict`` (the new
+#       fields default to 0; derived blocks are always recomputed).
+METRICS_SCHEMA_VERSION = 6
 
 
 @dataclass
@@ -105,6 +117,11 @@ class DriverMetrics:
     functions_clean: int = 0
     functions_dirty: int = 0
     results_reused: int = 0
+    # Schema v6: per-worker elaborated-program cache accounting (the
+    # parallel paths re-elaborate sources in the workers; the counters
+    # say how often a worker's memo already held the unit).
+    elab_memo_hits: int = 0
+    elab_memo_misses: int = 0
     phases: PhaseTimings = field(default_factory=PhaseTimings)
     functions: list[FunctionMetrics] = field(default_factory=list)
     # Schema v3: the unit names aggregated by ``merge_metrics`` (empty for
@@ -145,10 +162,47 @@ class DriverMetrics:
         return self.cache_hits / total if total else 0.0
 
     # ------------------------------------------------------------
+    def cache_effectiveness(self) -> dict:
+        """Schema v6: one ``{hits, total, ratio}`` entry per caching
+        layer of the stack.  ``ratio`` is ``None`` when a layer never ran
+        (zero denominator) — "unused" and "0% effective" are different
+        facts, and the regression sentinel must not confuse them.  The
+        dispatch-table entry reports hits *per rule application* (a rate,
+        not a hit ratio: the flat table is consulted on every lookup and
+        several lookups may serve one application)."""
+        def ratio_block(hits: int, total: int) -> dict:
+            return {"hits": hits, "total": total,
+                    "ratio": round(hits / total, 4) if total else None}
+
+        live = [f for f in self.functions if f.cache not in ("hit", "clean")]
+        solver_calls = sum(f.counters.get("solver_calls", 0) for f in live)
+        rule_apps = sum(f.counters.get("rule_applications", 0)
+                        for f in live)
+        return {
+            "result_cache": ratio_block(
+                self.cache_hits, self.cache_hits + self.cache_misses),
+            "solver_memo": ratio_block(self.solver_cache_hits,
+                                       solver_calls),
+            "dispatch_table": {
+                "hits": self.dispatch_table_hits,
+                "rule_applications": rule_apps,
+                "per_application": (round(self.dispatch_table_hits
+                                          / rule_apps, 4)
+                                    if rule_apps else None),
+            },
+            "elaboration_memo": ratio_block(
+                self.elab_memo_hits,
+                self.elab_memo_hits + self.elab_memo_misses),
+            "depgraph": ratio_block(self.results_reused,
+                                    len(self.functions)),
+        }
+
+    # ------------------------------------------------------------
     def to_dict(self) -> dict:
         d = asdict(self)
         d["schema_version"] = METRICS_SCHEMA_VERSION
         d["cache_hit_rate"] = round(self.cache_hit_rate, 4)
+        d["cache_effectiveness"] = self.cache_effectiveness()
         if d.get("trace") is None:
             # Absent, not null: an untraced v3 record differs from v2 only
             # by the version number and the ``units`` list.
@@ -157,6 +211,54 @@ class DriverMetrics:
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DriverMetrics":
+        """Rehydrate a serialized record of any schema version up to the
+        current one.  Fields a v<6 record lacks default (the v6 additions
+        are all zero for older runs by construction); derived keys
+        (``schema_version``, ``cache_hit_rate``, ``cache_effectiveness``)
+        are recomputed by :meth:`to_dict`, so ``from_dict(to_dict(m))``
+        round-trips byte-identically.  Raises ``ValueError`` for records
+        written by a *newer* schema."""
+        version = int(data.get("schema_version", 1))
+        if version > METRICS_SCHEMA_VERSION:
+            raise ValueError(
+                f"metrics schema {version} is newer than this build's "
+                f"v{METRICS_SCHEMA_VERSION}")
+        m = cls(study=str(data.get("study", "")),
+                jobs=int(data.get("jobs", 1)),
+                cache_enabled=bool(data.get("cache_enabled", False)),
+                cache_hits=int(data.get("cache_hits", 0)),
+                cache_misses=int(data.get("cache_misses", 0)),
+                wall_s=float(data.get("wall_s", 0.0)),
+                functions_clean=int(data.get("functions_clean", 0)),
+                functions_dirty=int(data.get("functions_dirty", 0)),
+                results_reused=int(data.get("results_reused", 0)),
+                elab_memo_hits=int(data.get("elab_memo_hits", 0)),
+                elab_memo_misses=int(data.get("elab_memo_misses", 0)),
+                units=[str(u) for u in data.get("units", [])],
+                trace=data.get("trace"))
+        for key in TELEMETRY_KEYS:
+            setattr(m, key, int(data.get(key, 0)))
+        phases = data.get("phases", {})
+        m.phases = PhaseTimings(
+            parse_s=float(phases.get("parse_s", 0.0)),
+            elaborate_s=float(phases.get("elaborate_s", 0.0)),
+            search_s=float(phases.get("search_s", 0.0)),
+            solver_s=float(phases.get("solver_s", 0.0)))
+        for fn in data.get("functions", []):
+            fm = FunctionMetrics(
+                name=str(fn.get("name", "")),
+                ok=bool(fn.get("ok", False)),
+                cache=str(fn.get("cache", "off")),
+                wall_s=float(fn.get("wall_s", 0.0)),
+                solver_s=float(fn.get("solver_s", 0.0)),
+                counters=dict(fn.get("counters", {})))
+            for key in TELEMETRY_KEYS:
+                setattr(fm, key, int(fn.get(key, 0)))
+            m.functions.append(fm)
+        return m
 
     # ------------------------------------------------------------
     def summary(self) -> str:
@@ -222,6 +324,8 @@ def merge_metrics(per_unit: list[DriverMetrics]) -> DriverMetrics:
         total.functions_clean += m.functions_clean
         total.functions_dirty += m.functions_dirty
         total.results_reused += m.results_reused
+        total.elab_memo_hits += m.elab_memo_hits
+        total.elab_memo_misses += m.elab_memo_misses
         total.phases.parse_s += m.phases.parse_s
         total.phases.elaborate_s += m.phases.elaborate_s
         total.phases.search_s += m.phases.search_s

@@ -163,13 +163,14 @@ def _worker_init(units_blob: bytes, tracing: bool = False) -> None:
 def _worker_check(unit_key: str, fn_name: str):
     from ..lang.elaborate import elaborate_source
     tp = _WORKER_STATE["programs"].get(unit_key)
+    elab_hit = tp is not None
     if tp is None:
         source, lemmas = _WORKER_STATE["units"][unit_key]
         tp = elaborate_source(source, lemmas)
         _WORKER_STATE["programs"][unit_key] = tp
     fr, wall, trace = _traced_check(tp, fn_name,
                                     _WORKER_STATE.get("tracing", False))
-    return unit_key, fn_name, fr, wall, trace
+    return unit_key, fn_name, fr, wall, trace, elab_hit
 
 
 def _session_worker_init() -> None:
@@ -185,13 +186,14 @@ def _session_worker_check(unit_key: str, fn_name: str, source: str,
     from ..lang.elaborate import elaborate_source
     cache = _WORKER_STATE.setdefault("session_programs", {})
     tp = cache.get(unit_key)
+    elab_hit = tp is not None
     if tp is None:
         tp = elaborate_source(source, lemmas)
         if len(cache) >= _SESSION_PROGRAM_CAP:
             cache.clear()
         cache[unit_key] = tp
     fr, wall, trace = _traced_check(tp, fn_name, tracing)
-    return unit_key, fn_name, fr, wall, trace
+    return unit_key, fn_name, fr, wall, trace, elab_hit
 
 
 class PoolSession:
@@ -383,7 +385,15 @@ def run_units(units: Sequence[Unit], config: Optional[DriverConfig] = None,
 
     if pending:
         live = _run_pending(pending, units_by_key, jobs, tracing, session)
-        for (ukey, name), (fr, wall, trace) in live.items():
+        for (ukey, name), (fr, wall, trace, elab_hit) in live.items():
+            # Schema v6 telemetry: did the worker's elaborated-program
+            # memo already hold the unit?  ``None`` on the serial path
+            # (the front end elaborated exactly once, no memo involved).
+            if elab_hit is not None:
+                if elab_hit:
+                    metrics[ukey].elab_memo_hits += 1
+                else:
+                    metrics[ukey].elab_memo_misses += 1
             plan = plans.get(ukey)
             fplan = plan.functions.get(name) if plan is not None else None
             if fplan is not None:
@@ -442,7 +452,8 @@ def _run_pending(pending: list[tuple[str, str]],
                  units_by_key: dict[str, Unit], jobs: int, tracing: bool,
                  session: Optional[PoolSession] = None
                  ) -> dict[tuple[str, str],
-                           tuple[FunctionResult, float, Optional[tuple]]]:
+                           tuple[FunctionResult, float, Optional[tuple],
+                                 Optional[bool]]]:
     if session is not None and session.jobs > 1 and len(pending) > 1:
         try:
             return _run_parallel_session(pending, units_by_key, session,
@@ -462,7 +473,8 @@ def _run_pending(pending: list[tuple[str, str]],
 def _run_serial(pending, units_by_key, tracing):
     out = {}
     for ukey, name in pending:
-        out[(ukey, name)] = _check_one(units_by_key[ukey].tp, name, tracing)
+        fr, wall, trace = _check_one(units_by_key[ukey].tp, name, tracing)
+        out[(ukey, name)] = (fr, wall, trace, None)
     return out
 
 
@@ -475,8 +487,8 @@ def _run_parallel_session(pending, units_by_key, session, tracing):
                for ukey, name in pending]
     out = {}
     for fut in as_completed(futures):
-        ukey, name, fr, wall, trace = fut.result()
-        out[(ukey, name)] = (fr, wall, trace)
+        ukey, name, fr, wall, trace, elab_hit = fut.result()
+        out[(ukey, name)] = (fr, wall, trace, elab_hit)
     return out
 
 
@@ -493,8 +505,8 @@ def _run_parallel(pending, units_by_key, jobs, tracing):
         futures = [pool.submit(_worker_check, ukey, name)
                    for ukey, name in pending]
         for fut in as_completed(futures):
-            ukey, name, fr, wall, trace = fut.result()
-            out[(ukey, name)] = (fr, wall, trace)
+            ukey, name, fr, wall, trace, elab_hit = fut.result()
+            out[(ukey, name)] = (fr, wall, trace, elab_hit)
     return out
 
 

@@ -199,6 +199,34 @@ def verify_files(paths: Sequence[Union[str, Path]], *,
     config = DriverConfig(jobs=jobs, cache=cache, cache_dir=cache_dir,
                           trace=tracing)
     runner = run_units_incremental if incremental else run_units
+    t0 = time.perf_counter()
     results = runner(units, config)
-    return {study: VerificationOutcome(tps[study], result, study, metrics)
-            for study, (result, metrics) in results.items()}
+    wall = time.perf_counter() - t0
+    outcomes = {study: VerificationOutcome(tps[study], result, study,
+                                           metrics)
+                for study, (result, metrics) in results.items()}
+    _ledger_record(outcomes, jobs=config.resolved_jobs(), wall_s=wall,
+                   cache=bool(cache or cache_dir or incremental),
+                   incremental=incremental)
+    return outcomes
+
+
+def _ledger_record(outcomes: dict, *, jobs: int, wall_s: float,
+                   cache: bool, incremental: bool) -> None:
+    """Append one run-ledger record when ``RC_LEDGER`` opts in (see
+    :mod:`repro.obs.ledger`).  The off path is one environ lookup; the
+    imports stay lazy so untelemetered runs never load the observatory.
+    The driver-level run shape (result cache, incremental planning) goes
+    into the record's config block: it changes the wall time as much as
+    any global switch, so it must split the sentinel's comparability
+    pools."""
+    from .obs.ledger import ledger_env_path, record_run
+    if ledger_env_path() is None:
+        return
+    from .obs.aggregate import costs_of_outcomes
+    record_run("verify", wall_s=wall_s, jobs=jobs,
+               metrics=[o.metrics for o in outcomes.values()
+                        if o.metrics is not None],
+               costs=costs_of_outcomes(outcomes.values()),
+               config_extra={"result_cache": cache,
+                             "incremental": incremental})

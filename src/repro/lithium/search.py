@@ -33,7 +33,7 @@ from __future__ import annotations
 import itertools as _itertools
 import sys
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as _dc_fields
 from typing import Callable, Optional, Sequence
 
 from ..pure.simplify import simplify, simplify_hyp
@@ -108,6 +108,21 @@ class VerificationError(Exception):
 EvarRule = Callable[[Term, "SearchState"], Optional[Term]]
 
 
+#: The cache/engine telemetry fields of :class:`Stats` — the single
+#: source of truth for what ``counters()`` excludes.  Telemetry values
+#: vary with the cache/compile configuration and the schedule, while
+#: ``counters()`` must stay byte-identical across all of them (it feeds
+#: the fuzz-corpus fingerprints and the driver's on-disk result cache).
+#: The driver metrics, the observability ledger and the tests all import
+#: this tuple instead of repeating the field names.
+TELEMETRY_KEYS = ("solver_cache_hits", "terms_interned",
+                  "dispatch_table_hits", "terms_compiled")
+
+#: Wall-clock fields of :class:`Stats` — excluded from ``counters()``
+#: for the same reason the trace exporters strip timestamps.
+WALL_CLOCK_KEYS = ("solver_time",)
+
+
 @dataclass
 class Stats:
     """Search statistics — the raw material for Figure 7's columns."""
@@ -124,11 +139,8 @@ class Stats:
     backtracks: int = 0   # must stay 0 — asserted by the benchmarks
     solver_calls: int = 0
     solver_time: float = 0.0   # wall seconds spent inside PureSolver.prove
-    # Cache/engine telemetry.  Deliberately NOT part of counters(): the
-    # values depend on whether the pure caches are enabled, while
-    # counters() must stay byte-identical between cached and cache-free
-    # runs (it feeds the fuzz-corpus fingerprints and the driver's
-    # on-disk result cache).
+    # Cache/engine telemetry (see TELEMETRY_KEYS above).  Deliberately
+    # NOT part of counters().
     solver_cache_hits: int = 0
     terms_interned: int = 0
     dispatch_table_hits: int = 0
@@ -136,23 +148,22 @@ class Stats:
 
     def counters(self) -> dict:
         """The deterministic portion of the statistics: every counter, but
-        no wall-clock measurement.  Two verifications of the same function
-        must produce equal ``counters()`` regardless of machine load,
-        process, or scheduling — the determinism tests assert exactly
-        this."""
-        return {
-            "rule_applications": self.rule_applications,
-            "rules_used": sorted(self.rules_used),
-            "evars_created": self.evars_created,
-            "evars_instantiated": self.evars_instantiated,
-            "side_conditions_auto": self.side_conditions_auto,
-            "side_conditions_manual": self.side_conditions_manual,
-            "manual_conditions": [list(m) for m in self.manual_conditions],
-            "atom_matches": self.atom_matches,
-            "conj_forks": self.conj_forks,
-            "backtracks": self.backtracks,
-            "solver_calls": self.solver_calls,
-        }
+        no wall-clock measurement (:data:`WALL_CLOCK_KEYS`) and no engine
+        telemetry (:data:`TELEMETRY_KEYS`).  Two verifications of the same
+        function must produce equal ``counters()`` regardless of machine
+        load, process, scheduling, or cache/compile configuration — the
+        determinism tests assert exactly this."""
+        out = {}
+        for f in _dc_fields(self):
+            if f.name in TELEMETRY_KEYS or f.name in WALL_CLOCK_KEYS:
+                continue
+            value = getattr(self, f.name)
+            if f.name == "rules_used":
+                value = sorted(value)
+            elif f.name == "manual_conditions":
+                value = [list(m) for m in value]
+            out[f.name] = value
+        return out
 
 
 class SearchState:

@@ -1,0 +1,36 @@
+"""The verification observatory (README "Observability").
+
+Three layers over the existing trace/metrics machinery:
+
+* :mod:`.ledger` — the persistent run ledger: one schema-versioned JSONL
+  record per verify/bench/fuzz run, appended atomically when
+  ``RC_LEDGER`` is set, read tolerantly (torn lines and alien schema
+  versions are counted and skipped, never raised);
+* :mod:`.aggregate` — per-rule / per-tactic cost accounting streamed off
+  the trace event stream, merged deterministically like the fuzz
+  coverage map;
+* :mod:`.regress` — the noise-aware regression sentinel: candidate vs
+  median-of-history with per-metric threshold bands, driven by
+  ``scripts/rcstat.py`` and the CI perf-sentinel job.
+"""
+
+from .aggregate import (AGGREGATE_SCHEMA_VERSION, SOLVER_PREFIX, CostEntry,
+                        RuleCostMap, costs_of_outcomes, render_top_rules)
+from .ledger import (DEFAULT_LEDGER_PATH, LEDGER_SCHEMA_VERSION,
+                     LedgerView, append_record, build_record, git_sha,
+                     ledger_env_path, read_ledger, record_run)
+from .regress import (MIN_HISTORY, RATIO_ABS_TOL, WALL_ABS_FLOOR_S,
+                      WALL_REL_TOL, Regression, SentinelReport,
+                      check_all_pools, check_latest, check_record,
+                      comparable_history, pool_key)
+
+__all__ = [
+    "AGGREGATE_SCHEMA_VERSION", "SOLVER_PREFIX", "CostEntry", "RuleCostMap",
+    "costs_of_outcomes", "render_top_rules",
+    "DEFAULT_LEDGER_PATH", "LEDGER_SCHEMA_VERSION", "LedgerView",
+    "append_record", "build_record", "git_sha", "ledger_env_path",
+    "read_ledger", "record_run",
+    "MIN_HISTORY", "RATIO_ABS_TOL", "WALL_ABS_FLOOR_S", "WALL_REL_TOL",
+    "Regression", "SentinelReport", "check_all_pools", "check_latest",
+    "check_record", "comparable_history", "pool_key",
+]

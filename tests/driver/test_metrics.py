@@ -3,7 +3,9 @@
 import json
 
 from repro.driver import merge_metrics
+from repro.driver.metrics import METRICS_SCHEMA_VERSION, DriverMetrics
 from repro.frontend import verify_file
+from repro.lithium.search import TELEMETRY_KEYS
 
 from .conftest import study_path
 
@@ -40,7 +42,7 @@ def test_function_metrics_match_results():
 def test_json_export_schema():
     out = verify_file(study_path("mpool"))
     data = json.loads(out.metrics.to_json())
-    assert data["schema_version"] == 5
+    assert data["schema_version"] == METRICS_SCHEMA_VERSION == 6
     assert data["jobs"] == 1
     assert set(data["phases"]) == {"parse_s", "elaborate_s", "search_s",
                                    "solver_s"}
@@ -50,10 +52,10 @@ def test_json_export_schema():
             "counters", "solver_cache_hits", "terms_interned",
             "dispatch_table_hits", "terms_compiled"} <= set(fn)
     assert fn["counters"]["backtracks"] == 0
-    # The engine telemetry must never leak into the deterministic counters.
-    assert "solver_cache_hits" not in fn["counters"]
-    assert "dispatch_table_hits" not in fn["counters"]
-    assert "terms_compiled" not in fn["counters"]
+    # The engine telemetry must never leak into the deterministic counters
+    # — the exclusion list is the single shared TELEMETRY_KEYS constant.
+    for key in TELEMETRY_KEYS:
+        assert key not in fn["counters"]
     assert data["terms_interned"] > 0
 
 
@@ -132,7 +134,7 @@ def test_json_v3_trace_key_absent_when_off():
 def test_json_v3_trace_block_present_when_on():
     out = verify_file(study_path("mpool"), trace=True)
     data = json.loads(out.metrics.to_json())
-    assert data["schema_version"] == 5
+    assert data["schema_version"] == METRICS_SCHEMA_VERSION
     block = data["trace"]
     assert {"events", "dropped", "rules", "solver",
             "slowest_prove"} <= set(block)
@@ -196,8 +198,80 @@ def test_merge_metrics_merges_trace_blocks():
 
 
 def test_cache_hit_rate():
-    from repro.driver import DriverMetrics
     m = DriverMetrics()
     assert m.cache_hit_rate == 0.0
     m.cache_hits, m.cache_misses = 3, 1
     assert m.cache_hit_rate == 0.75
+
+
+def test_json_v6_cache_effectiveness_block():
+    """Schema v6: every record carries the derived cache-effectiveness
+    block; never-exercised layers report ``ratio: null`` ("unused"),
+    never 0.0 ("0% effective")."""
+    out = verify_file(study_path("mpool"))
+    data = json.loads(out.metrics.to_json())
+    eff = data["cache_effectiveness"]
+    assert set(eff) == {"result_cache", "solver_memo", "dispatch_table",
+                        "elaboration_memo", "depgraph"}
+    # Cache off, serial run: the result cache and elaboration memo never
+    # ran, while solver memo and depgraph have live denominators.
+    assert eff["result_cache"]["total"] == 0
+    assert eff["result_cache"]["ratio"] is None
+    assert eff["elaboration_memo"]["ratio"] is None
+    assert eff["solver_memo"]["total"] > 0
+    assert eff["depgraph"] == {"hits": 0,
+                               "total": len(data["functions"]),
+                               "ratio": 0.0}
+    assert eff["dispatch_table"]["rule_applications"] > 0
+
+
+def test_json_v6_round_trip():
+    """``from_dict(to_dict(m)).to_dict()`` is byte-identical for a real
+    record — traced and untraced alike."""
+    for trace in (False, True):
+        out = verify_file(study_path("mpool"), trace=trace)
+        d = out.metrics.to_dict()
+        assert DriverMetrics.from_dict(d).to_dict() == d
+        # And through an actual JSON encode/decode cycle.
+        roundtrip = DriverMetrics.from_dict(json.loads(out.metrics.to_json()))
+        assert json.loads(roundtrip.to_json()) == json.loads(
+            out.metrics.to_json())
+
+
+def test_json_v5_record_still_loads():
+    """A v5 record (no elab counters, no effectiveness block) loads with
+    the v6 fields defaulted, and re-serializing it adds *only* the v6
+    derived/telemetry keys — every v5 field survives byte-compatibly."""
+    out = verify_file(study_path("mpool"))
+    v6 = out.metrics.to_dict()
+    v5 = json.loads(json.dumps(v6))
+    v5["schema_version"] = 5
+    del v5["cache_effectiveness"]
+    del v5["elab_memo_hits"]
+    del v5["elab_memo_misses"]
+
+    m = DriverMetrics.from_dict(v5)
+    assert m.elab_memo_hits == 0 and m.elab_memo_misses == 0
+    reexported = m.to_dict()
+    assert reexported["schema_version"] == METRICS_SCHEMA_VERSION
+    for key, value in v5.items():
+        if key == "schema_version":
+            continue
+        assert reexported[key] == value, key
+
+
+def test_from_dict_rejects_newer_schema():
+    import pytest
+    with pytest.raises(ValueError):
+        DriverMetrics.from_dict({"schema_version": METRICS_SCHEMA_VERSION
+                                 + 1})
+
+
+def test_merge_metrics_sums_elab_memo_counters():
+    a = verify_file(study_path("mpool")).metrics
+    b = verify_file(study_path("spinlock")).metrics
+    a.elab_memo_hits, a.elab_memo_misses = 3, 1
+    b.elab_memo_hits, b.elab_memo_misses = 2, 2
+    total = merge_metrics([a, b])
+    assert total.elab_memo_hits == 5
+    assert total.elab_memo_misses == 3

@@ -1,0 +1,11 @@
+"""Shared helpers for the observatory tests."""
+
+import pytest
+
+from repro.report import casestudies_dir
+
+
+@pytest.fixture
+def study_path():
+    """Resolve a case-study stem to its annotated C file."""
+    return lambda stem: casestudies_dir() / f"{stem}.c"
