@@ -38,7 +38,7 @@ from repro.obs import (MIN_HISTORY, RATIO_ABS_TOL,     # noqa: E402
                        render_top_rules)
 from repro.obs.aggregate import SOLVER_PREFIX          # noqa: E402
 from repro.obs.ledger import (DEFAULT_LEDGER_PATH,     # noqa: E402
-                              ledger_env_path)
+                              KNOWN_KINDS, ledger_env_path)
 from repro.trace.signature import RULE_PREFIX          # noqa: E402
 
 EXIT_REGRESSION = 3
@@ -172,7 +172,7 @@ def main() -> int:
     ap.add_argument("--ledger", metavar="PATH",
                     help="ledger file (default: $RC_LEDGER or "
                          f"{DEFAULT_LEDGER_PATH})")
-    ap.add_argument("--kind", choices=["verify", "bench", "fuzz"],
+    ap.add_argument("--kind", choices=list(KNOWN_KINDS),
                     help="restrict to records of one kind")
     ap.add_argument("--limit", type=int, default=15, metavar="N",
                     help="rows in the dashboard/cache report (default 15)")

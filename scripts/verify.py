@@ -121,6 +121,26 @@ def main(argv=None) -> int:
     tot = telemetry["totals"]
     all_ok = True
 
+    # A requested file may not exist on disk — most commonly a .c file
+    # deleted on the PR branch while a CI matrix still names it (the
+    # dirty set came from `git diff`, which lists deletions too).
+    # Under --changed-since that is routine: there is nothing left to
+    # verify, so report the file as skipped-deleted and move on.
+    # Explicitly naming a missing file *without* --changed-since is a
+    # caller mistake and fails cleanly instead of crashing mid-run.
+    missing = [p for p in paths if not p.is_file()]
+    if missing and not args.changed_since:
+        for p in missing:
+            print(f"verify: no such file: {p}", file=sys.stderr)
+        return 2
+    for p in missing:
+        telemetry["files"][p.stem] = {
+            "status": "skipped-deleted", "ok": True, "functions": 0,
+            "clean": 0, "dirty": 0, "reused": 0, "rechecked": 0}
+        tot["skipped_files"] += 1
+        print(f"{p.stem}: deleted, nothing to verify (skipped)")
+    paths = [p for p in paths if p not in missing]
+
     to_run = list(paths)
     if args.changed_since and not args.full:
         changed = changed_files(paths, args.changed_since)

@@ -40,7 +40,8 @@ from .cache import atomic_write_json
 from .depgraph import (DepGraph, build_depgraph, changed_nodes,
                        engine_fingerprint, transitive_key)
 from .metrics import DriverMetrics
-from .pool import (DriverConfig, FunctionPlan, Unit, UnitPlan, run_units)
+from .pool import (DriverConfig, FunctionPlan, PoolSession, Unit, UnitPlan,
+                   run_units)
 
 STATE_FORMAT_VERSION = 1
 STATE_FILE = "depgraph.json"
@@ -214,11 +215,51 @@ def _trace_plan(unit: Unit, plan: UnitPlan) -> None:
 
 
 # ---------------------------------------------------------------------
+# Session-scoped state reuse.
+# ---------------------------------------------------------------------
+
+def _state_stat(cache_dir: Path):
+    """A cheap change signature for the persisted planner state: the
+    ``(mtime_ns, size)`` of ``depgraph.json``, ``None`` when absent."""
+    try:
+        st = (Path(cache_dir) / STATE_FILE).stat()
+    except OSError:
+        return None
+    return (st.st_mtime_ns, st.st_size)
+
+
+def load_state_cached(cache_dir: Path, engine: str,
+                      state_cache: Optional[dict]) -> "IncrementalState":
+    """Load planner state, reusing a long-lived caller's parsed copy.
+
+    ``state_cache`` (cache-dir string → ``(stat signature, state)``) is
+    the serve daemon's per-namespace memo: a warm request skips the JSON
+    parse entirely when the on-disk file still matches what this process
+    last read or wrote.  A foreign writer (batch CLI run, concurrent
+    daemon) moves the stat signature and forces a clean reload, so the
+    memo can serve stale state only while the file itself is unchanged.
+    """
+    if state_cache is None:
+        return IncrementalState.load(cache_dir, engine)
+    key = str(Path(cache_dir).resolve())
+    cached = state_cache.get(key)
+    stat = _state_stat(cache_dir)
+    if cached is not None and stat is not None and cached[0] == stat \
+            and cached[1].engine == engine:
+        return cached[1]
+    state = IncrementalState.load(cache_dir, engine)
+    state_cache[key] = (stat, state)
+    return state
+
+
+# ---------------------------------------------------------------------
 # The incremental entry point.
 # ---------------------------------------------------------------------
 
 def run_units_incremental(units: Sequence[Unit],
-                          config: Optional[DriverConfig] = None
+                          config: Optional[DriverConfig] = None,
+                          session: Optional[PoolSession] = None,
+                          state_cache: Optional[dict] = None
                           ) -> dict[str, tuple[object, DriverMetrics]]:
     """Drive ``run_units`` through the incremental planner.
 
@@ -226,6 +267,10 @@ def run_units_incremental(units: Sequence[Unit],
     the persistent result cache is implied (``cache=True`` when no cache
     directory was named).  After the run the fresh graph, per-function
     transitive keys and outcomes are persisted for the next invocation.
+
+    ``session`` reuses a caller-owned warm :class:`PoolSession` for the
+    dirty subset; ``state_cache`` lets a long-lived caller (the serve
+    daemon) skip re-parsing an unchanged ``depgraph.json`` per request.
     """
     config = config or DriverConfig()
     if not config.cache and config.cache_dir is None:
@@ -233,7 +278,7 @@ def run_units_incremental(units: Sequence[Unit],
     store = config.open_cache()
     cache_dir = store.root
     engine = engine_fingerprint()
-    state = IncrementalState.load(cache_dir, engine)
+    state = load_state_cached(cache_dir, engine, state_cache)
 
     plans: dict[str, UnitPlan] = {}
     graphs: dict[str, DepGraph] = {}
@@ -246,7 +291,7 @@ def run_units_incremental(units: Sequence[Unit],
         if config.resolved_trace():
             _trace_plan(unit, plan)
 
-    out = run_units(units, config, plans)
+    out = run_units(units, config, plans, session=session)
 
     for unit in units:
         result, _metrics = out[unit.key]
@@ -259,4 +304,7 @@ def run_units_incremental(units: Sequence[Unit],
             graph=graphs[unit.key],
             functions=functions)
     state.save(cache_dir)
+    if state_cache is not None:
+        state_cache[str(Path(cache_dir).resolve())] = \
+            (_state_stat(cache_dir), state)
     return out

@@ -28,6 +28,7 @@ is just a function name.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import multiprocessing
 import pickle
@@ -177,21 +178,33 @@ def _session_worker_init() -> None:
     _WORKER_STATE["session_programs"] = {}
 
 
-def _session_worker_check(unit_key: str, fn_name: str, source: str,
-                          lemmas, tracing: bool):
+def session_unit_key(unit_key: str, source: str) -> str:
+    """The per-worker elaboration-memo key for session-mode tasks.
+
+    Mixing the source digest into the key makes the memo *content
+    addressed*: a long-lived session serving several tenants (the serve
+    daemon's namespaces, a fuzz campaign recycling stems) can never
+    replay a stale elaboration for a same-named unit whose text differs
+    — the colliding name simply maps to a different entry."""
+    digest = hashlib.sha256(source.encode()).hexdigest()[:16]
+    return f"{unit_key}@{digest}"
+
+
+def _session_worker_check(unit_key: str, memo_key: str, fn_name: str,
+                          source: str, lemmas, tracing: bool):
     """Session-mode task: the source rides on every task (sources are
     tiny in the workloads that use sessions) and each worker memoises its
     elaboration, so the functions of one unit share the front-end work
     whichever worker they land on."""
     from ..lang.elaborate import elaborate_source
     cache = _WORKER_STATE.setdefault("session_programs", {})
-    tp = cache.get(unit_key)
+    tp = cache.get(memo_key)
     elab_hit = tp is not None
     if tp is None:
         tp = elaborate_source(source, lemmas)
         if len(cache) >= _SESSION_PROGRAM_CAP:
             cache.clear()
-        cache[unit_key] = tp
+        cache[memo_key] = tp
     fr, wall, trace = _traced_check(tp, fn_name, tracing)
     return unit_key, fn_name, fr, wall, trace, elab_hit
 
@@ -216,16 +229,20 @@ class PoolSession:
     died mid-task), :meth:`reset` discards it; the next call lazily
     builds a new one."""
 
-    def __init__(self, jobs: int = 0) -> None:
+    def __init__(self, jobs: int = 0, mp_context=None) -> None:
         self.jobs = jobs if jobs > 0 else max(1, multiprocessing.cpu_count())
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._mp_context = mp_context
         self.batches = 0      # telemetry: run_units calls served
+        self.tasks = 0        # telemetry: function checks dispatched
         self.resets = 0
+        self.created_at = time.time()
 
     def executor(self) -> ProcessPoolExecutor:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(
-                max_workers=self.jobs, mp_context=_pool_context(),
+                max_workers=self.jobs,
+                mp_context=self._mp_context or _pool_context(),
                 initializer=_session_worker_init)
         return self._pool
 
@@ -481,8 +498,11 @@ def _run_serial(pending, units_by_key, tracing):
 def _run_parallel_session(pending, units_by_key, session, tracing):
     pool = session.executor()
     session.batches += 1
-    futures = [pool.submit(_session_worker_check, ukey, name,
-                           units_by_key[ukey].source,
+    session.tasks += len(pending)
+    memo_keys = {ukey: session_unit_key(ukey, units_by_key[ukey].source)
+                 for ukey in {u for u, _ in pending}}
+    futures = [pool.submit(_session_worker_check, ukey, memo_keys[ukey],
+                           name, units_by_key[ukey].source,
                            units_by_key[ukey].lemmas, tracing)
                for ukey, name in pending]
     out = {}

@@ -176,14 +176,23 @@ def verify_files(paths: Sequence[Union[str, Path]], *,
                  cache: bool = False,
                  cache_dir: Optional[Union[str, Path]] = None,
                  trace: Optional[bool] = None,
-                 incremental: bool = False
+                 incremental: bool = False,
+                 session=None,
+                 state_cache: Optional[dict] = None,
+                 ledger: bool = True
                  ) -> dict[str, VerificationOutcome]:
     """Verify several annotated C files under one shared scheduler.
 
     Returns outcomes keyed by file stem, in input order.  With ``jobs>1``
     every (file, function) pair is one task on a single process pool.
     ``incremental=True`` re-checks only the functions whose fingerprinted
-    inputs changed since the last run against this cache directory."""
+    inputs changed since the last run against this cache directory.
+
+    A long-lived caller (the serve daemon) passes ``session`` (a warm
+    :class:`repro.driver.PoolSession`) to reuse one worker pool across
+    calls and ``state_cache`` to skip re-parsing unchanged incremental
+    planner state; ``ledger=False`` suppresses the per-call ``verify``
+    ledger record for callers that append their own richer one."""
     tracing = trace_env_enabled() if trace is None else bool(trace)
     units = []
     tps: dict[str, TypedProgram] = {}
@@ -198,16 +207,20 @@ def verify_files(paths: Sequence[Union[str, Path]], *,
                           timings=timings, front_trace=front))
     config = DriverConfig(jobs=jobs, cache=cache, cache_dir=cache_dir,
                           trace=tracing)
-    runner = run_units_incremental if incremental else run_units
     t0 = time.perf_counter()
-    results = runner(units, config)
+    if incremental:
+        results = run_units_incremental(units, config, session=session,
+                                        state_cache=state_cache)
+    else:
+        results = run_units(units, config, session=session)
     wall = time.perf_counter() - t0
     outcomes = {study: VerificationOutcome(tps[study], result, study,
                                            metrics)
                 for study, (result, metrics) in results.items()}
-    _ledger_record(outcomes, jobs=config.resolved_jobs(), wall_s=wall,
-                   cache=bool(cache or cache_dir or incremental),
-                   incremental=incremental)
+    if ledger:
+        _ledger_record(outcomes, jobs=config.resolved_jobs(), wall_s=wall,
+                       cache=bool(cache or cache_dir or incremental),
+                       incremental=incremental)
     return outcomes
 
 

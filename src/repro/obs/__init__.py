@@ -16,9 +16,10 @@ Three layers over the existing trace/metrics machinery:
 
 from .aggregate import (AGGREGATE_SCHEMA_VERSION, SOLVER_PREFIX, CostEntry,
                         RuleCostMap, costs_of_outcomes, render_top_rules)
-from .ledger import (DEFAULT_LEDGER_PATH, LEDGER_SCHEMA_VERSION,
-                     LedgerView, append_record, build_record, git_sha,
-                     ledger_env_path, read_ledger, record_run)
+from .ledger import (DEFAULT_LEDGER_PATH, KNOWN_KINDS,
+                     LEDGER_SCHEMA_VERSION, LedgerView, append_record,
+                     build_record, git_sha, ledger_env_path, read_ledger,
+                     record_run)
 from .regress import (MIN_HISTORY, RATIO_ABS_TOL, WALL_ABS_FLOOR_S,
                       WALL_REL_TOL, Regression, SentinelReport,
                       check_all_pools, check_latest, check_record,
@@ -27,9 +28,9 @@ from .regress import (MIN_HISTORY, RATIO_ABS_TOL, WALL_ABS_FLOOR_S,
 __all__ = [
     "AGGREGATE_SCHEMA_VERSION", "SOLVER_PREFIX", "CostEntry", "RuleCostMap",
     "costs_of_outcomes", "render_top_rules",
-    "DEFAULT_LEDGER_PATH", "LEDGER_SCHEMA_VERSION", "LedgerView",
-    "append_record", "build_record", "git_sha", "ledger_env_path",
-    "read_ledger", "record_run",
+    "DEFAULT_LEDGER_PATH", "KNOWN_KINDS", "LEDGER_SCHEMA_VERSION",
+    "LedgerView", "append_record", "build_record", "git_sha",
+    "ledger_env_path", "read_ledger", "record_run",
     "MIN_HISTORY", "RATIO_ABS_TOL", "WALL_ABS_FLOOR_S", "WALL_REL_TOL",
     "Regression", "SentinelReport", "check_all_pools", "check_latest",
     "check_record", "comparable_history", "pool_key",

@@ -5,8 +5,8 @@ point that opts in (``RC_LEDGER=1`` or ``RC_LEDGER=<path>``) appends one
 schema-versioned JSON line describing what ran, under which
 configuration, and what it cost —
 
-* identity: record kind (``verify``/``bench``/``fuzz``), wall-clock
-  timestamp, git sha (best effort), platform triple;
+* identity: record kind (``verify``/``bench``/``fuzz``/``serve``),
+  wall-clock timestamp, git sha (best effort), platform triple;
 * configuration: the ``RC_*`` environment flags, the resolved
   *in-process* switch states (compile / pure memo — an env flag can be
   overridden programmatically mid-process), job count, and the unit
@@ -40,6 +40,12 @@ from typing import Optional, Sequence
 LEDGER_SCHEMA_VERSION = 1
 
 DEFAULT_LEDGER_PATH = Path(".rc-ledger.jsonl")
+
+#: the record kinds the toolchain itself appends; ``kind`` is free-form
+#: for third parties, but rcstat's ``--kind`` filter offers these.
+#: ``serve`` records come from the verification daemon — one per request,
+#: with queue-wait and warm-pool telemetry under ``extra``.
+KNOWN_KINDS = ("verify", "bench", "fuzz", "serve")
 
 #: the environment flags that change proof-search performance; recorded
 #: per run and required to match for two records to be comparable

@@ -1,0 +1,93 @@
+"""The multi-tenant request queue: FIFO admission with wait telemetry.
+
+Verification requests are *serialized* through one worker loop: the warm
+:class:`~repro.driver.PoolSession` is a single shared resource, and
+running two requests' process-pool batches concurrently would interleave
+their worker memos nondeterministically.  FIFO order keeps multi-tenant
+results deterministic (two clients racing the same namespace see the
+first request's writes, then the second's — never a torn interleaving)
+and makes the *queue wait* a meaningful, reportable number: it is
+exactly the head-of-line blocking a request experienced, recorded per
+request and rolled into the daemon's ledger records.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .protocol import Request
+
+
+@dataclass
+class Ticket:
+    """One admitted request travelling from the queue to its stream.
+
+    ``events`` is the per-ticket stream the connection handler reads:
+    the worker loop puts response events on it as they are produced and
+    ``None`` as the end-of-stream sentinel."""
+
+    seq: int
+    request: Request
+    enqueued_at: float = field(default_factory=time.monotonic)
+    events: asyncio.Queue = field(default_factory=asyncio.Queue)
+    queue_wait_s: Optional[float] = None
+
+    def start(self) -> float:
+        """Mark dequeue time; returns (and records) the queue wait."""
+        self.queue_wait_s = time.monotonic() - self.enqueued_at
+        return self.queue_wait_s
+
+
+class RequestQueue:
+    """An asyncio FIFO of :class:`Ticket` with admission telemetry."""
+
+    def __init__(self) -> None:
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._seq = 0
+        self.enqueued = 0          # tickets ever admitted
+        self.served = 0            # tickets fully processed
+        self.total_wait_s = 0.0    # summed queue waits of served tickets
+        self.max_wait_s = 0.0
+
+    @property
+    def depth(self) -> int:
+        """Requests admitted but not yet finished (incl. the in-flight
+        one) — what ``status`` reports as the backlog."""
+        return self.enqueued - self.served
+
+    def admit(self, request: Request) -> Ticket:
+        """Admit one request; returns its ticket.  The ticket's queue
+        position (0 = next to run) is ``depth`` at admission time."""
+        self._seq += 1
+        ticket = Ticket(seq=self._seq, request=request)
+        self.enqueued += 1
+        self._queue.put_nowait(ticket)
+        return ticket
+
+    async def get(self) -> Ticket:
+        return await self._queue.get()
+
+    def done(self, ticket: Ticket) -> None:
+        """Account one finished ticket (its wait must have been taken
+        via :meth:`Ticket.start`)."""
+        self.served += 1
+        wait = ticket.queue_wait_s or 0.0
+        self.total_wait_s += wait
+        self.max_wait_s = max(self.max_wait_s, wait)
+        self._queue.task_done()
+
+    async def join(self) -> None:
+        """Drain: resolves when every admitted ticket has been served."""
+        await self._queue.join()
+
+    def stats(self) -> dict:
+        return {
+            "depth": self.depth,
+            "enqueued": self.enqueued,
+            "served": self.served,
+            "total_wait_s": round(self.total_wait_s, 6),
+            "max_wait_s": round(self.max_wait_s, 6),
+        }

@@ -1,0 +1,109 @@
+"""Filesystem polling for ``rcd watch``: edits become dirty sets.
+
+The watcher snapshots each watched file's ``(mtime_ns, size)`` and only
+hashes content when the cheap stat signature moved — editors that touch
+without changing (format-on-save no-ops, ``git checkout`` of an
+identical blob) therefore do *not* trigger re-verification, because the
+incremental engine would re-check nothing anyway and the round trip to
+the daemon is the only cost.  Deletions are reported separately so the
+caller can drop them instead of asking the daemon to verify a missing
+path (the same defect ``scripts/verify.py --changed-since`` guards
+against).
+
+Polling (not inotify) is deliberate: it is portable, dependency-free,
+and at editor timescales (hundreds of milliseconds) indistinguishable
+from event-driven watching for a handful of translation units.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+
+@dataclass(frozen=True)
+class FileState:
+    """One watched file's change signature."""
+
+    mtime_ns: int
+    size: int
+    sha: str
+
+
+def _stat_sig(path: Path) -> Optional[tuple[int, int]]:
+    try:
+        st = path.stat()
+    except OSError:
+        return None
+    return (st.st_mtime_ns, st.st_size)
+
+
+def _sha(path: Path) -> Optional[str]:
+    try:
+        return hashlib.sha256(path.read_bytes()).hexdigest()
+    except OSError:
+        return None
+
+
+@dataclass
+class PollResult:
+    """What one poll observed."""
+
+    changed: list[Path]
+    deleted: list[Path]
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self.changed or self.deleted)
+
+
+class FileWatcher:
+    """Track a fixed set of files; :meth:`poll` returns what moved."""
+
+    def __init__(self, paths: Iterable[Path | str]) -> None:
+        self.paths = [Path(p) for p in paths]
+        self._states: dict[Path, Optional[FileState]] = {}
+        for p in self.paths:
+            self._states[p] = self._observe(p)
+
+    @staticmethod
+    def _observe(path: Path) -> Optional[FileState]:
+        sig = _stat_sig(path)
+        if sig is None:
+            return None
+        sha = _sha(path)
+        if sha is None:
+            return None
+        return FileState(mtime_ns=sig[0], size=sig[1], sha=sha)
+
+    def poll(self) -> PollResult:
+        """Compare the current filesystem against the last snapshot and
+        advance the snapshot.  A file counts as *changed* only when its
+        content hash moved (a bare mtime touch is absorbed here);
+        *deleted* when it existed at the last poll and is now gone.  A
+        file that reappears after deletion is changed again."""
+        changed: list[Path] = []
+        deleted: list[Path] = []
+        for p in self.paths:
+            old = self._states[p]
+            sig = _stat_sig(p)
+            if sig is None:
+                if old is not None:
+                    deleted.append(p)
+                    self._states[p] = None
+                continue
+            if old is not None and (sig[0], sig[1]) == (old.mtime_ns,
+                                                        old.size):
+                continue          # cheap path: stat signature unchanged
+            new = self._observe(p)
+            if new is None:       # raced a deletion mid-poll
+                if old is not None:
+                    deleted.append(p)
+                self._states[p] = None
+                continue
+            if old is None or new.sha != old.sha:
+                changed.append(p)
+            self._states[p] = new
+        return PollResult(changed=changed, deleted=deleted)

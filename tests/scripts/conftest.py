@@ -1,0 +1,26 @@
+"""Load repo scripts as modules so their main(argv) is unit-testable."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+SCRIPTS_DIR = Path(__file__).resolve().parents[2] / "scripts"
+
+
+def load_script(name):
+    spec = importlib.util.spec_from_file_location(
+        f"script_{name}", SCRIPTS_DIR / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.fixture(scope="module")
+def ci_checks():
+    return load_script("ci_checks")
+
+
+@pytest.fixture(scope="module")
+def verify_cli():
+    return load_script("verify")

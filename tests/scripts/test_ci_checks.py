@@ -1,0 +1,151 @@
+"""ci_checks subcommands: the assertions CI enforces, now testable."""
+
+import json
+
+import pytest
+
+
+def write(path, payload):
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return str(path)
+
+
+# ---------------------------------------------------------------------
+# bench-artifact
+# ---------------------------------------------------------------------
+
+def bench_payload(fingerprint=True, verified=True, ratio=1.4):
+    return {"checks": {"fingerprint_identical": fingerprint,
+                       "all_verified": verified},
+            "speedup": {"compiled_check_wall": ratio}}
+
+
+class TestBenchArtifact:
+    def test_good_artifact_passes(self, ci_checks, tmp_path, capsys):
+        p = write(tmp_path / "b.json", bench_payload())
+        assert ci_checks.main(["bench-artifact", p]) == 0
+        assert "fingerprint ok" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("payload", [
+        bench_payload(fingerprint=False),
+        bench_payload(verified=False),
+        bench_payload(ratio=0.5),
+    ])
+    def test_bad_artifact_fails(self, ci_checks, tmp_path, payload):
+        p = write(tmp_path / "b.json", payload)
+        assert ci_checks.main(["bench-artifact", p]) == 1
+
+    def test_speedup_floor_is_tunable(self, ci_checks, tmp_path):
+        p = write(tmp_path / "b.json", bench_payload(ratio=1.1))
+        assert ci_checks.main(
+            ["bench-artifact", p, "--min-speedup", "1.3"]) == 1
+
+
+# ---------------------------------------------------------------------
+# traced-verify
+# ---------------------------------------------------------------------
+
+class TestTracedVerify:
+    def test_traced_run_passes_under_rc_trace(self, ci_checks,
+                                              monkeypatch):
+        monkeypatch.setenv("RC_TRACE", "1")
+        assert ci_checks.main(["traced-verify", "--stem", "queue"]) == 0
+
+    def test_untraced_run_fails(self, ci_checks, monkeypatch, capsys):
+        monkeypatch.delenv("RC_TRACE", raising=False)
+        assert ci_checks.main(["traced-verify", "--stem", "queue"]) == 1
+        assert "no trace" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------
+# coverage-diff
+# ---------------------------------------------------------------------
+
+class TestCoverageDiff:
+    def make(self, tmp_path, got, pinned):
+        stats = write(tmp_path / "stats.json",
+                      {"coverage": {"keys": sorted(got)}})
+        base = write(tmp_path / "base.json", {"keys": sorted(pinned)})
+        return stats, base
+
+    def test_diff_renders_missing_and_new(self, ci_checks, tmp_path,
+                                          capsys):
+        stats, base = self.make(tmp_path, {"a", "c"}, {"a", "b"})
+        assert ci_checks.main(["coverage-diff", stats, base]) == 0
+        out = capsys.readouterr().out
+        assert "campaign keys: 2 (baseline pins 2)" in out
+        assert "**missing**: `b`" in out
+        assert "new (unpinned): `c`" in out
+
+    def test_strict_fails_on_missing_pinned_key(self, ci_checks,
+                                                tmp_path):
+        stats, base = self.make(tmp_path, {"a"}, {"a", "b"})
+        assert ci_checks.main(
+            ["coverage-diff", stats, base, "--strict"]) == 1
+
+    def test_strict_passes_when_all_pinned_covered(self, ci_checks,
+                                                   tmp_path):
+        stats, base = self.make(tmp_path, {"a", "b", "c"}, {"a", "b"})
+        assert ci_checks.main(
+            ["coverage-diff", stats, base, "--strict"]) == 0
+
+
+# ---------------------------------------------------------------------
+# batch-reference + serve-compare
+# ---------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def batch_json(ci_checks, tmp_path_factory):
+    p = tmp_path_factory.mktemp("serve-compare") / "batch.json"
+    assert ci_checks.main(
+        ["batch-reference", "queue", "--json", str(p)]) == 0
+    return p
+
+
+def serve_payload(batch, *, warm, rechecked, ok=True):
+    return {"files": json.loads(batch.read_text())["files"],
+            "summary": {"ok": ok, "warm": warm, "rechecked": rechecked,
+                        "queue_wait_s": 0.0}}
+
+
+class TestServeCompare:
+    def test_batch_reference_shape(self, batch_json):
+        data = json.loads(batch_json.read_text())
+        assert data["ok"] is True
+        assert set(data["files"]) == {"queue"}
+        fn = next(iter(data["files"]["queue"].values()))
+        assert set(fn) == {"ok", "error", "counters"}
+
+    def test_identical_outcomes_pass(self, ci_checks, batch_json,
+                                     tmp_path, capsys):
+        cold = write(tmp_path / "cold.json",
+                     serve_payload(batch_json, warm=False, rechecked=3))
+        warm = write(tmp_path / "warm.json",
+                     serve_payload(batch_json, warm=True, rechecked=0))
+        assert ci_checks.main(
+            ["serve-compare", str(batch_json), cold, warm]) == 0
+        assert "identical to batch" in capsys.readouterr().out
+
+    def test_divergent_cold_outcome_fails(self, ci_checks, batch_json,
+                                          tmp_path, capsys):
+        payload = serve_payload(batch_json, warm=False, rechecked=3)
+        fn = next(iter(payload["files"]["queue"]))
+        payload["files"]["queue"][fn]["ok"] = False
+        cold = write(tmp_path / "cold.json", payload)
+        warm = write(tmp_path / "warm.json",
+                     serve_payload(batch_json, warm=True, rechecked=0))
+        assert ci_checks.main(
+            ["serve-compare", str(batch_json), cold, warm]) == 1
+        assert "differ from the batch" in capsys.readouterr().err
+
+    def test_lukewarm_second_request_fails(self, ci_checks, batch_json,
+                                           tmp_path, capsys):
+        cold = write(tmp_path / "cold.json",
+                     serve_payload(batch_json, warm=False, rechecked=3))
+        warm = write(tmp_path / "warm.json",
+                     serve_payload(batch_json, warm=False, rechecked=2))
+        assert ci_checks.main(
+            ["serve-compare", str(batch_json), cold, warm]) == 1
+        err = capsys.readouterr().err
+        assert "not served warm" in err
+        assert "re-checked 2" in err

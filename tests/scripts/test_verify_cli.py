@@ -1,0 +1,51 @@
+"""scripts/verify.py: deleted files must not crash --changed-since."""
+
+import json
+
+
+class TestDeletedFiles:
+    def test_changed_since_skips_deleted_file(self, verify_cli,
+                                              tmp_path, capsys):
+        out_json = tmp_path / "telemetry.json"
+        rc = verify_cli.main([
+            "definitely_not_a_study", "--changed-since", "HEAD",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--json", str(out_json)])
+        assert rc == 0
+        assert "deleted, nothing to verify" in capsys.readouterr().out
+        data = json.loads(out_json.read_text())
+        entry = data["files"]["definitely_not_a_study"]
+        assert entry["status"] == "skipped-deleted"
+        assert entry["functions"] == 0
+        assert data["totals"]["skipped_files"] == 1
+        assert data["ok"] is True
+
+    def test_changed_since_still_verifies_the_living(self, verify_cli,
+                                                     tmp_path):
+        out_json = tmp_path / "telemetry.json"
+        rc = verify_cli.main([
+            "queue", "gone_with_the_branch",
+            "--changed-since", "HEAD",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--json", str(out_json)])
+        assert rc == 0
+        data = json.loads(out_json.read_text())
+        assert data["files"]["gone_with_the_branch"]["status"] == \
+            "skipped-deleted"
+        queue = data["files"]["queue"]
+        assert queue["status"] == "verified"
+        assert queue["ok"] is True
+        assert queue["functions"] > 0
+
+    def test_explicit_missing_file_fails_cleanly(self, verify_cli,
+                                                 capsys):
+        rc = verify_cli.main(["definitely_not_a_study"])
+        assert rc == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_full_mode_also_fails_cleanly(self, verify_cli, tmp_path,
+                                          capsys):
+        rc = verify_cli.main([
+            str(tmp_path / "nope.c"), "--full"])
+        assert rc == 2
+        assert "no such file" in capsys.readouterr().err

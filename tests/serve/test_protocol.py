@@ -1,0 +1,98 @@
+"""Wire-protocol unit tests: validation is strict, errors structured."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (MAX_BODY_BYTES, PROTOCOL_VERSION,
+                                  ProtocolError, encode_event, event,
+                                  parse_request)
+
+
+def body(**kw):
+    kw.setdefault("protocol", PROTOCOL_VERSION)
+    return json.dumps(kw).encode()
+
+
+class TestParseRequest:
+    def test_minimal_verify(self):
+        req = parse_request(body(method="verify"))
+        assert req.method == "verify"
+        assert req.params == {}
+        assert req.id == ""
+
+    def test_full_verify(self):
+        req = parse_request(body(
+            method="verify", id="r1",
+            params={"paths": ["queue", "mpool.c"], "root": "/p",
+                    "jobs": 4, "full": True}))
+        assert req.id == "r1"
+        assert req.params["paths"] == ["queue", "mpool.c"]
+
+    @pytest.mark.parametrize("method", ["status", "reset", "shutdown"])
+    def test_control_methods(self, method):
+        assert parse_request(body(method=method)).method == method
+
+    def test_protocol_defaults_to_current(self):
+        req = parse_request(json.dumps({"method": "status"}).encode())
+        assert req.method == "status"
+
+    @pytest.mark.parametrize("raw,code", [
+        (b"\xff\xfe not json", "parse-error"),
+        (b"{nope", "parse-error"),
+        (b"[1,2]", "bad-request"),
+        (b'{"protocol": 99, "method": "status"}', "bad-request"),
+        (b'{"method": "frobnicate"}', "unknown-method"),
+        (b'{"method": 7}', "unknown-method"),
+        (b'{"method": "verify", "params": []}', "bad-request"),
+        (b'{"method": "verify", "id": 5}', "bad-request"),
+    ])
+    def test_defects_are_structured(self, raw, code):
+        with pytest.raises(ProtocolError) as exc:
+            parse_request(raw)
+        assert exc.value.code == code
+
+    def test_oversized_body_is_structured(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_request(b"x" * (MAX_BODY_BYTES + 1))
+        assert exc.value.code == "request-too-large"
+        assert exc.value.http_status == 413
+
+    @pytest.mark.parametrize("params", [
+        {"paths": "queue"},            # not a list
+        {"paths": [""]},               # empty element
+        {"paths": [1]},                # non-string element
+        {"root": 7},
+        {"jobs": 0},
+        {"jobs": -2},
+        {"jobs": True},                # bool is not a job count
+        {"jobs": "4"},
+        {"full": "yes"},
+    ])
+    def test_bad_verify_params(self, params):
+        with pytest.raises(ProtocolError) as exc:
+            parse_request(body(method="verify", params=params))
+        assert exc.value.code == "bad-params"
+
+
+class TestEvents:
+    def test_event_discriminator_is_positional_only(self):
+        # function events legitimately carry a `name` payload field
+        ev = event("function", name="mpool_alloc", ok=True)
+        assert ev["event"] == "function"
+        assert ev["name"] == "mpool_alloc"
+
+    def test_encode_is_one_sorted_line(self):
+        line = encode_event(event("done", warm=True, clean=3))
+        assert line.endswith(b"\n") and line.count(b"\n") == 1
+        assert line == b'{"clean":3,"event":"done","warm":true}\n'
+
+    def test_encode_is_deterministic_across_insertion_order(self):
+        a = encode_event({"b": 1, "a": 2, "event": "x"})
+        b = encode_event({"event": "x", "a": 2, "b": 1})
+        assert a == b
+
+    def test_protocol_error_to_event(self):
+        ev = ProtocolError("bad-params", "nope").to_event()
+        assert ev == {"event": "error", "code": "bad-params",
+                      "message": "nope"}

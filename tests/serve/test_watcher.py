@@ -1,0 +1,64 @@
+"""FileWatcher: content changes fire, bare touches are absorbed."""
+
+import os
+
+from repro.serve.watcher import FileWatcher
+
+
+def bump_mtime(path):
+    st = path.stat()
+    os.utime(path, ns=(st.st_atime_ns, st.st_mtime_ns + 1_000_000))
+
+
+def test_quiet_poll_is_clean(tmp_path):
+    f = tmp_path / "a.c"
+    f.write_text("int x;\n")
+    w = FileWatcher([f])
+    res = w.poll()
+    assert not res.dirty
+
+
+def test_content_change_fires_once(tmp_path):
+    f = tmp_path / "a.c"
+    f.write_text("int x;\n")
+    w = FileWatcher([f])
+    f.write_text("int y;\n")
+    bump_mtime(f)
+    assert w.poll().changed == [f]
+    assert not w.poll().dirty          # snapshot advanced
+
+
+def test_bare_touch_is_absorbed(tmp_path):
+    f = tmp_path / "a.c"
+    f.write_text("int x;\n")
+    w = FileWatcher([f])
+    bump_mtime(f)                      # mtime moved, content identical
+    assert not w.poll().dirty
+
+
+def test_deletion_reported_separately(tmp_path):
+    f = tmp_path / "a.c"
+    f.write_text("int x;\n")
+    w = FileWatcher([f])
+    f.unlink()
+    res = w.poll()
+    assert res.deleted == [f] and res.changed == []
+    assert not w.poll().dirty          # still gone: reported once
+
+
+def test_reappearance_counts_as_changed(tmp_path):
+    f = tmp_path / "a.c"
+    f.write_text("int x;\n")
+    w = FileWatcher([f])
+    f.unlink()
+    w.poll()
+    f.write_text("int x;\n")
+    assert w.poll().changed == [f]
+
+
+def test_missing_at_start_then_created(tmp_path):
+    f = tmp_path / "late.c"
+    w = FileWatcher([f])
+    assert not w.poll().dirty
+    f.write_text("int z;\n")
+    assert w.poll().changed == [f]
